@@ -1,0 +1,110 @@
+// Experiment F6 (ablation) — incremental datalog maintenance strategies.
+//
+// Transitive closure over a random digraph under single-edge churn,
+// comparing: counting+DRed (default), force-DRed, and full re-evaluation.
+// Expected shape: both incremental strategies beat recomputation by orders
+// of magnitude on small deltas; counting beats DRed on insert-heavy churn
+// of non-recursive programs (also measured), while recursion requires DRed.
+#include <benchmark/benchmark.h>
+
+#include "datalog/engine.h"
+#include "util/rng.h"
+
+using namespace dna;
+using datalog::DatalogEngine;
+
+namespace {
+
+const char* kTcProgram = R"(
+  .decl edge(2) input
+  .decl reach(2)
+  reach(X, Y) :- edge(X, Y).
+  reach(X, Z) :- reach(X, Y), edge(Y, Z).
+)";
+
+const char* kJoinProgram = R"(
+  .decl a(2) input
+  .decl b(2) input
+  .decl j2(2)
+  .decl j3(2)
+  j2(X, Z) :- a(X, Y), b(Y, Z).
+  j3(X, Z) :- j2(X, Y), a(Y, Z).
+)";
+
+/// Loads a random base EDB and returns the engine ready for churn.
+void load_base(DatalogEngine& engine, const char* rel, int nodes, int edges,
+               Rng& rng) {
+  for (int i = 0; i < edges; ++i) {
+    engine.insert(rel, {static_cast<int64_t>(rng.below(nodes)),
+                        static_cast<int64_t>(rng.below(nodes))});
+  }
+  engine.flush();
+}
+
+void churn_tc(benchmark::State& state, DatalogEngine::Strategy strategy) {
+  const int nodes = static_cast<int>(state.range(0));
+  DatalogEngine engine(kTcProgram, strategy);
+  Rng rng(42);
+  load_base(engine, "edge", nodes, nodes * 3, rng);
+
+  for (auto _ : state) {
+    int64_t u = static_cast<int64_t>(rng.below(nodes));
+    int64_t v = static_cast<int64_t>(rng.below(nodes));
+    if (engine.contains("edge", {u, v})) {
+      engine.remove("edge", {u, v});
+    } else {
+      engine.insert("edge", {u, v});
+    }
+    engine.flush();
+    benchmark::DoNotOptimize(engine.size("reach"));
+  }
+}
+
+void churn_join(benchmark::State& state, DatalogEngine::Strategy strategy) {
+  const int nodes = static_cast<int>(state.range(0));
+  DatalogEngine engine(kJoinProgram, strategy);
+  Rng rng(43);
+  load_base(engine, "a", nodes, nodes * 2, rng);
+  load_base(engine, "b", nodes, nodes * 2, rng);
+
+  for (auto _ : state) {
+    const char* rel = rng.chance(0.5) ? "a" : "b";
+    int64_t u = static_cast<int64_t>(rng.below(nodes));
+    int64_t v = static_cast<int64_t>(rng.below(nodes));
+    if (engine.contains(rel, {u, v})) {
+      engine.remove(rel, {u, v});
+    } else {
+      engine.insert(rel, {u, v});
+    }
+    engine.flush();
+    benchmark::DoNotOptimize(engine.size("j3"));
+  }
+}
+
+void BM_TcIncremental(benchmark::State& state) {
+  churn_tc(state, DatalogEngine::Strategy::kIncremental);
+}
+void BM_TcForceDRed(benchmark::State& state) {
+  churn_tc(state, DatalogEngine::Strategy::kIncrementalForceDRed);
+}
+void BM_TcRecompute(benchmark::State& state) {
+  churn_tc(state, DatalogEngine::Strategy::kRecompute);
+}
+void BM_JoinCounting(benchmark::State& state) {
+  churn_join(state, DatalogEngine::Strategy::kIncremental);
+}
+void BM_JoinForceDRed(benchmark::State& state) {
+  churn_join(state, DatalogEngine::Strategy::kIncrementalForceDRed);
+}
+void BM_JoinRecompute(benchmark::State& state) {
+  churn_join(state, DatalogEngine::Strategy::kRecompute);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TcIncremental)->Arg(30)->Arg(60);
+BENCHMARK(BM_TcForceDRed)->Arg(30)->Arg(60);
+BENCHMARK(BM_TcRecompute)->Arg(30)->Arg(60);
+BENCHMARK(BM_JoinCounting)->Arg(40)->Arg(80);
+BENCHMARK(BM_JoinForceDRed)->Arg(40)->Arg(80);
+BENCHMARK(BM_JoinRecompute)->Arg(40)->Arg(80);

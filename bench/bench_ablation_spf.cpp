@@ -1,0 +1,105 @@
+// Experiment F5 (ablation) — incremental SPF vs full Dijkstra per event.
+//
+// Measures the per-event cost of maintaining one source's shortest-path
+// tree under random weight changes, comparing DynamicSssp against re-running
+// Dijkstra. Expected shape: the dynamic algorithm wins by the ratio of
+// affected-region size to graph size; on small perturbations that is 10-100x.
+#include <benchmark/benchmark.h>
+
+#include "controlplane/incremental_spf.h"
+#include "topo/generators.h"
+#include "util/rng.h"
+
+using namespace dna;
+using namespace dna::cp;
+
+namespace {
+
+WeightedDigraph graph_for(const std::string& kind, int scale, Rng& rng) {
+  // Build a snapshot, then lift its adjacency into a plain digraph.
+  topo::Snapshot snap;
+  if (kind == "ring") snap = topo::make_ring(scale);
+  if (kind == "grid") snap = topo::make_grid(scale / 8, 8);
+  if (kind == "random") snap = topo::make_random(scale, scale * 3, rng);
+  WeightedDigraph graph;
+  graph.resize(snap.topology.num_nodes());
+  for (uint32_t li = 0; li < snap.topology.num_links(); ++li) {
+    const topo::Link& link = snap.topology.link(li);
+    const auto* ia = snap.configs[link.a].find_interface(link.a_if);
+    const auto* ib = snap.configs[link.b].find_interface(link.b_if);
+    graph.add_arc(link.a, link.b, std::max(1, ia->ospf_cost), li);
+    graph.add_arc(link.b, link.a, std::max(1, ib->ospf_cost), li);
+  }
+  return graph;
+}
+
+/// A deterministic stream of arc-weight events over a shared graph.
+struct EventStream {
+  WeightedDigraph graph;
+  struct Event {
+    topo::NodeId u;
+    size_t arc_index;
+    int new_w;
+  };
+  std::vector<Event> events;
+
+  EventStream(const std::string& kind, int scale) {
+    Rng rng(0x5bf);
+    graph = graph_for(kind, scale, rng);
+    for (int i = 0; i < 64; ++i) {
+      topo::NodeId u;
+      do {
+        u = static_cast<topo::NodeId>(rng.below(graph.num_nodes()));
+      } while (graph.out[u].empty());
+      size_t arc = rng.below(graph.out[u].size());
+      events.push_back({u, arc, static_cast<int>(rng.range(1, 30))});
+    }
+  }
+
+  /// Mutates the graph per event i; returns (u, v, old_w, new_w).
+  std::tuple<topo::NodeId, topo::NodeId, int, int> apply(size_t i) {
+    const Event& event = events[i % events.size()];
+    Arc& arc = graph.out[event.u][event.arc_index];
+    const int old_w = arc.weight;
+    arc.weight = event.new_w;
+    for (Arc& in_arc : graph.in[arc.to]) {
+      if (in_arc.to == event.u && in_arc.link == arc.link) {
+        in_arc.weight = event.new_w;
+      }
+    }
+    return {event.u, arc.to, old_w, event.new_w};
+  }
+};
+
+void BM_IncrementalSpf(benchmark::State& state, const std::string& kind,
+                       int scale) {
+  EventStream stream(kind, scale);
+  DynamicSssp sssp(&stream.graph, 0);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [u, v, old_w, new_w] = stream.apply(i++);
+    auto changed = sssp.arc_updated(u, v, old_w, new_w);
+    benchmark::DoNotOptimize(changed);
+  }
+}
+
+void BM_FullDijkstra(benchmark::State& state, const std::string& kind,
+                     int scale) {
+  EventStream stream(kind, scale);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto event = stream.apply(i++);
+    benchmark::DoNotOptimize(event);
+    auto dist = dijkstra(stream.graph, 0);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_IncrementalSpf, ring64, "ring", 64);
+BENCHMARK_CAPTURE(BM_FullDijkstra, ring64, "ring", 64);
+BENCHMARK_CAPTURE(BM_IncrementalSpf, grid128, "grid", 128);
+BENCHMARK_CAPTURE(BM_FullDijkstra, grid128, "grid", 128);
+BENCHMARK_CAPTURE(BM_IncrementalSpf, random200, "random", 200);
+BENCHMARK_CAPTURE(BM_FullDijkstra, random200, "random", 200);

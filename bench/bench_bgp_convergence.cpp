@@ -1,0 +1,74 @@
+// Experiment F7 — BGP incremental convergence vs full re-convergence.
+//
+// The BGP simulator runs the same worklist loop in both cases; the metric
+// is (node, prefix) decision evaluations plus wall time. Expected shape:
+// localized events (one announce/withdraw, one policy edit) re-evaluate a
+// small multiple of the affected prefix count, while a full rebuild pays
+// for every prefix at every node.
+#include <cstdio>
+
+#include "controlplane/bgp.h"
+#include "topo/generators.h"
+#include "topo/mutators.h"
+#include "util/timer.h"
+
+using namespace dna;
+
+namespace {
+
+struct Metrics {
+  size_t work = 0;
+  double ms = 0;
+};
+
+Metrics full_build(const topo::Snapshot& snap) {
+  cp::BgpSim sim;
+  Stopwatch sw;
+  sim.build(snap);
+  return {sim.last_work_items(), sw.elapsed_ms()};
+}
+
+Metrics incremental(const topo::Snapshot& base, const topo::Snapshot& target) {
+  cp::BgpSim sim;
+  sim.build(base);
+  auto changes = config::diff_configs(base.configs, target.configs);
+  Stopwatch sw;
+  sim.update(target, changes, {});
+  return {sim.last_work_items(), sw.elapsed_ms()};
+}
+
+void row(const std::string& name, const topo::Snapshot& base,
+         const topo::Snapshot& target) {
+  Metrics full = full_build(target);
+  Metrics inc = incremental(base, target);
+  std::printf("%-24s %10zu %10zu %10.2f %10.2f %8.1fx\n", name.c_str(),
+              full.work, inc.work, full.ms, inc.ms,
+              full.ms / std::max(inc.ms, 1e-6));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F7: BGP convergence effort, full rebuild vs incremental\n");
+  std::printf("%-24s %10s %10s %10s %10s %8s\n", "event", "full-work",
+              "inc-work", "full(ms)", "inc(ms)", "speedup");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (auto [edges, cores] : {std::pair{8, 3}, std::pair{24, 4}}) {
+    topo::Snapshot base = topo::make_two_tier_as(edges, cores);
+    std::string tag =
+        "as" + std::to_string(edges) + "x" + std::to_string(cores) + ": ";
+    row(tag + "announce", base,
+        topo::with_bgp_announce(base, "as0",
+                                Ipv4Prefix(Ipv4Addr(198, 19, 7, 0), 24)));
+    row(tag + "withdraw", base,
+        topo::with_bgp_withdraw(base, "as0",
+                                Ipv4Prefix(Ipv4Addr(172, 31, 0, 0), 24)));
+    row(tag + "local-pref", base,
+        topo::with_bgp_local_pref(
+            base, "as1", base.config_of("as1").bgp.neighbors[0].peer_ip, 250));
+    row(tag + "session-loss", base, topo::with_link_state(base, 0, false));
+  }
+  return 0;
+}

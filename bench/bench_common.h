@@ -1,0 +1,47 @@
+// Shared helpers for the table-style experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "topo/generators.h"
+#include "topo/mutators.h"
+#include "util/timer.h"
+
+namespace dna::bench {
+
+/// Milliseconds to advance a fresh engine from `base` to `target` in `mode`
+/// (median of `reps` runs). Building the base engine is excluded — that
+/// state exists in both modes before the change arrives.
+inline double advance_ms(const topo::Snapshot& base,
+                         const topo::Snapshot& target, core::Mode mode,
+                         int reps = 3) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    core::DnaEngine engine(base);
+    Stopwatch sw;
+    core::NetworkDiff diff = engine.advance(target, mode);
+    (void)diff;
+    times.push_back(sw.elapsed_ms());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// One advance, returning the diff (for delta-size metrics).
+inline core::NetworkDiff advance_once(const topo::Snapshot& base,
+                                      const topo::Snapshot& target,
+                                      core::Mode mode) {
+  core::DnaEngine engine(base);
+  return engine.advance(target, mode);
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace dna::bench

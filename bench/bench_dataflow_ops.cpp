@@ -1,0 +1,127 @@
+// Experiment F8 — dataflow operator micro-costs.
+//
+// Per-delta throughput of the core operators as a function of resident
+// state size. Expected shape: map/filter are O(1) per delta; join and
+// reduce costs track matching-group sizes; distinct is a hash update.
+#include <benchmark/benchmark.h>
+
+#include "dataflow/graph.h"
+#include "util/rng.h"
+
+using namespace dna;
+using namespace dna::dataflow;
+
+namespace {
+
+void BM_MapDelta(benchmark::State& state) {
+  Graph g;
+  auto in = g.add_input("in");
+  auto mapped =
+      g.add_map("map", in, [](const Row& r) { return Row{r[0] + 1, r[1]}; });
+  auto out = g.add_output("out", mapped);
+  (void)out;
+  Rng rng(1);
+  for (auto _ : state) {
+    g.push(in, {{{static_cast<int64_t>(rng.below(1000)),
+                  static_cast<int64_t>(rng.below(1000))},
+                 +1}});
+    g.step();
+  }
+}
+
+void BM_DistinctDelta(benchmark::State& state) {
+  const int64_t universe = state.range(0);
+  Graph g;
+  auto in = g.add_input("in");
+  auto d = g.add_distinct("distinct", in);
+  auto out = g.add_output("out", d);
+  (void)out;
+  Rng rng(2);
+  for (auto _ : state) {
+    int64_t value = static_cast<int64_t>(rng.below(universe));
+    g.push(in, {{{value}, rng.chance(0.5) ? +1 : -1}});
+    g.step();
+  }
+}
+
+void BM_JoinDelta(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  Graph g;
+  auto left = g.add_input("left");
+  auto right = g.add_input("right");
+  auto joined = g.add_join(
+      "join", left, {0}, right, {0},
+      [](const Row& l, const Row& r) { return Row{l[0], l[1], r[1]}; });
+  auto out = g.add_output("out", joined);
+  (void)out;
+  Rng rng(3);
+  // Pre-populate both sides: 8 rows per key.
+  DeltaVec init_left, init_right;
+  for (int64_t k = 0; k < keys; ++k) {
+    for (int64_t i = 0; i < 8; ++i) {
+      init_left.push_back({{k, i}, +1});
+      init_right.push_back({{k, 100 + i}, +1});
+    }
+  }
+  g.push(left, init_left);
+  g.push(right, init_right);
+  g.step();
+  for (auto _ : state) {
+    int64_t k = static_cast<int64_t>(rng.below(keys));
+    g.push(left, {{{k, static_cast<int64_t>(rng.below(8))},
+                   rng.chance(0.5) ? +1 : -1}});
+    g.step();
+  }
+}
+
+void BM_ReduceDelta(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  Graph g;
+  auto in = g.add_input("in");
+  auto sums = g.add_reduce("sum", in, {0}, agg_sum(1));
+  auto out = g.add_output("out", sums);
+  (void)out;
+  Rng rng(4);
+  DeltaVec init;
+  for (int64_t k = 0; k < keys; ++k) {
+    for (int64_t i = 0; i < 16; ++i) init.push_back({{k, i}, +1});
+  }
+  g.push(in, init);
+  g.step();
+  for (auto _ : state) {
+    int64_t k = static_cast<int64_t>(rng.below(keys));
+    g.push(in, {{{k, static_cast<int64_t>(rng.below(16))}, +1}});
+    g.step();
+  }
+}
+
+void BM_AntiJoinDelta(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  Graph g;
+  auto left = g.add_input("left");
+  auto right = g.add_input("right");
+  auto anti = g.add_antijoin("anti", left, {0}, right, {0});
+  auto out = g.add_output("out", anti);
+  (void)out;
+  Rng rng(5);
+  DeltaVec init;
+  for (int64_t k = 0; k < keys; ++k) init.push_back({{k, k}, +1});
+  g.push(left, init);
+  g.step();
+  for (auto _ : state) {
+    // Block then unblock a key: two flips of the anti-join output.
+    int64_t k = static_cast<int64_t>(rng.below(keys));
+    g.push(right, {{{k}, +1}});
+    g.step();
+    g.push(right, {{{k}, -1}});
+    g.step();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MapDelta);
+BENCHMARK(BM_DistinctDelta)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_JoinDelta)->Arg(16)->Arg(1024);
+BENCHMARK(BM_ReduceDelta)->Arg(16)->Arg(1024);
+BENCHMARK(BM_AntiJoinDelta)->Arg(1024);

@@ -1,0 +1,57 @@
+// Experiment F3 — differential-mode stage breakdown.
+//
+// Where does the differential pipeline spend its time, per change type?
+// Expected shape: routing changes are dominated by incremental SPF + FIB
+// rebuild + affected-EC verification; ACL edits skip the control plane
+// entirely; BGP events are dominated by the bgp stage.
+#include "bench_common.h"
+
+using namespace dna;
+using namespace dna::bench;
+
+namespace {
+
+void row(const std::string& name, const topo::Snapshot& base,
+         const topo::Snapshot& target) {
+  core::DnaEngine engine(base);
+  core::NetworkDiff diff = engine.advance(target, core::Mode::kDifferential);
+  double config = 0, ospf = 0, bgp = 0, fib = 0, ec = 0, verify = 0;
+  for (const auto& entry : diff.stages.entries()) {
+    if (entry.stage == "config-diff") config = entry.seconds * 1e3;
+    if (entry.stage == "ospf") ospf = entry.seconds * 1e3;
+    if (entry.stage == "bgp") bgp = entry.seconds * 1e3;
+    if (entry.stage == "fib") fib = entry.seconds * 1e3;
+    if (entry.stage == "ec-index") ec = entry.seconds * 1e3;
+    if (entry.stage == "verify") verify = entry.seconds * 1e3;
+  }
+  std::printf("%-24s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %10.3f\n",
+              name.c_str(), config, ospf, bgp, fib, ec, verify,
+              diff.seconds_total * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F3: differential stage breakdown (ms per stage)\n");
+  std::printf("%-24s %9s %9s %9s %9s %9s %9s %10s\n", "change", "cfg-diff",
+              "ospf", "bgp", "fib", "ec-index", "verify", "total");
+  print_rule(96);
+
+  for (int k : {6, 8}) {
+    topo::Snapshot ft = topo::make_fattree(k);
+    std::string tag = "ft" + std::to_string(k) + ": ";
+    row(tag + "link-cost", ft, topo::with_link_cost(ft, 3, 60));
+    row(tag + "link-failure", ft, topo::with_link_state(ft, 3, false));
+    row(tag + "acl-block", ft,
+        topo::with_acl_block(ft, "sw0",
+                             Ipv4Prefix(Ipv4Addr(172, 31, 2, 0), 24)));
+  }
+  topo::Snapshot as = topo::make_two_tier_as(12, 4);
+  row("as: withdraw", as,
+      topo::with_bgp_withdraw(as, "as1",
+                              Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)));
+  row("as: local-pref", as,
+      topo::with_bgp_local_pref(
+          as, "as0", as.config_of("as0").bgp.neighbors[0].peer_ip, 250));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment F1 — diff latency vs change size (the crossover figure).
+//
+// Fat-tree k=6; fail 1, 2, 4, ... links simultaneously and time both modes.
+// Expected shape: differential cost grows with the change's blast radius
+// while monolithic cost stays flat, so the curves converge (and can cross)
+// as the change approaches "rebuild everything".
+#include "bench_common.h"
+
+using namespace dna;
+using namespace dna::bench;
+
+int main() {
+  topo::Snapshot base = topo::make_fattree(6);
+  const size_t max_links = base.topology.num_links();
+
+  std::printf("F1: latency vs number of simultaneous link failures "
+              "(fat-tree k=6, %zu links)\n",
+              max_links);
+  std::printf("%8s %12s %12s %9s %16s\n", "k-links", "mono (ms)", "diff (ms)",
+              "speedup", "affected ECs");
+  print_rule(62);
+
+  Rng rng(21);
+  std::vector<uint32_t> order;
+  for (uint32_t i = 0; i < max_links; ++i) order.push_back(i);
+  // Deterministic shuffle.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  for (size_t k = 1; k <= max_links / 2; k *= 2) {
+    topo::Snapshot target = base;
+    for (size_t i = 0; i < k; ++i) {
+      target = topo::with_link_state(target, order[i], false);
+    }
+    core::NetworkDiff diff =
+        advance_once(base, target, core::Mode::kDifferential);
+    double mono_ms = advance_ms(base, target, core::Mode::kMonolithic);
+    double diff_ms = advance_ms(base, target, core::Mode::kDifferential);
+    std::printf("%8zu %12.3f %12.3f %8.1fx %10zu/%zu\n", k, mono_ms, diff_ms,
+                mono_ms / std::max(diff_ms, 1e-6), diff.affected_ecs,
+                diff.total_ecs);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Experiment F2 — diff latency vs network size, fixed single change.
+//
+// Two families (fat-trees and rings), one link-cost change each.
+// Expected shape: monolithic grows superlinearly with size (more ECs x more
+// nodes to re-verify); differential stays near-flat, so speedup grows with
+// scale.
+#include "bench_common.h"
+
+using namespace dna;
+using namespace dna::bench;
+
+namespace {
+
+void row(const std::string& name, const topo::Snapshot& base) {
+  // Constant-size change regardless of topology scale: one static /24.
+  const topo::Link& link = base.topology.link(0);
+  Ipv4Addr via = base.configs[link.b].find_interface(link.b_if)->address;
+  topo::Snapshot target = topo::with_static_route(
+      base, base.topology.node_name(link.a),
+      Ipv4Prefix(Ipv4Addr(198, 18, 0, 0), 24), via);
+  double mono_ms = advance_ms(base, target, core::Mode::kMonolithic);
+  double diff_ms = advance_ms(base, target, core::Mode::kDifferential);
+  std::printf("%-14s %7zu %7zu %12.3f %12.3f %8.1fx\n", name.c_str(),
+              base.topology.num_nodes(), base.topology.num_links(), mono_ms,
+              diff_ms, mono_ms / std::max(diff_ms, 1e-6));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F2: latency vs network size (constant narrow change)\n");
+  std::printf("%-14s %7s %7s %12s %12s %8s\n", "topology", "nodes", "links",
+              "mono (ms)", "diff (ms)", "speedup");
+  print_rule(66);
+  for (int k : {4, 6, 8}) {
+    row("fattree-k" + std::to_string(k), topo::make_fattree(k));
+  }
+  for (int n : {16, 32, 64, 128}) {
+    row("ring-" + std::to_string(n), topo::make_ring(n));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment T1 — end-to-end diff latency, monolithic vs differential.
+//
+// For each topology in the suite, apply a *narrow* change (one static /24
+// toward an existing neighbor: one node's FIB, two atoms) and measure the
+// time to produce the full NetworkDiff in both modes. Narrow changes are
+// the common case the paper leads with; broader changes (cost churn, link
+// failures) are swept in T2 and F1, where the differential win honestly
+// shrinks with blast radius.
+// Expected shape: differential wins by 1-3 orders of magnitude; the gap
+// widens with network size. (See EXPERIMENTS.md.)
+#include "bench_common.h"
+
+using namespace dna;
+using namespace dna::bench;
+
+namespace {
+
+topo::Snapshot narrow_change(const topo::Snapshot& base) {
+  const topo::Link& link = base.topology.link(0);
+  Ipv4Addr via = base.configs[link.b].find_interface(link.b_if)->address;
+  return topo::with_static_route(base, base.topology.node_name(link.a),
+                                 Ipv4Prefix(Ipv4Addr(198, 18, 0, 0), 24),
+                                 via);
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    std::string name;
+    topo::Snapshot snap;
+  };
+  Rng rng(7);
+  std::vector<Case> cases;
+  cases.push_back({"fattree-k4", topo::make_fattree(4)});
+  cases.push_back({"fattree-k6", topo::make_fattree(6)});
+  cases.push_back({"fattree-k8", topo::make_fattree(8)});
+  cases.push_back({"ring-32", topo::make_ring(32)});
+  cases.push_back({"ring-64", topo::make_ring(64)});
+  cases.push_back({"grid-8x8", topo::make_grid(8, 8)});
+  cases.push_back({"random-100-300", topo::make_random(100, 300, rng)});
+  cases.push_back({"two-tier-16x4", topo::make_two_tier_as(16, 4)});
+
+  std::printf("T1: end-to-end diff latency, narrow change (one static /24)\n");
+  std::printf("%-16s %6s %6s %6s %12s %12s %9s\n", "topology", "nodes",
+              "links", "ECs", "mono (ms)", "diff (ms)", "speedup");
+  print_rule();
+  for (const Case& test_case : cases) {
+    const topo::Snapshot& base = test_case.snap;
+    topo::Snapshot target = narrow_change(base);
+
+    // EC count from a throwaway engine.
+    core::DnaEngine probe(base);
+    const size_t ecs = probe.verifier().num_ecs();
+
+    double mono = advance_ms(base, target, core::Mode::kMonolithic);
+    double diff = advance_ms(base, target, core::Mode::kDifferential);
+    std::printf("%-16s %6zu %6zu %6zu %12.3f %12.3f %8.1fx\n",
+                test_case.name.c_str(), base.topology.num_nodes(),
+                base.topology.num_links(), ecs, mono, diff,
+                mono / std::max(diff, 1e-6));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment T2 — behaviour-delta sizes and cost per change type.
+//
+// One fat-tree (OSPF) and one two-tier AS fabric (BGP); for each operator
+// action, report the config/FIB/reachability delta sizes, the number of
+// re-verified ECs, and the latency of both modes.
+// Expected shape: ACL edits have zero FIB delta and touch few ECs; link
+// failures churn many FIB entries but reachability survives (fat-tree
+// redundancy); BGP withdrawals lose reachability everywhere.
+#include "bench_common.h"
+
+using namespace dna;
+using namespace dna::bench;
+
+namespace {
+
+void run_case(const std::string& name, const topo::Snapshot& base,
+              const topo::Snapshot& target) {
+  core::NetworkDiff diff =
+      advance_once(base, target, core::Mode::kDifferential);
+  double mono_ms = advance_ms(base, target, core::Mode::kMonolithic);
+  double diff_ms = advance_ms(base, target, core::Mode::kDifferential);
+  std::printf("%-22s %6zu %6zu %8zu %9zu/%-6zu %10.3f %10.3f %8.1fx\n",
+              name.c_str(), diff.config_changes.size(),
+              diff.fib_delta.total_changes(),
+              diff.reach_delta.total_changes(), diff.affected_ecs,
+              diff.total_ecs, mono_ms, diff_ms,
+              mono_ms / std::max(diff_ms, 1e-6));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("T2: per-change-type deltas and latency\n");
+  std::printf("%-22s %6s %6s %8s %16s %10s %10s %8s\n", "change", "cfgΔ",
+              "fibΔ", "reachΔ", "ECs affected", "mono(ms)", "diff(ms)",
+              "speedup");
+  print_rule(100);
+
+  topo::Snapshot ft = topo::make_fattree(6);
+  run_case("ft6: link-cost", ft, topo::with_link_cost(ft, 3, 60));
+  run_case("ft6: link-failure", ft, topo::with_link_state(ft, 3, false));
+  run_case("ft6: acl-block-1net", ft,
+           topo::with_acl_block(ft, "sw0",
+                                Ipv4Prefix(Ipv4Addr(172, 31, 9, 0), 24)));
+  run_case("ft6: acl-block-all", ft,
+           topo::with_acl_block(ft, "sw0",
+                                Ipv4Prefix(Ipv4Addr(172, 31, 0, 0), 16)));
+  {
+    const topo::Link& link = ft.topology.link(0);
+    Ipv4Addr via = ft.configs[link.b].find_interface(link.b_if)->address;
+    run_case("ft6: static-route", ft,
+             topo::with_static_route(ft, "sw0",
+                                     Ipv4Prefix(Ipv4Addr(198, 18, 0, 0), 24),
+                                     via));
+  }
+
+  topo::Snapshot as = topo::make_two_tier_as(8, 3);
+  run_case("as: announce", as,
+           topo::with_bgp_announce(as, "as1",
+                                   Ipv4Prefix(Ipv4Addr(198, 19, 1, 0), 24)));
+  run_case("as: withdraw", as,
+           topo::with_bgp_withdraw(as, "as1",
+                                   Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)));
+  run_case("as: local-pref", as,
+           topo::with_bgp_local_pref(
+               as, "as0", as.config_of("as0").bgp.neighbors[0].peer_ip, 250));
+  run_case("as: session-loss", as, topo::with_link_state(as, 0, false));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Maintenance dry-run: before taking links down for maintenance, verify —
+// differentially, in milliseconds per candidate — which link can be drained
+// without hurting any host-to-host reachability.
+//
+// This is the workflow the differential engine is built for: one base
+// snapshot, many small candidate changes, each needing a fast verdict.
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "topo/generators.h"
+#include "topo/mutators.h"
+#include "util/timer.h"
+
+using namespace dna;
+
+int main() {
+  topo::Snapshot base = topo::make_fattree(4);
+  core::DnaEngine engine(base);
+
+  // Intent: every edge switch keeps reaching every host network.
+  const int hosts = 8;  // fat-tree k=4: 8 edge switches, one /24 each
+  for (int e = 0; e < hosts; ++e) {
+    for (int h = 0; h < hosts; ++h) {
+      if (e == h) continue;
+      engine.add_invariant(
+          {core::Invariant::Kind::kReachable, "sw" + std::to_string(e),
+           "sw" + std::to_string(h), "",
+           Ipv4Prefix(Ipv4Addr(172, 31, static_cast<uint8_t>(h), 0), 24)});
+    }
+  }
+
+  std::cout << "fat-tree k=4: " << base.topology.num_nodes() << " switches, "
+            << base.topology.num_links() << " links\n"
+            << "checking which links can be drained safely...\n\n";
+
+  size_t safe = 0, unsafe = 0;
+  for (uint32_t link = 0; link < base.topology.num_links(); ++link) {
+    Stopwatch sw;
+    core::NetworkDiff diff = engine.advance(
+        topo::with_link_state(base, link, false), core::Mode::kDifferential);
+    const bool ok = diff.invariant_flips.empty();
+    const topo::Link& l = base.topology.link(link);
+    std::cout << "  link " << link << " ("
+              << base.topology.node_name(l.a) << " <-> "
+              << base.topology.node_name(l.b) << "): "
+              << (ok ? "SAFE  " : "UNSAFE") << "  [" << diff.affected_ecs
+              << "/" << diff.total_ecs << " ECs re-verified, "
+              << sw.elapsed_ms() << " ms round-trip]\n";
+    if (!ok) {
+      for (const auto& flip : diff.invariant_flips) {
+        std::cout << "      breaks: " << flip.description << "\n";
+      }
+    }
+    ok ? ++safe : ++unsafe;
+    // Restore the base snapshot before trying the next candidate.
+    engine.advance(base, core::Mode::kDifferential);
+  }
+
+  std::cout << "\n" << safe << " links drainable, " << unsafe
+            << " links load-bearing\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "config/diff.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dna::config {
+
+const char* change_kind_name(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kNodeAdded:
+      return "node-added";
+    case ChangeKind::kNodeRemoved:
+      return "node-removed";
+    case ChangeKind::kInterfaceAdded:
+      return "interface-added";
+    case ChangeKind::kInterfaceRemoved:
+      return "interface-removed";
+    case ChangeKind::kInterfaceModified:
+      return "interface-modified";
+    case ChangeKind::kInterfaceAclBinding:
+      return "interface-acl-binding";
+    case ChangeKind::kStaticRoutesChanged:
+      return "static-routes-changed";
+    case ChangeKind::kOspfChanged:
+      return "ospf-changed";
+    case ChangeKind::kBgpProcessChanged:
+      return "bgp-process-changed";
+    case ChangeKind::kBgpNeighborAdded:
+      return "bgp-neighbor-added";
+    case ChangeKind::kBgpNeighborRemoved:
+      return "bgp-neighbor-removed";
+    case ChangeKind::kBgpNeighborModified:
+      return "bgp-neighbor-modified";
+    case ChangeKind::kAclChanged:
+      return "acl-changed";
+    case ChangeKind::kPrefixListChanged:
+      return "prefix-list-changed";
+    case ChangeKind::kRouteMapChanged:
+      return "route-map-changed";
+  }
+  return "?";
+}
+
+std::string ConfigChange::str() const {
+  std::string out = node;
+  out += ": ";
+  out += change_kind_name(kind);
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+void diff_node(const NodeConfig& before, const NodeConfig& after,
+               std::vector<ConfigChange>& out) {
+  const std::string& node = after.name;
+
+  // Interfaces, matched by name.
+  for (const auto& iface : before.interfaces) {
+    const InterfaceConfig* now = after.find_interface(iface.name);
+    if (!now) {
+      out.push_back({ChangeKind::kInterfaceRemoved, node, iface.name});
+    } else if (!(*now == iface)) {
+      // Distinguish pure ACL re-binding: it affects only the data plane.
+      InterfaceConfig unbound_before = iface;
+      InterfaceConfig unbound_now = *now;
+      unbound_before.acl_in.clear();
+      unbound_before.acl_out.clear();
+      unbound_now.acl_in.clear();
+      unbound_now.acl_out.clear();
+      out.push_back({unbound_before == unbound_now
+                         ? ChangeKind::kInterfaceAclBinding
+                         : ChangeKind::kInterfaceModified,
+                     node, iface.name});
+    }
+  }
+  for (const auto& iface : after.interfaces) {
+    if (!before.find_interface(iface.name)) {
+      out.push_back({ChangeKind::kInterfaceAdded, node, iface.name});
+    }
+  }
+
+  if (before.static_routes != after.static_routes) {
+    out.push_back({ChangeKind::kStaticRoutesChanged, node, ""});
+  }
+  if (!(before.ospf == after.ospf)) {
+    out.push_back({ChangeKind::kOspfChanged, node, ""});
+  }
+
+  // BGP: process-level fields vs per-neighbor granularity.
+  {
+    BgpConfig b = before.bgp;
+    BgpConfig a = after.bgp;
+    auto by_ip = [](const BgpNeighborConfig& x, const BgpNeighborConfig& y) {
+      return x.peer_ip < y.peer_ip;
+    };
+    std::sort(b.neighbors.begin(), b.neighbors.end(), by_ip);
+    std::sort(a.neighbors.begin(), a.neighbors.end(), by_ip);
+    std::map<Ipv4Addr, const BgpNeighborConfig*> before_by_ip, after_by_ip;
+    for (const auto& n : b.neighbors) before_by_ip[n.peer_ip] = &n;
+    for (const auto& n : a.neighbors) after_by_ip[n.peer_ip] = &n;
+    for (const auto& [ip, n] : before_by_ip) {
+      auto it = after_by_ip.find(ip);
+      if (it == after_by_ip.end()) {
+        out.push_back({ChangeKind::kBgpNeighborRemoved, node, ip.str()});
+      } else if (!(*it->second == *n)) {
+        out.push_back({ChangeKind::kBgpNeighborModified, node, ip.str()});
+      }
+    }
+    for (const auto& [ip, n] : after_by_ip) {
+      (void)n;
+      if (!before_by_ip.count(ip)) {
+        out.push_back({ChangeKind::kBgpNeighborAdded, node, ip.str()});
+      }
+    }
+    b.neighbors.clear();
+    a.neighbors.clear();
+    if (!(b == a)) {
+      out.push_back({ChangeKind::kBgpProcessChanged, node, ""});
+    }
+  }
+
+  // Named filter objects, matched by name.
+  auto diff_named = [&](const auto& before_items, const auto& after_items,
+                        ChangeKind kind, auto name_of) {
+    for (const auto& item : before_items) {
+      bool found = false;
+      for (const auto& other : after_items) {
+        if (name_of(other) == name_of(item)) {
+          found = true;
+          if (!(other == item)) {
+            out.push_back({kind, node, name_of(item)});
+          }
+          break;
+        }
+      }
+      if (!found) out.push_back({kind, node, name_of(item)});
+    }
+    for (const auto& item : after_items) {
+      bool found = false;
+      for (const auto& other : before_items) {
+        if (name_of(other) == name_of(item)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.push_back({kind, node, name_of(item)});
+    }
+  };
+
+  diff_named(before.acls, after.acls, ChangeKind::kAclChanged,
+             [](const AclConfig& a) { return a.name; });
+  diff_named(before.prefix_lists, after.prefix_lists,
+             ChangeKind::kPrefixListChanged,
+             [](const PrefixListConfig& p) { return p.name; });
+  diff_named(before.route_maps, after.route_maps, ChangeKind::kRouteMapChanged,
+             [](const RouteMapConfig& r) { return r.name; });
+}
+
+}  // namespace
+
+std::vector<ConfigChange> diff_configs(const std::vector<NodeConfig>& before,
+                                       const std::vector<NodeConfig>& after) {
+  std::vector<ConfigChange> out;
+  std::map<std::string, const NodeConfig*> before_by_name, after_by_name;
+  for (const auto& node : before) before_by_name[node.name] = &node;
+  for (const auto& node : after) after_by_name[node.name] = &node;
+
+  for (const auto& [name, node] : before_by_name) {
+    auto it = after_by_name.find(name);
+    if (it == after_by_name.end()) {
+      out.push_back({ChangeKind::kNodeRemoved, name, ""});
+    } else if (!(*it->second == *node)) {
+      diff_node(*node, *it->second, out);
+    }
+  }
+  for (const auto& [name, node] : after_by_name) {
+    (void)node;
+    if (!before_by_name.count(name)) {
+      out.push_back({ChangeKind::kNodeAdded, name, ""});
+    }
+  }
+  return out;
+}
+
+}  // namespace dna::config

@@ -1,0 +1,52 @@
+// Structural diff of configurations: emits typed change events.
+//
+// The differential engine consumes these events to decide which simulation
+// layers to dirty: an ACL edit never touches the control plane, an interface
+// cost change dirties only OSPF, a route-map edit dirties only the BGP
+// sessions that reference it, and so on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/model.h"
+
+namespace dna::config {
+
+enum class ChangeKind {
+  kNodeAdded,
+  kNodeRemoved,
+  kInterfaceAdded,
+  kInterfaceRemoved,
+  kInterfaceModified,     // address / cost / shutdown / passive
+  kInterfaceAclBinding,   // only the acl-in/acl-out bindings changed
+  kStaticRoutesChanged,   // the node's static route set changed
+  kOspfChanged,           // process networks / redistribution
+  kBgpProcessChanged,     // AS / router-id / networks / redistribution
+  kBgpNeighborAdded,
+  kBgpNeighborRemoved,
+  kBgpNeighborModified,   // remote-as or policy bindings
+  kAclChanged,            // added, removed, or rules modified
+  kPrefixListChanged,
+  kRouteMapChanged,
+};
+
+const char* change_kind_name(ChangeKind kind);
+
+struct ConfigChange {
+  ChangeKind kind;
+  std::string node;
+  /// Interface name, neighbor IP, or ACL / prefix-list / route-map name,
+  /// depending on the kind. Empty for whole-node or process-level changes.
+  std::string detail;
+
+  std::string str() const;
+  bool operator==(const ConfigChange&) const = default;
+};
+
+/// Diffs two config sets matched by node name. Emits events in a stable
+/// order (node name, then kind). An unchanged node emits nothing.
+std::vector<ConfigChange> diff_configs(const std::vector<NodeConfig>& before,
+                                       const std::vector<NodeConfig>& after);
+
+}  // namespace dna::config

@@ -1,0 +1,61 @@
+#include "config/model.h"
+
+namespace dna::config {
+
+bool PrefixListEntry::matches(const Ipv4Prefix& candidate) const {
+  if (!prefix.contains(candidate)) return false;
+  const int len = candidate.length();
+  const int lo = ge >= 0 ? ge : prefix.length();
+  const int hi = le >= 0 ? le : (ge >= 0 ? 32 : prefix.length());
+  return len >= lo && len <= hi;
+}
+
+const InterfaceConfig* NodeConfig::find_interface(
+    const std::string& if_name) const {
+  for (const auto& iface : interfaces) {
+    if (iface.name == if_name) return &iface;
+  }
+  return nullptr;
+}
+
+InterfaceConfig* NodeConfig::find_interface(const std::string& if_name) {
+  for (auto& iface : interfaces) {
+    if (iface.name == if_name) return &iface;
+  }
+  return nullptr;
+}
+
+const AclConfig* NodeConfig::find_acl(const std::string& acl_name) const {
+  for (const auto& acl : acls) {
+    if (acl.name == acl_name) return &acl;
+  }
+  return nullptr;
+}
+
+const PrefixListConfig* NodeConfig::find_prefix_list(
+    const std::string& list) const {
+  for (const auto& pl : prefix_lists) {
+    if (pl.name == list) return &pl;
+  }
+  return nullptr;
+}
+
+const RouteMapConfig* NodeConfig::find_route_map(
+    const std::string& map) const {
+  for (const auto& rm : route_maps) {
+    if (rm.name == map) return &rm;
+  }
+  return nullptr;
+}
+
+bool prefix_list_permits(const PrefixListConfig& list,
+                         const Ipv4Prefix& prefix) {
+  for (const PrefixListEntry& entry : list.entries) {
+    if (entry.matches(prefix)) {
+      return entry.action == FilterAction::kPermit;
+    }
+  }
+  return false;  // implicit deny
+}
+
+}  // namespace dna::config

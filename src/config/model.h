@@ -1,0 +1,158 @@
+// Vendor-neutral router configuration model.
+//
+// A NodeConfig captures everything dna simulates about one device:
+// interfaces, static routes, an OSPF process, a BGP process with per-neighbor
+// policies, ACLs, prefix lists and route maps. All types are plain values
+// with operator== so snapshots can be diffed structurally (config/diff.h)
+// and round-tripped through the text format (config/parser.h, printer.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace dna::config {
+
+struct InterfaceConfig {
+  std::string name;
+  Ipv4Addr address;
+  uint8_t prefix_len = 24;
+  int ospf_cost = 10;
+  bool enabled = true;        // administratively up
+  bool ospf_passive = false;  // advertise subnet but form no adjacency
+  std::string acl_in;         // ACL filtering traffic entering the node here
+  std::string acl_out;        // ACL filtering traffic leaving the node here
+
+  Ipv4Prefix subnet() const { return Ipv4Prefix(address, prefix_len); }
+
+  bool operator==(const InterfaceConfig&) const = default;
+};
+
+struct StaticRouteConfig {
+  Ipv4Prefix prefix;
+  Ipv4Addr next_hop;
+
+  bool operator==(const StaticRouteConfig&) const = default;
+};
+
+struct OspfConfig {
+  bool enabled = false;
+  /// Interface subnets matched by any of these run OSPF.
+  std::vector<Ipv4Prefix> networks;
+  bool redistribute_connected = false;
+  bool redistribute_static = false;
+
+  bool operator==(const OspfConfig&) const = default;
+};
+
+enum class FilterAction { kPermit, kDeny };
+
+struct AclRule {
+  FilterAction action = FilterAction::kPermit;
+  Ipv4Prefix src;            // 0.0.0.0/0 matches any
+  Ipv4Prefix dst;            // 0.0.0.0/0 matches any
+  int proto = -1;            // -1 any, else IP protocol number (6 tcp, 17 udp)
+  int dst_port_lo = -1;      // -1 = any port
+  int dst_port_hi = -1;
+
+  bool operator==(const AclRule&) const = default;
+};
+
+/// First-match ACL with implicit deny when no rule matches.
+struct AclConfig {
+  std::string name;
+  std::vector<AclRule> rules;
+
+  bool operator==(const AclConfig&) const = default;
+};
+
+struct PrefixListEntry {
+  FilterAction action = FilterAction::kPermit;
+  Ipv4Prefix prefix;
+  int ge = -1;  // minimum matched length (-1: exactly prefix length)
+  int le = -1;  // maximum matched length
+
+  /// First-match semantics; matches the entry against a concrete prefix.
+  bool matches(const Ipv4Prefix& candidate) const;
+
+  bool operator==(const PrefixListEntry&) const = default;
+};
+
+/// First-match prefix list with implicit deny.
+struct PrefixListConfig {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+
+  bool operator==(const PrefixListConfig&) const = default;
+};
+
+/// One clause of a route map: match conditions plus attribute actions.
+struct RouteMapClause {
+  int seq = 10;
+  FilterAction action = FilterAction::kPermit;
+  std::string match_prefix_list;            // "" = match everything
+  std::optional<uint32_t> match_community;  // route must carry it
+  std::optional<int> set_local_pref;
+  std::optional<int> set_med;
+  std::vector<uint32_t> set_communities;    // replaces the community set
+  int prepend_count = 0;                    // prepend own AS this many times
+
+  bool operator==(const RouteMapClause&) const = default;
+};
+
+/// First-match route map with implicit deny when no clause matches.
+struct RouteMapConfig {
+  std::string name;
+  std::vector<RouteMapClause> clauses;
+
+  bool operator==(const RouteMapConfig&) const = default;
+};
+
+struct BgpNeighborConfig {
+  Ipv4Addr peer_ip;
+  uint32_t remote_as = 0;
+  std::string import_map;  // applied to routes learned from this neighbor
+  std::string export_map;  // applied to routes advertised to this neighbor
+
+  bool operator==(const BgpNeighborConfig&) const = default;
+};
+
+struct BgpConfig {
+  bool enabled = false;
+  uint32_t as_number = 0;
+  Ipv4Addr router_id;                  // 0.0.0.0: derived from node name
+  std::vector<Ipv4Prefix> networks;    // locally originated prefixes
+  std::vector<BgpNeighborConfig> neighbors;
+  bool redistribute_connected = false;
+  bool redistribute_static = false;
+  bool redistribute_ospf = false;
+
+  bool operator==(const BgpConfig&) const = default;
+};
+
+struct NodeConfig {
+  std::string name;
+  std::vector<InterfaceConfig> interfaces;
+  std::vector<StaticRouteConfig> static_routes;
+  OspfConfig ospf;
+  BgpConfig bgp;
+  std::vector<AclConfig> acls;
+  std::vector<PrefixListConfig> prefix_lists;
+  std::vector<RouteMapConfig> route_maps;
+
+  const InterfaceConfig* find_interface(const std::string& if_name) const;
+  InterfaceConfig* find_interface(const std::string& if_name);
+  const AclConfig* find_acl(const std::string& acl_name) const;
+  const PrefixListConfig* find_prefix_list(const std::string& list) const;
+  const RouteMapConfig* find_route_map(const std::string& map) const;
+
+  bool operator==(const NodeConfig&) const = default;
+};
+
+/// Evaluates a prefix list (first match, implicit deny).
+bool prefix_list_permits(const PrefixListConfig& list,
+                         const Ipv4Prefix& prefix);
+
+}  // namespace dna::config

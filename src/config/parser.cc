@@ -1,0 +1,394 @@
+#include "config/parser.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::config {
+
+namespace {
+
+/// Tracks which nested block subsequent lines belong to.
+enum class Context {
+  kTop,
+  kNode,
+  kInterface,
+  kOspf,
+  kBgp,
+  kNeighbor,
+  kAcl,
+  kPrefixList,
+  kRouteMap,
+  kClause,
+};
+
+class ConfigParser {
+ public:
+  explicit ConfigParser(const std::string& text) : text_(text) {}
+
+  std::vector<NodeConfig> parse() {
+    std::istringstream stream(text_);
+    std::string raw;
+    while (std::getline(stream, raw)) {
+      ++line_;
+      std::string_view line = trim(raw);
+      if (auto hash = line.find('#'); hash != std::string_view::npos) {
+        line = trim(line.substr(0, hash));
+      }
+      if (auto slashes = line.find("//"); slashes != std::string_view::npos) {
+        line = trim(line.substr(0, slashes));
+      }
+      if (line.empty()) continue;
+      handle(split_ws(line));
+    }
+    return std::move(nodes_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError(message, line_);
+  }
+
+  Ipv4Addr addr_arg(const std::string& text) {
+    auto addr = Ipv4Addr::parse(text);
+    if (!addr) fail("bad IPv4 address: " + text);
+    return *addr;
+  }
+
+  Ipv4Prefix prefix_arg(const std::string& text) {
+    auto prefix = Ipv4Prefix::parse(text);
+    if (!prefix) fail("bad IPv4 prefix: " + text);
+    return *prefix;
+  }
+
+  int int_arg(const std::string& text) {
+    long long value = parse_int(text);
+    if (value < 0) fail("bad integer: " + text);
+    return static_cast<int>(value);
+  }
+
+  NodeConfig& node() {
+    if (nodes_.empty() || context_ == Context::kTop) fail("expected 'node'");
+    return nodes_.back();
+  }
+
+  void handle(const std::vector<std::string>& tok) {
+    const std::string& kw = tok[0];
+
+    if (kw == "node") {
+      require_args(tok, 2);
+      nodes_.push_back({});
+      nodes_.back().name = tok[1];
+      context_ = Context::kNode;
+      return;
+    }
+    if (nodes_.empty()) fail("configuration must start with 'node'");
+
+    // Node-level block openers reset the context regardless of nesting.
+    if (kw == "interface") {
+      require_args(tok, 2);
+      node().interfaces.push_back({});
+      node().interfaces.back().name = tok[1];
+      context_ = Context::kInterface;
+      return;
+    }
+    if (kw == "static") {
+      // static <prefix> via <next-hop>
+      if (tok.size() != 4 || tok[2] != "via") {
+        fail("expected: static <prefix> via <next-hop>");
+      }
+      node().static_routes.push_back(
+          {prefix_arg(tok[1]), addr_arg(tok[3])});
+      context_ = Context::kNode;
+      return;
+    }
+    if (kw == "ospf") {
+      require_args(tok, 1);
+      node().ospf.enabled = true;
+      context_ = Context::kOspf;
+      return;
+    }
+    if (kw == "bgp") {
+      require_args(tok, 2);
+      node().bgp.enabled = true;
+      node().bgp.as_number = static_cast<uint32_t>(int_arg(tok[1]));
+      context_ = Context::kBgp;
+      return;
+    }
+    if (kw == "acl") {
+      require_args(tok, 2);
+      node().acls.push_back({tok[1], {}});
+      context_ = Context::kAcl;
+      return;
+    }
+    if (kw == "prefix-list") {
+      require_args(tok, 2);
+      node().prefix_lists.push_back({tok[1], {}});
+      context_ = Context::kPrefixList;
+      return;
+    }
+    if (kw == "route-map") {
+      require_args(tok, 2);
+      node().route_maps.push_back({tok[1], {}});
+      context_ = Context::kRouteMap;
+      return;
+    }
+
+    switch (context_) {
+      case Context::kInterface:
+        handle_interface(tok);
+        return;
+      case Context::kOspf:
+        handle_ospf(tok);
+        return;
+      case Context::kBgp:
+      case Context::kNeighbor:
+        handle_bgp(tok);
+        return;
+      case Context::kAcl:
+        handle_acl(tok);
+        return;
+      case Context::kPrefixList:
+        handle_prefix_list(tok);
+        return;
+      case Context::kRouteMap:
+      case Context::kClause:
+        handle_route_map(tok);
+        return;
+      default:
+        fail("unexpected directive '" + kw + "'");
+    }
+  }
+
+  void require_args(const std::vector<std::string>& tok, size_t n) {
+    if (tok.size() != n) {
+      fail("directive '" + tok[0] + "' expects " + std::to_string(n - 1) +
+           " argument(s)");
+    }
+  }
+
+  void handle_interface(const std::vector<std::string>& tok) {
+    InterfaceConfig& iface = node().interfaces.back();
+    const std::string& kw = tok[0];
+    if (kw == "address") {
+      require_args(tok, 2);
+      Ipv4Prefix with_len = prefix_arg(tok[1]);
+      // The address keeps its host bits; the prefix length sets the subnet.
+      auto slash = tok[1].find('/');
+      iface.address = addr_arg(tok[1].substr(0, slash));
+      iface.prefix_len = with_len.length();
+    } else if (kw == "cost") {
+      require_args(tok, 2);
+      iface.ospf_cost = int_arg(tok[1]);
+    } else if (kw == "shutdown") {
+      iface.enabled = false;
+    } else if (kw == "passive") {
+      iface.ospf_passive = true;
+    } else if (kw == "acl-in") {
+      require_args(tok, 2);
+      iface.acl_in = tok[1];
+    } else if (kw == "acl-out") {
+      require_args(tok, 2);
+      iface.acl_out = tok[1];
+    } else {
+      fail("unknown interface directive '" + kw + "'");
+    }
+  }
+
+  void handle_ospf(const std::vector<std::string>& tok) {
+    const std::string& kw = tok[0];
+    if (kw == "network") {
+      require_args(tok, 2);
+      node().ospf.networks.push_back(prefix_arg(tok[1]));
+    } else if (kw == "redistribute") {
+      require_args(tok, 2);
+      if (tok[1] == "connected") {
+        node().ospf.redistribute_connected = true;
+      } else if (tok[1] == "static") {
+        node().ospf.redistribute_static = true;
+      } else {
+        fail("ospf cannot redistribute '" + tok[1] + "'");
+      }
+    } else {
+      fail("unknown ospf directive '" + kw + "'");
+    }
+  }
+
+  void handle_bgp(const std::vector<std::string>& tok) {
+    BgpConfig& bgp = node().bgp;
+    const std::string& kw = tok[0];
+    if (kw == "neighbor") {
+      // neighbor <ip> remote-as <asn>
+      if (tok.size() != 4 || tok[2] != "remote-as") {
+        fail("expected: neighbor <ip> remote-as <asn>");
+      }
+      bgp.neighbors.push_back(
+          {addr_arg(tok[1]), static_cast<uint32_t>(int_arg(tok[3])), "", ""});
+      context_ = Context::kNeighbor;
+      return;
+    }
+    if (context_ == Context::kNeighbor) {
+      if (kw == "import-map") {
+        require_args(tok, 2);
+        bgp.neighbors.back().import_map = tok[1];
+        return;
+      }
+      if (kw == "export-map") {
+        require_args(tok, 2);
+        bgp.neighbors.back().export_map = tok[1];
+        return;
+      }
+    }
+    if (kw == "router-id") {
+      require_args(tok, 2);
+      bgp.router_id = addr_arg(tok[1]);
+    } else if (kw == "network") {
+      require_args(tok, 2);
+      bgp.networks.push_back(prefix_arg(tok[1]));
+    } else if (kw == "redistribute") {
+      require_args(tok, 2);
+      if (tok[1] == "connected") {
+        bgp.redistribute_connected = true;
+      } else if (tok[1] == "static") {
+        bgp.redistribute_static = true;
+      } else if (tok[1] == "ospf") {
+        bgp.redistribute_ospf = true;
+      } else {
+        fail("bgp cannot redistribute '" + tok[1] + "'");
+      }
+    } else {
+      fail("unknown bgp directive '" + kw + "'");
+    }
+    context_ = Context::kBgp;
+  }
+
+  void handle_acl(const std::vector<std::string>& tok) {
+    // (permit|deny) src <prefix> dst <prefix> [proto <n>] [port <lo> <hi>]
+    FilterAction action;
+    if (tok[0] == "permit") {
+      action = FilterAction::kPermit;
+    } else if (tok[0] == "deny") {
+      action = FilterAction::kDeny;
+    } else {
+      fail("acl rules start with permit/deny");
+    }
+    AclRule rule;
+    rule.action = action;
+    size_t i = 1;
+    while (i < tok.size()) {
+      if (tok[i] == "src" && i + 1 < tok.size()) {
+        rule.src = prefix_arg(tok[i + 1]);
+        i += 2;
+      } else if (tok[i] == "dst" && i + 1 < tok.size()) {
+        rule.dst = prefix_arg(tok[i + 1]);
+        i += 2;
+      } else if (tok[i] == "proto" && i + 1 < tok.size()) {
+        rule.proto = int_arg(tok[i + 1]);
+        i += 2;
+      } else if (tok[i] == "port" && i + 2 < tok.size()) {
+        rule.dst_port_lo = int_arg(tok[i + 1]);
+        rule.dst_port_hi = int_arg(tok[i + 2]);
+        i += 3;
+      } else {
+        fail("bad acl rule token '" + tok[i] + "'");
+      }
+    }
+    node().acls.back().rules.push_back(rule);
+  }
+
+  void handle_prefix_list(const std::vector<std::string>& tok) {
+    // (permit|deny) <prefix> [ge <n>] [le <n>]
+    FilterAction action;
+    if (tok[0] == "permit") {
+      action = FilterAction::kPermit;
+    } else if (tok[0] == "deny") {
+      action = FilterAction::kDeny;
+    } else {
+      fail("prefix-list entries start with permit/deny");
+    }
+    if (tok.size() < 2) fail("prefix-list entry needs a prefix");
+    PrefixListEntry entry;
+    entry.action = action;
+    entry.prefix = prefix_arg(tok[1]);
+    size_t i = 2;
+    while (i < tok.size()) {
+      if (tok[i] == "ge" && i + 1 < tok.size()) {
+        entry.ge = int_arg(tok[i + 1]);
+        i += 2;
+      } else if (tok[i] == "le" && i + 1 < tok.size()) {
+        entry.le = int_arg(tok[i + 1]);
+        i += 2;
+      } else {
+        fail("bad prefix-list token '" + tok[i] + "'");
+      }
+    }
+    node().prefix_lists.back().entries.push_back(entry);
+  }
+
+  void handle_route_map(const std::vector<std::string>& tok) {
+    const std::string& kw = tok[0];
+    RouteMapConfig& map = node().route_maps.back();
+    if (kw == "clause") {
+      // clause <seq> (permit|deny)
+      require_args(tok, 3);
+      RouteMapClause clause;
+      clause.seq = int_arg(tok[1]);
+      if (tok[2] == "permit") {
+        clause.action = FilterAction::kPermit;
+      } else if (tok[2] == "deny") {
+        clause.action = FilterAction::kDeny;
+      } else {
+        fail("clause action must be permit or deny");
+      }
+      map.clauses.push_back(clause);
+      context_ = Context::kClause;
+      return;
+    }
+    if (context_ != Context::kClause || map.clauses.empty()) {
+      fail("'" + kw + "' must appear inside a route-map clause");
+    }
+    RouteMapClause& clause = map.clauses.back();
+    if (kw == "match") {
+      if (tok.size() == 3 && tok[1] == "prefix-list") {
+        clause.match_prefix_list = tok[2];
+      } else if (tok.size() == 3 && tok[1] == "community") {
+        clause.match_community = static_cast<uint32_t>(int_arg(tok[2]));
+      } else {
+        fail("expected: match prefix-list <name> | match community <n>");
+      }
+    } else if (kw == "set") {
+      if (tok.size() == 3 && tok[1] == "local-pref") {
+        clause.set_local_pref = int_arg(tok[2]);
+      } else if (tok.size() == 3 && tok[1] == "med") {
+        clause.set_med = int_arg(tok[2]);
+      } else if (tok.size() >= 3 && tok[1] == "community") {
+        clause.set_communities.clear();
+        for (size_t i = 2; i < tok.size(); ++i) {
+          clause.set_communities.push_back(
+              static_cast<uint32_t>(int_arg(tok[i])));
+        }
+      } else {
+        fail("expected: set local-pref <n> | set med <n> | set community ...");
+      }
+    } else if (kw == "prepend") {
+      require_args(tok, 2);
+      clause.prepend_count = int_arg(tok[1]);
+    } else {
+      fail("unknown route-map directive '" + kw + "'");
+    }
+  }
+
+  const std::string& text_;
+  int line_ = 0;
+  std::vector<NodeConfig> nodes_;
+  Context context_ = Context::kTop;
+};
+
+}  // namespace
+
+std::vector<NodeConfig> parse_configs(const std::string& text) {
+  return ConfigParser(text).parse();
+}
+
+}  // namespace dna::config

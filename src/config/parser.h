@@ -1,0 +1,40 @@
+// Text format for node configurations.
+//
+//   node r1
+//     interface eth0
+//       address 10.0.1.1/24
+//       cost 5
+//     static 0.0.0.0/0 via 10.0.1.2
+//     ospf
+//       network 10.0.0.0/16
+//     bgp 65001
+//       network 172.16.1.0/24
+//       neighbor 10.0.1.2 remote-as 65002
+//         import-map IMP
+//     acl BLOCK
+//       deny src 10.9.0.0/16 dst 0.0.0.0/0
+//       permit src 0.0.0.0/0 dst 0.0.0.0/0
+//     prefix-list PL
+//       permit 172.16.0.0/16 le 24
+//     route-map IMP
+//       clause 10 permit
+//         match prefix-list PL
+//         set local-pref 200
+//
+// Indentation is ignored; nesting is inferred from keywords. `#` and `//`
+// start comments. One text may define many nodes. printer.h emits the
+// canonical form; parse(print(configs)) == configs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/model.h"
+
+namespace dna::config {
+
+/// Parses one or more node configurations.
+/// Throws dna::ParseError with a line number on malformed input.
+std::vector<NodeConfig> parse_configs(const std::string& text);
+
+}  // namespace dna::config

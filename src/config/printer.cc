@@ -1,0 +1,131 @@
+#include "config/printer.h"
+
+#include <sstream>
+
+namespace dna::config {
+
+namespace {
+
+const char* action_text(FilterAction action) {
+  return action == FilterAction::kPermit ? "permit" : "deny";
+}
+
+void print_interface(std::ostringstream& out, const InterfaceConfig& iface) {
+  out << "  interface " << iface.name << "\n";
+  out << "    address " << iface.address.str() << "/"
+      << static_cast<int>(iface.prefix_len) << "\n";
+  if (iface.ospf_cost != 10) out << "    cost " << iface.ospf_cost << "\n";
+  if (!iface.enabled) out << "    shutdown\n";
+  if (iface.ospf_passive) out << "    passive\n";
+  if (!iface.acl_in.empty()) out << "    acl-in " << iface.acl_in << "\n";
+  if (!iface.acl_out.empty()) out << "    acl-out " << iface.acl_out << "\n";
+}
+
+void print_ospf(std::ostringstream& out, const OspfConfig& ospf) {
+  if (!ospf.enabled) return;
+  out << "  ospf\n";
+  for (const auto& network : ospf.networks) {
+    out << "    network " << network.str() << "\n";
+  }
+  if (ospf.redistribute_connected) out << "    redistribute connected\n";
+  if (ospf.redistribute_static) out << "    redistribute static\n";
+}
+
+void print_bgp(std::ostringstream& out, const BgpConfig& bgp) {
+  if (!bgp.enabled) return;
+  out << "  bgp " << bgp.as_number << "\n";
+  if (bgp.router_id != Ipv4Addr()) {
+    out << "    router-id " << bgp.router_id.str() << "\n";
+  }
+  for (const auto& network : bgp.networks) {
+    out << "    network " << network.str() << "\n";
+  }
+  if (bgp.redistribute_connected) out << "    redistribute connected\n";
+  if (bgp.redistribute_static) out << "    redistribute static\n";
+  if (bgp.redistribute_ospf) out << "    redistribute ospf\n";
+  for (const auto& neighbor : bgp.neighbors) {
+    out << "    neighbor " << neighbor.peer_ip.str() << " remote-as "
+        << neighbor.remote_as << "\n";
+    if (!neighbor.import_map.empty()) {
+      out << "      import-map " << neighbor.import_map << "\n";
+    }
+    if (!neighbor.export_map.empty()) {
+      out << "      export-map " << neighbor.export_map << "\n";
+    }
+  }
+}
+
+void print_acl(std::ostringstream& out, const AclConfig& acl) {
+  out << "  acl " << acl.name << "\n";
+  for (const AclRule& rule : acl.rules) {
+    out << "    " << action_text(rule.action) << " src " << rule.src.str()
+        << " dst " << rule.dst.str();
+    if (rule.proto >= 0) out << " proto " << rule.proto;
+    if (rule.dst_port_lo >= 0) {
+      out << " port " << rule.dst_port_lo << " " << rule.dst_port_hi;
+    }
+    out << "\n";
+  }
+}
+
+void print_prefix_list(std::ostringstream& out, const PrefixListConfig& list) {
+  out << "  prefix-list " << list.name << "\n";
+  for (const PrefixListEntry& entry : list.entries) {
+    out << "    " << action_text(entry.action) << " " << entry.prefix.str();
+    if (entry.ge >= 0) out << " ge " << entry.ge;
+    if (entry.le >= 0) out << " le " << entry.le;
+    out << "\n";
+  }
+}
+
+void print_route_map(std::ostringstream& out, const RouteMapConfig& map) {
+  out << "  route-map " << map.name << "\n";
+  for (const RouteMapClause& clause : map.clauses) {
+    out << "    clause " << clause.seq << " " << action_text(clause.action)
+        << "\n";
+    if (!clause.match_prefix_list.empty()) {
+      out << "      match prefix-list " << clause.match_prefix_list << "\n";
+    }
+    if (clause.match_community) {
+      out << "      match community " << *clause.match_community << "\n";
+    }
+    if (clause.set_local_pref) {
+      out << "      set local-pref " << *clause.set_local_pref << "\n";
+    }
+    if (clause.set_med) out << "      set med " << *clause.set_med << "\n";
+    if (!clause.set_communities.empty()) {
+      out << "      set community";
+      for (uint32_t c : clause.set_communities) out << " " << c;
+      out << "\n";
+    }
+    if (clause.prepend_count > 0) {
+      out << "      prepend " << clause.prepend_count << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string print_config(const NodeConfig& node) {
+  std::ostringstream out;
+  out << "node " << node.name << "\n";
+  for (const auto& iface : node.interfaces) print_interface(out, iface);
+  for (const auto& route : node.static_routes) {
+    out << "  static " << route.prefix.str() << " via " << route.next_hop.str()
+        << "\n";
+  }
+  print_ospf(out, node.ospf);
+  print_bgp(out, node.bgp);
+  for (const auto& acl : node.acls) print_acl(out, acl);
+  for (const auto& list : node.prefix_lists) print_prefix_list(out, list);
+  for (const auto& map : node.route_maps) print_route_map(out, map);
+  return out.str();
+}
+
+std::string print_configs(const std::vector<NodeConfig>& nodes) {
+  std::string out;
+  for (const auto& node : nodes) out += print_config(node);
+  return out;
+}
+
+}  // namespace dna::config

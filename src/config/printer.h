@@ -1,0 +1,15 @@
+// Canonical text output for node configurations.
+// parse_configs(print_configs(x)) reproduces x exactly (round-trip tested).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/model.h"
+
+namespace dna::config {
+
+std::string print_config(const NodeConfig& node);
+std::string print_configs(const std::vector<NodeConfig>& nodes);
+
+}  // namespace dna::config

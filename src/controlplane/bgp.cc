@@ -1,0 +1,405 @@
+#include "controlplane/bgp.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::cp {
+
+namespace {
+
+/// Strict total order on candidates; true if `a` is preferred over `b`.
+bool better(const BgpSim::Best& a, const BgpSim::Best& b) {
+  if (a.local != b.local) return a.local;
+  if (a.route.local_pref != b.route.local_pref) {
+    return a.route.local_pref > b.route.local_pref;
+  }
+  if (a.route.as_path.size() != b.route.as_path.size()) {
+    return a.route.as_path.size() < b.route.as_path.size();
+  }
+  if (a.route.med != b.route.med) return a.route.med < b.route.med;
+  if (a.ebgp != b.ebgp) return a.ebgp;
+  if (a.route.origin_router_id != b.route.origin_router_id) {
+    return a.route.origin_router_id < b.route.origin_router_id;
+  }
+  if (a.via_ip != b.via_ip) return a.via_ip < b.via_ip;
+  return a.link < b.link;
+}
+
+const config::BgpNeighborConfig* find_neighbor(const config::NodeConfig& cfg,
+                                               Ipv4Addr peer_ip) {
+  for (const auto& neighbor : cfg.bgp.neighbors) {
+    if (neighbor.peer_ip == peer_ip) return &neighbor;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Ipv4Addr effective_router_id(const config::NodeConfig& cfg) {
+  if (cfg.bgp.router_id != Ipv4Addr()) return cfg.bgp.router_id;
+  Ipv4Addr best;
+  for (const auto& iface : cfg.interfaces) {
+    best = std::max(best, iface.address);
+  }
+  return best;
+}
+
+std::vector<BgpSim::Session> BgpSim::derive_sessions(
+    const topo::Snapshot& snapshot) const {
+  std::vector<Session> sessions;
+  const topo::Topology& topology = snapshot.topology;
+  for (uint32_t li = 0; li < topology.num_links(); ++li) {
+    const topo::Link& link = topology.link(li);
+    if (!link.up) continue;
+    const auto& cfg_a = snapshot.configs[link.a];
+    const auto& cfg_b = snapshot.configs[link.b];
+    if (!cfg_a.bgp.enabled || !cfg_b.bgp.enabled) continue;
+    const auto* ia = cfg_a.find_interface(link.a_if);
+    const auto* ib = cfg_b.find_interface(link.b_if);
+    if (!ia || !ib || !ia->enabled || !ib->enabled) continue;
+    const auto* na = find_neighbor(cfg_a, ib->address);
+    const auto* nb = find_neighbor(cfg_b, ia->address);
+    if (!na || !nb) continue;
+    if (na->remote_as != cfg_b.bgp.as_number ||
+        nb->remote_as != cfg_a.bgp.as_number) {
+      continue;
+    }
+    sessions.push_back({link.a, link.b, li, ia->address, ib->address,
+                        cfg_a.bgp.as_number, cfg_b.bgp.as_number});
+  }
+  std::sort(sessions.begin(), sessions.end());
+  return sessions;
+}
+
+std::map<Ipv4Prefix, BgpRoute> BgpSim::derive_originations(
+    const topo::Snapshot& snapshot, topo::NodeId node) const {
+  std::map<Ipv4Prefix, BgpRoute> out;
+  const config::NodeConfig& cfg = snapshot.configs[node];
+  if (!cfg.bgp.enabled) return out;
+  const Ipv4Addr router_id = effective_router_id(cfg);
+
+  auto originate = [&](const Ipv4Prefix& prefix) {
+    BgpRoute route;
+    route.prefix = prefix;
+    route.origin_router_id = router_id;
+    out.try_emplace(prefix, std::move(route));
+  };
+
+  for (const Ipv4Prefix& prefix : cfg.bgp.networks) originate(prefix);
+  if (cfg.bgp.redistribute_connected) {
+    for (const auto& iface : cfg.interfaces) {
+      if (iface.enabled) originate(iface.subnet());
+    }
+  }
+  if (cfg.bgp.redistribute_static) {
+    for (const auto& route : cfg.static_routes) originate(route.prefix);
+  }
+  if (cfg.bgp.redistribute_ospf && ospf_) {
+    for (const auto& [prefix, route] : ospf_->routes(node)) {
+      (void)route;
+      originate(prefix);
+    }
+  }
+  return out;
+}
+
+void BgpSim::build(const topo::Snapshot& snapshot) {
+  const size_t n = snapshot.topology.num_nodes();
+  sessions_ = derive_sessions(snapshot);
+  by_node_.assign(n, {});
+  for (const Session& session : sessions_) {
+    by_node_[session.a].push_back(&session);
+    by_node_[session.b].push_back(&session);
+  }
+  rib_in_.clear();
+  sent_.clear();
+  best_.assign(n, {});
+  originations_.assign(n, {});
+  work_items_ = 0;
+
+  Worklist work;
+  for (topo::NodeId node = 0; node < n; ++node) {
+    originations_[node] = derive_originations(snapshot, node);
+    for (const auto& [prefix, route] : originations_[node]) {
+      (void)route;
+      work.insert({node, prefix});
+    }
+  }
+  std::set<topo::NodeId> dirty;
+  converge(snapshot, work, dirty);
+}
+
+const BgpSim::Session* BgpSim::find_session(topo::NodeId node,
+                                            topo::NodeId peer,
+                                            uint32_t link) const {
+  for (const Session* session : by_node_[node]) {
+    if (session->link == link &&
+        (session->a == peer || session->b == peer)) {
+      return session;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<BgpRoute> BgpSim::advertisement(const topo::Snapshot& snapshot,
+                                              const Session& session,
+                                              bool a_to_b,
+                                              const Ipv4Prefix& prefix) const {
+  const topo::NodeId sender = a_to_b ? session.a : session.b;
+  const Ipv4Addr peer_ip = a_to_b ? session.b_ip : session.a_ip;
+  const uint32_t own_as = a_to_b ? session.a_as : session.b_as;
+
+  auto it = best_[sender].find(prefix);
+  if (it == best_[sender].end()) return std::nullopt;
+  const Best& best = it->second;
+  // No route reflection: iBGP-learned routes stay within the AS edge.
+  if (!session.ebgp() && !best.local && !best.ebgp) return std::nullopt;
+
+  const config::NodeConfig& cfg = snapshot.configs[sender];
+  const config::BgpNeighborConfig* neighbor = find_neighbor(cfg, peer_ip);
+  if (!neighbor) return std::nullopt;
+
+  std::optional<BgpRoute> route =
+      apply_route_map(cfg, neighbor->export_map, best.route, own_as);
+  if (!route) return std::nullopt;
+  if (session.ebgp()) {
+    route->as_path.insert(route->as_path.begin(), own_as);
+    route->local_pref = 100;  // local-pref does not cross AS boundaries
+  }
+  return route;
+}
+
+bool BgpSim::process(const topo::Snapshot& snapshot, topo::NodeId node,
+                     const Ipv4Prefix& prefix, Worklist& work) {
+  ++work_items_;
+  // ---- Decision: collect candidates -------------------------------------
+  std::optional<Best> winner;
+  auto consider = [&](const Best& candidate) {
+    if (!winner || better(candidate, *winner)) winner = candidate;
+  };
+
+  auto oit = originations_[node].find(prefix);
+  if (oit != originations_[node].end()) {
+    Best local;
+    local.route = oit->second;
+    local.local = true;
+    consider(local);
+  }
+
+  const config::NodeConfig& cfg = snapshot.configs[node];
+  for (const Session* session : by_node_[node]) {
+    const bool node_is_a = session->a == node;
+    const topo::NodeId peer = node_is_a ? session->b : session->a;
+    const Ipv4Addr peer_ip = node_is_a ? session->b_ip : session->a_ip;
+    const uint32_t own_as = node_is_a ? session->a_as : session->b_as;
+    auto rit = rib_in_.find({node, peer, session->link});
+    if (rit == rib_in_.end()) continue;
+    auto pit = rit->second.find(prefix);
+    if (pit == rit->second.end()) continue;
+    const BgpRoute& raw = pit->second;
+    if (raw.as_path_contains(own_as)) continue;  // AS loop
+    const config::BgpNeighborConfig* neighbor = find_neighbor(cfg, peer_ip);
+    if (!neighbor) continue;
+    std::optional<BgpRoute> imported =
+        apply_route_map(cfg, neighbor->import_map, raw, own_as);
+    if (!imported) continue;
+    Best candidate;
+    candidate.route = std::move(*imported);
+    candidate.local = false;
+    candidate.ebgp = session->ebgp();
+    candidate.via = peer;
+    candidate.link = session->link;
+    candidate.via_ip = peer_ip;
+    consider(candidate);
+  }
+
+  // ---- Loc-RIB update -----------------------------------------------------
+  auto bit = best_[node].find(prefix);
+  const bool had = bit != best_[node].end();
+  if (had && winner && bit->second == *winner) return false;
+  if (!had && !winner) return false;
+  if (winner) {
+    best_[node][prefix] = *winner;
+  } else {
+    best_[node].erase(bit);
+  }
+
+  // ---- Advertise the change on every session ------------------------------
+  for (const Session* session : by_node_[node]) {
+    const bool a_to_b = session->a == node;
+    const topo::NodeId peer = a_to_b ? session->b : session->a;
+    std::optional<BgpRoute> adv =
+        advertisement(snapshot, *session, a_to_b, prefix);
+    auto& sent = sent_[{node, peer, session->link}];
+    auto& peer_rib = rib_in_[{peer, node, session->link}];
+    auto sit = sent.find(prefix);
+    const bool was_sent = sit != sent.end();
+    if (adv) {
+      if (was_sent && sit->second == *adv) continue;
+      sent[prefix] = *adv;
+      peer_rib[prefix] = *adv;
+    } else {
+      if (!was_sent) continue;
+      sent.erase(sit);
+      peer_rib.erase(prefix);
+    }
+    work.insert({peer, prefix});
+  }
+  return true;
+}
+
+void BgpSim::resend_all(const topo::Snapshot& snapshot,
+                        const Session& session, bool a_to_b, Worklist& work) {
+  const topo::NodeId sender = a_to_b ? session.a : session.b;
+  const topo::NodeId peer = a_to_b ? session.b : session.a;
+  auto& sent = sent_[{sender, peer, session.link}];
+  auto& peer_rib = rib_in_[{peer, sender, session.link}];
+
+  // Prefixes to (re)advertise: everything in Loc-RIB plus everything
+  // previously sent (for withdrawals).
+  std::set<Ipv4Prefix> prefixes;
+  for (const auto& [prefix, best] : best_[sender]) {
+    (void)best;
+    prefixes.insert(prefix);
+  }
+  for (const auto& [prefix, route] : sent) {
+    (void)route;
+    prefixes.insert(prefix);
+  }
+  for (const Ipv4Prefix& prefix : prefixes) {
+    std::optional<BgpRoute> adv =
+        advertisement(snapshot, session, a_to_b, prefix);
+    auto sit = sent.find(prefix);
+    const bool was_sent = sit != sent.end();
+    if (adv) {
+      if (was_sent && sit->second == *adv) continue;
+      sent[prefix] = *adv;
+      peer_rib[prefix] = *adv;
+    } else {
+      if (!was_sent) continue;
+      sent.erase(sit);
+      peer_rib.erase(prefix);
+    }
+    work.insert({peer, prefix});
+  }
+}
+
+void BgpSim::converge(const topo::Snapshot& snapshot, Worklist& work,
+                      std::set<topo::NodeId>& dirty) {
+  size_t guard = 0;
+  const size_t limit =
+      1000 + 200 * snapshot.topology.num_nodes() *
+                 std::max<size_t>(1, sessions_.size());
+  while (!work.empty()) {
+    DNA_CHECK_MSG(++guard < limit * 100, "BGP failed to converge");
+    auto [node, prefix] = *work.begin();
+    work.erase(work.begin());
+    if (process(snapshot, node, prefix, work)) dirty.insert(node);
+  }
+}
+
+std::set<topo::NodeId> BgpSim::update(
+    const topo::Snapshot& snapshot,
+    const std::vector<config::ConfigChange>& changes,
+    const std::set<topo::NodeId>& ospf_dirty) {
+  const size_t n = snapshot.topology.num_nodes();
+  DNA_CHECK_MSG(best_.size() == n, "node count changed; rebuild required");
+  work_items_ = 0;
+  Worklist work;
+  std::set<topo::NodeId> dirty;
+
+  // ---- Session diff --------------------------------------------------------
+  std::vector<Session> next_sessions = derive_sessions(snapshot);
+  std::vector<Session> removed, added;
+  std::set_difference(sessions_.begin(), sessions_.end(),
+                      next_sessions.begin(), next_sessions.end(),
+                      std::back_inserter(removed));
+  std::set_difference(next_sessions.begin(), next_sessions.end(),
+                      sessions_.begin(), sessions_.end(),
+                      std::back_inserter(added));
+  sessions_ = std::move(next_sessions);
+  by_node_.assign(n, {});
+  for (const Session& session : sessions_) {
+    by_node_[session.a].push_back(&session);
+    by_node_[session.b].push_back(&session);
+  }
+
+  for (const Session& session : removed) {
+    for (bool a_to_b : {true, false}) {
+      const topo::NodeId sender = a_to_b ? session.a : session.b;
+      const topo::NodeId peer = a_to_b ? session.b : session.a;
+      sent_.erase({sender, peer, session.link});
+      auto rit = rib_in_.find({peer, sender, session.link});
+      if (rit != rib_in_.end()) {
+        for (const auto& [prefix, route] : rit->second) {
+          (void)route;
+          work.insert({peer, prefix});
+        }
+        rib_in_.erase(rit);
+      }
+    }
+  }
+  // New sessions: advertise both directions from current Loc-RIBs.
+  for (const Session& session : added) {
+    const Session* stored = find_session(session.a, session.b, session.link);
+    DNA_CHECK(stored != nullptr);
+    resend_all(snapshot, *stored, /*a_to_b=*/true, work);
+    resend_all(snapshot, *stored, /*a_to_b=*/false, work);
+  }
+
+  // ---- Origination diff ----------------------------------------------------
+  // Nodes whose originations may change: any config change, plus OSPF
+  // redistribution inputs.
+  std::set<topo::NodeId> orig_candidates;
+  for (const auto& change : changes) {
+    if (snapshot.topology.has_node(change.node)) {
+      orig_candidates.insert(snapshot.topology.node_id(change.node));
+    }
+  }
+  for (topo::NodeId node : ospf_dirty) orig_candidates.insert(node);
+  for (topo::NodeId node : orig_candidates) {
+    std::map<Ipv4Prefix, BgpRoute> next_orig =
+        derive_originations(snapshot, node);
+    for (const auto& [prefix, route] : originations_[node]) {
+      auto it = next_orig.find(prefix);
+      if (it == next_orig.end() || !(it->second == route)) {
+        work.insert({node, prefix});
+      }
+    }
+    for (const auto& [prefix, route] : next_orig) {
+      (void)route;
+      if (!originations_[node].count(prefix)) work.insert({node, prefix});
+    }
+    originations_[node] = std::move(next_orig);
+  }
+
+  // ---- Policy edits: force re-import and re-export ------------------------
+  for (const auto& change : changes) {
+    const bool policy_edit =
+        change.kind == config::ChangeKind::kRouteMapChanged ||
+        change.kind == config::ChangeKind::kPrefixListChanged ||
+        change.kind == config::ChangeKind::kBgpNeighborModified;
+    if (!policy_edit || !snapshot.topology.has_node(change.node)) continue;
+    const topo::NodeId node = snapshot.topology.node_id(change.node);
+    for (const Session* session : by_node_[node]) {
+      const bool node_is_a = session->a == node;
+      const topo::NodeId peer = node_is_a ? session->b : session->a;
+      // Re-import: re-evaluate everything the peer has sent us.
+      auto rit = rib_in_.find({node, peer, session->link});
+      if (rit != rib_in_.end()) {
+        for (const auto& [prefix, route] : rit->second) {
+          (void)route;
+          work.insert({node, prefix});
+        }
+      }
+      // Re-export: our advertisements may be filtered differently now.
+      resend_all(snapshot, *session, node_is_a, work);
+    }
+  }
+
+  converge(snapshot, work, dirty);
+  return dirty;
+}
+
+}  // namespace dna::cp

@@ -1,0 +1,53 @@
+// Dynamic single-source shortest paths (incremental SPF).
+//
+// Maintains one source's distance vector across single-arc weight events
+// using a delete–repair scheme (the shortest-path analogue of DRed):
+//
+//  * weight decrease / arc insert: standard Dijkstra relaxation from the
+//    arc head — only improved nodes are touched;
+//  * weight increase / arc removal: if the arc was tight, collect the
+//    "orphaned" region whose every shortest path used it (processed in
+//    increasing-distance order so supports are final when checked), then
+//    repair the region with a boundary-seeded Dijkstra.
+//
+// All weights must be >= 1. The owning model mutates the shared graph first
+// and then calls arc_updated() on every per-source instance.
+//
+// Experiment F5 compares this against re-running full Dijkstra per event.
+#pragma once
+
+#include <vector>
+
+#include "controlplane/spf.h"
+
+namespace dna::cp {
+
+class DynamicSssp {
+ public:
+  /// Computes the initial distances. The graph must outlive this object.
+  DynamicSssp(const WeightedDigraph* graph, topo::NodeId source);
+
+  /// Re-runs full Dijkstra (used after wholesale graph replacement).
+  void recompute();
+
+  /// Notifies that the weight of one arc (from -> to) changed from `old_w`
+  /// to `new_w` (kInfDist encodes absent). The graph must already reflect
+  /// the new state. Returns the nodes whose distance changed, in no
+  /// particular order.
+  std::vector<topo::NodeId> arc_updated(topo::NodeId from, topo::NodeId to,
+                                        int old_w, int new_w);
+
+  const std::vector<int>& dist() const { return dist_; }
+  int dist_to(topo::NodeId node) const { return dist_[node]; }
+
+ private:
+  std::vector<topo::NodeId> on_decrease(topo::NodeId to);
+  std::vector<topo::NodeId> on_increase(topo::NodeId from, topo::NodeId to,
+                                        int old_w);
+
+  const WeightedDigraph* graph_;
+  topo::NodeId source_;
+  std::vector<int> dist_;
+};
+
+}  // namespace dna::cp

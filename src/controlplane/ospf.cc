@@ -1,0 +1,272 @@
+#include "controlplane/ospf.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::cp {
+
+namespace {
+
+constexpr int kRedistributeCost = 20;
+
+bool runs_ospf(const config::NodeConfig& cfg,
+               const config::InterfaceConfig& iface) {
+  if (!cfg.ospf.enabled || !iface.enabled) return false;
+  for (const Ipv4Prefix& range : cfg.ospf.networks) {
+    if (range.contains(iface.subnet())) return true;
+  }
+  return false;
+}
+
+int clamp_cost(int cost) { return cost < 1 ? 1 : cost; }
+
+}  // namespace
+
+OspfModel::Inputs OspfModel::derive_inputs(const topo::Snapshot& snapshot) {
+  Inputs in;
+  const topo::Topology& topology = snapshot.topology;
+  in.graph.resize(topology.num_nodes());
+
+  for (uint32_t li = 0; li < topology.num_links(); ++li) {
+    const topo::Link& link = topology.link(li);
+    if (!link.up) continue;
+    const auto& cfg_a = snapshot.configs[link.a];
+    const auto& cfg_b = snapshot.configs[link.b];
+    const auto* ia = cfg_a.find_interface(link.a_if);
+    const auto* ib = cfg_b.find_interface(link.b_if);
+    if (!ia || !ib) continue;
+    if (!runs_ospf(cfg_a, *ia) || !runs_ospf(cfg_b, *ib)) continue;
+    if (ia->ospf_passive || ib->ospf_passive) continue;
+    in.graph.add_arc(link.a, link.b, clamp_cost(ia->ospf_cost), li);
+    in.graph.add_arc(link.b, link.a, clamp_cost(ib->ospf_cost), li);
+  }
+
+  // Advertisers: (node, cost) per prefix, min cost per node, sorted by node.
+  std::map<Ipv4Prefix, std::map<topo::NodeId, int>> adv;
+  for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    const auto& cfg = snapshot.configs[node];
+    for (const auto& iface : cfg.interfaces) {
+      int cost = -1;
+      if (runs_ospf(cfg, iface)) {
+        cost = clamp_cost(iface.ospf_cost);
+      } else if (cfg.ospf.enabled && cfg.ospf.redistribute_connected &&
+                 iface.enabled) {
+        cost = kRedistributeCost;
+      }
+      if (cost < 0) continue;
+      auto [it, inserted] = adv[iface.subnet()].try_emplace(node, cost);
+      if (!inserted) it->second = std::min(it->second, cost);
+    }
+    if (cfg.ospf.enabled && cfg.ospf.redistribute_static) {
+      for (const auto& route : cfg.static_routes) {
+        auto [it, inserted] =
+            adv[route.prefix].try_emplace(node, kRedistributeCost);
+        if (!inserted) it->second = std::min(it->second, kRedistributeCost);
+      }
+    }
+  }
+  for (auto& [prefix, by_node] : adv) {
+    in.advertisers[prefix].assign(by_node.begin(), by_node.end());
+  }
+  return in;
+}
+
+void OspfModel::build(const topo::Snapshot& snapshot) {
+  in_ = derive_inputs(snapshot);
+  const size_t n = in_.graph.num_nodes();
+  sssp_.clear();
+  sssp_.reserve(n);
+  for (topo::NodeId src = 0; src < n; ++src) {
+    sssp_.push_back(
+        std::make_unique<DynamicSssp>(&in_.graph, src));
+  }
+  routes_.assign(n, {});
+  for (topo::NodeId src = 0; src < n; ++src) {
+    for (const auto& [prefix, advertisers] : in_.advertisers) {
+      (void)advertisers;
+      compute_route(src, prefix);
+    }
+  }
+}
+
+bool OspfModel::compute_route(topo::NodeId src, const Ipv4Prefix& prefix) {
+  auto& table = routes_[src];
+  auto existing = table.find(prefix);
+
+  const auto adv_it = in_.advertisers.find(prefix);
+  OspfRoute next;
+  bool have_route = false;
+  if (adv_it != in_.advertisers.end()) {
+    const auto& dist_src = sssp_[src]->dist();
+    bool self_advertises = false;
+    int best = kInfDist;
+    for (const auto& [node, cost] : adv_it->second) {
+      if (node == src) {
+        self_advertises = true;
+        break;
+      }
+      if (dist_src[node] >= kInfDist) continue;
+      best = std::min(best, dist_src[node] + cost);
+    }
+    if (!self_advertises && best < kInfDist) {
+      next.metric = best;
+      // First hops: arcs (src -> m) that start a shortest path to any
+      // minimizing advertiser.
+      for (const auto& [node, cost] : adv_it->second) {
+        if (dist_src[node] >= kInfDist ||
+            dist_src[node] + cost != best) {
+          continue;
+        }
+        for (const Arc& arc : in_.graph.out[src]) {
+          const auto& dist_mid = sssp_[arc.to]->dist();
+          if (dist_mid[node] < kInfDist &&
+              arc.weight + dist_mid[node] == dist_src[node]) {
+            next.hops.push_back({arc.to, arc.link});
+          }
+        }
+      }
+      std::sort(next.hops.begin(), next.hops.end());
+      next.hops.erase(std::unique(next.hops.begin(), next.hops.end()),
+                      next.hops.end());
+      have_route = !next.hops.empty();
+    }
+  }
+
+  if (!have_route) {
+    if (existing == table.end()) return false;
+    table.erase(existing);
+    return true;
+  }
+  if (existing != table.end() && existing->second == next) return false;
+  table[prefix] = std::move(next);
+  return true;
+}
+
+std::set<topo::NodeId> OspfModel::update(const topo::Snapshot& snapshot) {
+  Inputs next = derive_inputs(snapshot);
+  DNA_CHECK_MSG(next.graph.num_nodes() == in_.graph.num_nodes(),
+                "node count changed; rebuild required");
+  const size_t n = in_.graph.num_nodes();
+
+  // ---- Arc diff: key (from, to, link) -> weight -------------------------
+  struct ArcEvent {
+    topo::NodeId from, to;
+    uint32_t link;
+    int old_w, new_w;
+  };
+  std::vector<ArcEvent> events;
+  for (topo::NodeId from = 0; from < n; ++from) {
+    auto weight_of = [](const std::vector<Arc>& arcs, topo::NodeId to,
+                        uint32_t link) {
+      for (const Arc& arc : arcs) {
+        if (arc.to == to && arc.link == link) return arc.weight;
+      }
+      return kInfDist;
+    };
+    for (const Arc& arc : in_.graph.out[from]) {
+      int new_w = weight_of(next.graph.out[from], arc.to, arc.link);
+      if (new_w != arc.weight) {
+        events.push_back({from, arc.to, arc.link, arc.weight, new_w});
+      }
+    }
+    for (const Arc& arc : next.graph.out[from]) {
+      int old_w = weight_of(in_.graph.out[from], arc.to, arc.link);
+      if (old_w >= kInfDist) {
+        events.push_back({from, arc.to, arc.link, kInfDist, arc.weight});
+      }
+    }
+  }
+
+  // ---- Apply events: mutate the shared graph, update every source -------
+  std::vector<std::set<topo::NodeId>> changed_dests(n);
+  std::set<topo::NodeId> incident;  // sources with a changed outgoing arc
+  auto mutate_arc = [&](const ArcEvent& ev) {
+    auto apply = [&](std::vector<Arc>& arcs, topo::NodeId endpoint) {
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        if (arcs[i].to == endpoint && arcs[i].link == ev.link) {
+          if (ev.new_w >= kInfDist) {
+            arcs[i] = arcs.back();
+            arcs.pop_back();
+          } else {
+            arcs[i].weight = ev.new_w;
+          }
+          return;
+        }
+      }
+      DNA_CHECK(ev.old_w >= kInfDist);  // insertion
+      arcs.push_back({endpoint, ev.new_w, ev.link});
+    };
+    apply(in_.graph.out[ev.from], ev.to);
+    // `in` lists store the *source* in Arc::to.
+    apply(in_.graph.in[ev.to], ev.from);
+  };
+
+  for (const ArcEvent& ev : events) {
+    mutate_arc(ev);
+    incident.insert(ev.from);
+    for (topo::NodeId src = 0; src < n; ++src) {
+      for (topo::NodeId t :
+           sssp_[src]->arc_updated(ev.from, ev.to, ev.old_w, ev.new_w)) {
+        changed_dests[src].insert(t);
+      }
+    }
+  }
+
+  // ---- Advertiser diff ----------------------------------------------------
+  std::set<Ipv4Prefix> changed_prefixes;
+  for (const auto& [prefix, advertisers] : in_.advertisers) {
+    auto it = next.advertisers.find(prefix);
+    if (it == next.advertisers.end() || it->second != advertisers) {
+      changed_prefixes.insert(prefix);
+    }
+  }
+  for (const auto& [prefix, advertisers] : next.advertisers) {
+    (void)advertisers;
+    if (!in_.advertisers.count(prefix)) changed_prefixes.insert(prefix);
+  }
+  in_.advertisers = std::move(next.advertisers);
+
+  // ---- Recompute affected routes -----------------------------------------
+  std::set<topo::NodeId> dirty;
+  for (topo::NodeId src = 0; src < n; ++src) {
+    std::set<Ipv4Prefix> affected = changed_prefixes;
+    if (incident.count(src)) {
+      // First hops at src depend on its outgoing arc weights: recompute all.
+      for (const auto& [prefix, advertisers] : in_.advertisers) {
+        (void)advertisers;
+        affected.insert(prefix);
+      }
+      // Also prefixes that currently have a route but lost all advertisers.
+      for (const auto& [prefix, route] : routes_[src]) {
+        (void)route;
+        affected.insert(prefix);
+      }
+    } else {
+      // Destinations whose distance changed from src or from any of src's
+      // out-neighbors feed metric/first-hop computations.
+      std::set<topo::NodeId> moved = changed_dests[src];
+      for (const Arc& arc : in_.graph.out[src]) {
+        moved.insert(changed_dests[arc.to].begin(),
+                     changed_dests[arc.to].end());
+      }
+      if (!moved.empty()) {
+        for (const auto& [prefix, advertisers] : in_.advertisers) {
+          for (const auto& [node, cost] : advertisers) {
+            (void)cost;
+            if (moved.count(node)) {
+              affected.insert(prefix);
+              break;
+            }
+          }
+        }
+      }
+    }
+    for (const Ipv4Prefix& prefix : affected) {
+      if (compute_route(src, prefix)) dirty.insert(src);
+    }
+  }
+  return dirty;
+}
+
+}  // namespace dna::cp

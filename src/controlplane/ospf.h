@@ -1,0 +1,77 @@
+// OSPF model: link-state routing over the snapshot's adjacency graph.
+//
+// Full mode runs Dijkstra per source. Incremental mode re-derives the
+// (cheap) graph + advertiser inputs from the new snapshot, diffs them
+// against the previous inputs, feeds arc-level events to the per-source
+// DynamicSssp instances, and recomputes routes only for (source, prefix)
+// pairs whose distances, first-hop inputs, or advertisers changed.
+//
+// Route-level semantics:
+//  * an interface runs OSPF when its node has OSPF enabled and the
+//    interface subnet is covered by one of the process's `network` ranges;
+//  * adjacencies form over up links whose two endpoint interfaces both run
+//    OSPF, are enabled and are not passive;
+//  * every OSPF-running interface's subnet is advertised at the interface
+//    cost; redistribute connected/static advertise at cost 20;
+//  * the route metric to a prefix is min over advertisers d of
+//    dist(s, d) + advertised cost; ECMP keeps all tight first hops;
+//  * a node that advertises a prefix installs no OSPF route for it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "controlplane/incremental_spf.h"
+#include "controlplane/route.h"
+#include "topo/snapshot.h"
+
+namespace dna::cp {
+
+struct OspfRoute {
+  int metric = 0;
+  std::vector<Hop> hops;  // sorted
+
+  auto operator<=>(const OspfRoute&) const = default;
+};
+
+class OspfModel {
+ public:
+  /// Full computation from scratch.
+  void build(const topo::Snapshot& snapshot);
+
+  /// Incremental move to `snapshot`; returns nodes whose OSPF route table
+  /// changed. Node additions/removals require a rebuild (handled by caller
+  /// falling back to build()).
+  std::set<topo::NodeId> update(const topo::Snapshot& snapshot);
+
+  const std::map<Ipv4Prefix, OspfRoute>& routes(topo::NodeId node) const {
+    return routes_.at(node);
+  }
+
+  /// Distances from `src` (for diagnostics and tests).
+  const std::vector<int>& dist(topo::NodeId src) const {
+    return sssp_.at(src)->dist();
+  }
+
+ private:
+  /// (advertising node -> advertised cost), sorted by node id.
+  using Advertisers = std::map<Ipv4Prefix, std::vector<std::pair<topo::NodeId, int>>>;
+
+  struct Inputs {
+    WeightedDigraph graph;
+    Advertisers advertisers;
+  };
+
+  static Inputs derive_inputs(const topo::Snapshot& snapshot);
+
+  /// Recomputes the route of (src, prefix) in place; returns true if it
+  /// changed.
+  bool compute_route(topo::NodeId src, const Ipv4Prefix& prefix);
+
+  Inputs in_;
+  std::vector<std::unique_ptr<DynamicSssp>> sssp_;  // by source node
+  std::vector<std::map<Ipv4Prefix, OspfRoute>> routes_;  // by source node
+};
+
+}  // namespace dna::cp

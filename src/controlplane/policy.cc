@@ -1,0 +1,67 @@
+#include "controlplane/policy.h"
+
+#include <algorithm>
+
+namespace dna::cp {
+
+bool BgpRoute::has_community(uint32_t community) const {
+  return std::binary_search(communities.begin(), communities.end(),
+                            community);
+}
+
+void BgpRoute::set_communities_sorted(std::vector<uint32_t> communities_in) {
+  std::sort(communities_in.begin(), communities_in.end());
+  communities_in.erase(
+      std::unique(communities_in.begin(), communities_in.end()),
+      communities_in.end());
+  communities = std::move(communities_in);
+}
+
+bool BgpRoute::as_path_contains(uint32_t asn) const {
+  return std::find(as_path.begin(), as_path.end(), asn) != as_path.end();
+}
+
+std::optional<BgpRoute> apply_route_map(const config::NodeConfig& cfg,
+                                        const std::string& map_name,
+                                        const BgpRoute& route,
+                                        uint32_t own_as) {
+  if (map_name.empty()) return route;
+  const config::RouteMapConfig* map = cfg.find_route_map(map_name);
+  if (!map) return std::nullopt;  // dangling reference: deny
+
+  // Clauses ordered by sequence number.
+  std::vector<const config::RouteMapClause*> clauses;
+  clauses.reserve(map->clauses.size());
+  for (const auto& clause : map->clauses) clauses.push_back(&clause);
+  std::sort(clauses.begin(), clauses.end(),
+            [](const auto* a, const auto* b) { return a->seq < b->seq; });
+
+  for (const config::RouteMapClause* clause : clauses) {
+    if (!clause->match_prefix_list.empty()) {
+      const config::PrefixListConfig* list =
+          cfg.find_prefix_list(clause->match_prefix_list);
+      if (!list || !config::prefix_list_permits(*list, route.prefix)) {
+        continue;
+      }
+    }
+    if (clause->match_community &&
+        !route.has_community(*clause->match_community)) {
+      continue;
+    }
+    // Clause matches.
+    if (clause->action == config::FilterAction::kDeny) return std::nullopt;
+    BgpRoute out = route;
+    if (clause->set_local_pref) out.local_pref = *clause->set_local_pref;
+    if (clause->set_med) out.med = *clause->set_med;
+    if (!clause->set_communities.empty()) {
+      out.set_communities_sorted(clause->set_communities);
+    }
+    for (int i = 0; i < clause->prepend_count; ++i) {
+      out.as_path.insert(out.as_path.begin(), own_as);
+    }
+    return out;
+  }
+  return std::nullopt;  // implicit deny
+}
+
+}  // namespace dna::cp

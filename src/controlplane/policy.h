@@ -1,0 +1,40 @@
+// BGP route attributes and route-map / prefix-list policy evaluation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "config/model.h"
+#include "topo/topology.h"
+#include "util/ip.h"
+
+namespace dna::cp {
+
+struct BgpRoute {
+  Ipv4Prefix prefix;
+  std::vector<uint32_t> as_path;       // nearest AS first
+  int local_pref = 100;
+  int med = 0;
+  std::vector<uint32_t> communities;   // kept sorted
+  Ipv4Addr origin_router_id;           // router-id of the originator
+
+  bool operator==(const BgpRoute&) const = default;
+
+  bool has_community(uint32_t community) const;
+  void set_communities_sorted(std::vector<uint32_t> communities_in);
+  bool as_path_contains(uint32_t asn) const;
+};
+
+/// Applies a route map by name. Returns the transformed route, or nullopt
+/// if the route is denied. Semantics:
+///  * empty name: permit, unchanged;
+///  * missing map: deny (matching common vendor behaviour for dangling
+///    references);
+///  * clauses run in sequence order, first matching clause decides;
+///  * no matching clause: implicit deny.
+std::optional<BgpRoute> apply_route_map(const config::NodeConfig& cfg,
+                                        const std::string& map_name,
+                                        const BgpRoute& route,
+                                        uint32_t own_as);
+
+}  // namespace dna::cp

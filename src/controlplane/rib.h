@@ -1,0 +1,29 @@
+// RIB assembly: protocol route candidates merged into a FIB by
+// administrative distance, plus the connected/static candidate derivations.
+#pragma once
+
+#include <map>
+
+#include "controlplane/route.h"
+#include "topo/snapshot.h"
+
+namespace dna::cp {
+
+/// Candidate routes per prefix, to be merged by admin distance.
+using RibCandidates = std::map<Ipv4Prefix, std::vector<FibEntry>>;
+
+/// Adds connected-subnet entries for a node's enabled interfaces.
+void add_connected_routes(const topo::Snapshot& snapshot, topo::NodeId node,
+                          RibCandidates& out);
+
+/// Adds resolved static routes. A static route resolves when its next hop
+/// address belongs to an adjacent node reachable over an up link attached to
+/// one of this node's enabled interfaces; unresolvable routes are dropped.
+void add_static_routes(const topo::Snapshot& snapshot, topo::NodeId node,
+                       RibCandidates& out);
+
+/// Picks the winner per prefix (lowest admin distance, then lowest metric;
+/// remaining ties merge ECMP hops) and emits a sorted FIB.
+Fib merge_to_fib(RibCandidates&& candidates);
+
+}  // namespace dna::cp

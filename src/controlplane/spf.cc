@@ -1,0 +1,28 @@
+#include "controlplane/spf.h"
+
+#include <queue>
+
+namespace dna::cp {
+
+std::vector<int> dijkstra(const WeightedDigraph& graph, topo::NodeId source) {
+  std::vector<int> dist(graph.num_nodes(), kInfDist);
+  using Item = std::pair<int, topo::NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, node] = heap.top();
+    heap.pop();
+    if (d != dist[node]) continue;  // stale entry
+    for (const Arc& arc : graph.out[node]) {
+      const int nd = d + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace dna::cp

@@ -1,0 +1,49 @@
+// Weighted directed multigraph and shortest-path-first (Dijkstra) reference.
+//
+// The OSPF model derives one arc per (link, direction) with the weight of
+// the sending interface, so asymmetric costs are representable and parallel
+// links are supported.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace dna::cp {
+
+/// "Infinite" distance: unreachable. Chosen so that inf + weight
+/// never overflows an int.
+constexpr int kInfDist = INT32_MAX / 4;
+
+struct Arc {
+  topo::NodeId to = topo::kNoNode;
+  int weight = 1;
+  uint32_t link = 0;
+
+  auto operator<=>(const Arc&) const = default;
+};
+
+struct WeightedDigraph {
+  std::vector<std::vector<Arc>> out;  // by source node
+  std::vector<std::vector<Arc>> in;   // by target node (Arc::to = source)
+
+  size_t num_nodes() const { return out.size(); }
+
+  void resize(size_t n) {
+    out.assign(n, {});
+    in.assign(n, {});
+  }
+
+  void add_arc(topo::NodeId from, topo::NodeId to, int weight, uint32_t link) {
+    out[from].push_back({to, weight, link});
+    in[to].push_back({from, weight, link});
+  }
+
+  bool operator==(const WeightedDigraph&) const = default;
+};
+
+/// Full single-source shortest paths; dist[t] == kInfDist if unreachable.
+std::vector<int> dijkstra(const WeightedDigraph& graph, topo::NodeId source);
+
+}  // namespace dna::cp

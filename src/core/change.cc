@@ -1,0 +1,75 @@
+#include "core/change.h"
+
+namespace dna::core {
+
+ChangePlan ChangePlan::link_cost(uint32_t link, int cost) {
+  ChangePlan plan("set link " + std::to_string(link) + " cost to " +
+                  std::to_string(cost));
+  plan.add([link, cost](topo::Snapshot snap) {
+    return topo::with_link_cost(std::move(snap), link, cost);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::link_failure(uint32_t link) {
+  ChangePlan plan("fail link " + std::to_string(link));
+  plan.add([link](topo::Snapshot snap) {
+    return topo::with_link_state(std::move(snap), link, false);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::link_recovery(uint32_t link) {
+  ChangePlan plan("recover link " + std::to_string(link));
+  plan.add([link](topo::Snapshot snap) {
+    return topo::with_link_state(std::move(snap), link, true);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::acl_block(const std::string& node, Ipv4Prefix dst) {
+  ChangePlan plan("block " + dst.str() + " at " + node);
+  plan.add([node, dst](topo::Snapshot snap) {
+    return topo::with_acl_block(std::move(snap), node, dst);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::bgp_local_pref(const std::string& node,
+                                      Ipv4Addr neighbor, int local_pref) {
+  ChangePlan plan("set local-pref " + std::to_string(local_pref) + " from " +
+                  neighbor.str() + " at " + node);
+  plan.add([node, neighbor, local_pref](topo::Snapshot snap) {
+    return topo::with_bgp_local_pref(std::move(snap), node, neighbor,
+                                     local_pref);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::announce(const std::string& node, Ipv4Prefix prefix) {
+  ChangePlan plan("announce " + prefix.str() + " at " + node);
+  plan.add([node, prefix](topo::Snapshot snap) {
+    return topo::with_bgp_announce(std::move(snap), node, prefix);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::withdraw(const std::string& node, Ipv4Prefix prefix) {
+  ChangePlan plan("withdraw " + prefix.str() + " at " + node);
+  plan.add([node, prefix](topo::Snapshot snap) {
+    return topo::with_bgp_withdraw(std::move(snap), node, prefix);
+  });
+  return plan;
+}
+
+ChangePlan ChangePlan::static_route(const std::string& node,
+                                    Ipv4Prefix prefix, Ipv4Addr next_hop) {
+  ChangePlan plan("static " + prefix.str() + " via " + next_hop.str() +
+                  " at " + node);
+  plan.add([node, prefix, next_hop](topo::Snapshot snap) {
+    return topo::with_static_route(std::move(snap), node, prefix, next_hop);
+  });
+  return plan;
+}
+
+}  // namespace dna::core

@@ -1,0 +1,54 @@
+// Change plans: named, composable snapshot transformations.
+//
+// Examples and benches describe operator actions as plans; the engine only
+// ever sees the resulting target snapshot, exactly as it would receive a
+// candidate configuration push in production.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "topo/mutators.h"
+
+namespace dna::core {
+
+class ChangePlan {
+ public:
+  using Step = std::function<topo::Snapshot(topo::Snapshot)>;
+
+  explicit ChangePlan(std::string description)
+      : description_(std::move(description)) {}
+
+  ChangePlan& add(Step step) {
+    steps_.push_back(std::move(step));
+    return *this;
+  }
+
+  /// Applies all steps in order.
+  topo::Snapshot apply(topo::Snapshot base) const {
+    for (const Step& step : steps_) base = step(std::move(base));
+    return base;
+  }
+
+  const std::string& description() const { return description_; }
+  size_t size() const { return steps_.size(); }
+
+  // ---- Common operator actions -------------------------------------------
+  static ChangePlan link_cost(uint32_t link, int cost);
+  static ChangePlan link_failure(uint32_t link);
+  static ChangePlan link_recovery(uint32_t link);
+  static ChangePlan acl_block(const std::string& node, Ipv4Prefix dst);
+  static ChangePlan bgp_local_pref(const std::string& node, Ipv4Addr neighbor,
+                                   int local_pref);
+  static ChangePlan announce(const std::string& node, Ipv4Prefix prefix);
+  static ChangePlan withdraw(const std::string& node, Ipv4Prefix prefix);
+  static ChangePlan static_route(const std::string& node, Ipv4Prefix prefix,
+                                 Ipv4Addr next_hop);
+
+ private:
+  std::string description_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace dna::core

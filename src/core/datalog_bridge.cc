@@ -1,0 +1,83 @@
+#include "core/datalog_bridge.h"
+
+#include <set>
+
+namespace dna::core {
+
+const char* DatalogBridge::program_text() {
+  return R"(
+    .decl fedge(3) input    // (ec, from, to): forwarding hop
+    .decl deliver(2) input  // (ec, node): local delivery
+    .decl freach(3)         // (ec, src, dst): src's traffic delivered at dst
+    freach(E, D, D) :- deliver(E, D).
+    freach(E, U, D) :- fedge(E, U, M), freach(E, M, D).
+  )";
+}
+
+DatalogBridge::DatalogBridge(datalog::DatalogEngine::Strategy strategy) {
+  engine_ = std::make_unique<datalog::DatalogEngine>(program_text(), strategy);
+  fedge_ = engine_->relation_id("fedge");
+  deliver_ = engine_->relation_id("deliver");
+  freach_ = engine_->relation_id("freach");
+}
+
+void DatalogBridge::sync(const dp::Verifier& verifier) {
+  // Desired EDB state from the verifier's per-EC graphs.
+  std::set<datalog::Tuple> want_edges, want_deliver;
+  for (dp::EcId ec = 0; ec < verifier.num_ecs(); ++ec) {
+    const dp::EcGraph& graph = verifier.graph(ec);
+    for (topo::NodeId node = 0; node < graph.verdicts.size(); ++node) {
+      const dp::NodeVerdict& verdict = graph.verdicts[node];
+      if (verdict.kind == dp::NodeVerdict::Kind::kLocal) {
+        want_deliver.insert(
+            {static_cast<int64_t>(ec), static_cast<int64_t>(node)});
+      } else if (verdict.kind == dp::NodeVerdict::Kind::kForward) {
+        for (const cp::Hop& hop : verdict.hops) {
+          want_edges.insert({static_cast<int64_t>(ec),
+                             static_cast<int64_t>(node),
+                             static_cast<int64_t>(hop.next)});
+        }
+      }
+    }
+  }
+
+  auto push_delta = [&](int rel, const std::set<datalog::Tuple>& want) {
+    for (const datalog::Tuple& row : engine_->rows(rel)) {
+      if (!want.count(row)) engine_->remove(rel, row);
+    }
+    for (const datalog::Tuple& row : want) {
+      if (!engine_->contains(rel, row)) engine_->insert(rel, row);
+    }
+  };
+  push_delta(fedge_, want_edges);
+  push_delta(deliver_, want_deliver);
+  engine_->flush();
+}
+
+size_t DatalogBridge::mismatches(const dp::Verifier& verifier) const {
+  std::set<datalog::Tuple> datalog_facts;
+  for (const datalog::Tuple& row : engine_->rows(freach_)) {
+    datalog_facts.insert(row);
+  }
+  size_t bad = 0;
+  std::set<datalog::Tuple> verifier_facts;
+  for (dp::EcId ec = 0; ec < verifier.num_ecs(); ++ec) {
+    const dp::EcReach& reach = verifier.reach(ec);
+    for (topo::NodeId src = 0; src < reach.delivered.size(); ++src) {
+      for (uint32_t dst : reach.delivered[src].to_indices()) {
+        verifier_facts.insert({static_cast<int64_t>(ec),
+                               static_cast<int64_t>(src),
+                               static_cast<int64_t>(dst)});
+      }
+    }
+  }
+  for (const auto& fact : verifier_facts) {
+    if (!datalog_facts.count(fact)) ++bad;
+  }
+  for (const auto& fact : datalog_facts) {
+    if (!verifier_facts.count(fact)) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace dna::core

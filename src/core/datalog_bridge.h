@@ -1,0 +1,46 @@
+// Bridge between the data-plane verifier and the datalog engine.
+//
+// Exports per-EC forwarding behaviour as EDB facts and computes reachability
+// with recursive datalog rules; sync() pushes only fact deltas, so the
+// datalog engine's incremental maintenance (counting/DRed) does the heavy
+// lifting. Used as an independent cross-check of the specialized verifier
+// and as the substrate of experiment F6.
+//
+// Scope: the bridge models FIB-level forwarding (no interface ACL
+// filtering); equality with the verifier is asserted on ACL-free snapshots.
+#pragma once
+
+#include <memory>
+
+#include "datalog/engine.h"
+#include "dataplane/verifier.h"
+
+namespace dna::core {
+
+class DatalogBridge {
+ public:
+  explicit DatalogBridge(datalog::DatalogEngine::Strategy strategy =
+                             datalog::DatalogEngine::Strategy::kIncremental);
+
+  /// Replaces the EDB with the verifier's current state; pushes only the
+  /// delta against what the engine already holds and flushes.
+  void sync(const dp::Verifier& verifier);
+
+  /// Compares datalog `freach` with the verifier's delivered sets.
+  /// Returns the number of mismatching (ec, src, dst) triples.
+  size_t mismatches(const dp::Verifier& verifier) const;
+
+  datalog::DatalogEngine& engine() { return *engine_; }
+  const datalog::DatalogEngine& engine() const { return *engine_; }
+
+  /// The program text the bridge runs (exposed for documentation/tests).
+  static const char* program_text();
+
+ private:
+  std::unique_ptr<datalog::DatalogEngine> engine_;
+  int fedge_ = -1;
+  int deliver_ = -1;
+  int freach_ = -1;
+};
+
+}  // namespace dna::core

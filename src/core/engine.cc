@@ -1,0 +1,136 @@
+#include "core/engine.h"
+
+namespace dna::core {
+
+DnaEngine::DnaEngine(topo::Snapshot base) {
+  cp_ = std::make_unique<cp::ControlPlaneEngine>(std::move(base));
+  dp_ = std::make_unique<dp::Verifier>(&cp_->snapshot(), &cp_->fibs());
+}
+
+DnaEngine::~DnaEngine() = default;
+
+std::vector<bool> DnaEngine::eval_invariants() const {
+  std::vector<bool> verdicts;
+  verdicts.reserve(invariants_.size());
+  for (const Invariant& invariant : invariants_) {
+    verdicts.push_back(eval_invariant(invariant, cp_->snapshot(), *dp_));
+  }
+  return verdicts;
+}
+
+void DnaEngine::record_flips(const std::vector<bool>& before,
+                             NetworkDiff& diff) const {
+  std::vector<bool> after = eval_invariants();
+  for (size_t i = 0; i < invariants_.size(); ++i) {
+    if (before[i] != after[i]) {
+      diff.invariant_flips.push_back(
+          {invariants_[i].describe(), before[i], after[i]});
+    }
+  }
+}
+
+NetworkDiff DnaEngine::advance(topo::Snapshot target, Mode mode) {
+  return mode == Mode::kMonolithic ? advance_monolithic(std::move(target))
+                                   : advance_differential(std::move(target));
+}
+
+NetworkDiff DnaEngine::advance_monolithic(topo::Snapshot target) {
+  Stopwatch total;
+  NetworkDiff diff;
+  diff.used_monolithic = true;
+  std::vector<bool> before = eval_invariants();
+
+  // Syntactic diff (cheap; reported for parity with differential mode).
+  diff.config_changes =
+      config::diff_configs(cp_->snapshot().configs, target.configs);
+  if (target.topology.num_nodes() == cp_->snapshot().topology.num_nodes() &&
+      target.topology.num_links() == cp_->snapshot().topology.num_links()) {
+    diff.link_changes =
+        topo::diff_link_states(cp_->snapshot().topology, target.topology);
+  }
+
+  // Simulate and verify the target from scratch.
+  Stopwatch sw;
+  auto next_cp = std::make_unique<cp::ControlPlaneEngine>(std::move(target));
+  diff.stages.add("control-plane", sw.elapsed_seconds());
+  sw.reset();
+  auto next_dp =
+      std::make_unique<dp::Verifier>(&next_cp->snapshot(), &next_cp->fibs());
+  diff.stages.add("data-plane", sw.elapsed_seconds());
+
+  // Subtract.
+  sw.reset();
+  diff.fib_delta = cp::diff_fibs(cp_->fibs(), next_cp->fibs());
+  const auto reach_before = dp_->all_reach_facts();
+  const auto reach_after = next_dp->all_reach_facts();
+  diff.reach_delta.gained = facts_minus(reach_after, reach_before);
+  diff.reach_delta.lost = facts_minus(reach_before, reach_after);
+  const auto loops_before = dp_->all_loop_facts();
+  const auto loops_after = next_dp->all_loop_facts();
+  diff.reach_delta.loops_gained = facts_minus(loops_after, loops_before);
+  diff.reach_delta.loops_lost = facts_minus(loops_before, loops_after);
+  const auto bh_before = dp_->all_blackhole_facts();
+  const auto bh_after = next_dp->all_blackhole_facts();
+  diff.reach_delta.blackholes_gained = facts_minus(bh_after, bh_before);
+  diff.reach_delta.blackholes_lost = facts_minus(bh_before, bh_after);
+  diff.stages.add("subtract", sw.elapsed_seconds());
+
+  diff.affected_ecs = next_dp->num_ecs();  // everything was re-verified
+  diff.total_ecs = next_dp->num_ecs();
+
+  cp_ = std::move(next_cp);
+  dp_ = std::move(next_dp);
+  record_flips(before, diff);
+  diff.seconds_total = total.elapsed_seconds();
+  return diff;
+}
+
+NetworkDiff DnaEngine::advance_differential(topo::Snapshot target) {
+  Stopwatch total;
+  NetworkDiff diff;
+  std::vector<bool> before = eval_invariants();
+
+  cp::AdvanceResult cp_result = cp_->advance(std::move(target));
+  for (const auto& entry : cp_->timers().entries()) {
+    diff.stages.add(entry.stage, entry.seconds);
+  }
+  diff.config_changes = std::move(cp_result.config_changes);
+  diff.link_changes = std::move(cp_result.link_changes);
+
+  if (cp_result.rebuilt) {
+    // Structural change: the verifier's EC state is tied to the old node
+    // set; rebuild it and fall back to a full-fact subtraction.
+    Stopwatch sw;
+    auto old_reach = dp_->all_reach_facts();
+    auto old_loops = dp_->all_loop_facts();
+    auto old_bh = dp_->all_blackhole_facts();
+    dp_ = std::make_unique<dp::Verifier>(&cp_->snapshot(), &cp_->fibs());
+    auto new_reach = dp_->all_reach_facts();
+    diff.reach_delta.gained = facts_minus(new_reach, old_reach);
+    diff.reach_delta.lost = facts_minus(old_reach, new_reach);
+    auto new_loops = dp_->all_loop_facts();
+    diff.reach_delta.loops_gained = facts_minus(new_loops, old_loops);
+    diff.reach_delta.loops_lost = facts_minus(old_loops, new_loops);
+    auto new_bh = dp_->all_blackhole_facts();
+    diff.reach_delta.blackholes_gained = facts_minus(new_bh, old_bh);
+    diff.reach_delta.blackholes_lost = facts_minus(old_bh, new_bh);
+    diff.used_monolithic = true;
+    diff.stages.add("data-plane", sw.elapsed_seconds());
+    diff.affected_ecs = dp_->num_ecs();
+  } else {
+    diff.reach_delta = dp_->apply(&cp_->snapshot(), &cp_->fibs(),
+                                  cp_result.fib_delta, diff.config_changes);
+    for (const auto& entry : dp_->timers().entries()) {
+      diff.stages.add(entry.stage, entry.seconds);
+    }
+    diff.affected_ecs = dp_->last_affected_ecs();
+  }
+  diff.fib_delta = std::move(cp_result.fib_delta);
+  diff.total_ecs = dp_->num_ecs();
+
+  record_flips(before, diff);
+  diff.seconds_total = total.elapsed_seconds();
+  return diff;
+}
+
+}  // namespace dna::core

@@ -1,0 +1,91 @@
+#include "core/netdiff.h"
+
+#include <algorithm>
+
+namespace dna::core {
+
+namespace {
+
+struct Interval {
+  uint32_t lo, hi;
+};
+
+/// Subtracts the union of `b` from the union of `a`; both sorted disjoint.
+std::vector<Interval> subtract(const std::vector<Interval>& a,
+                               const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t j = 0;
+  for (const Interval& iv : a) {
+    uint64_t lo = iv.lo;
+    while (j < b.size() && b[j].hi < lo) ++j;
+    size_t k = j;
+    while (lo <= iv.hi) {
+      if (k >= b.size() || b[k].lo > iv.hi) {
+        out.push_back({static_cast<uint32_t>(lo), iv.hi});
+        break;
+      }
+      if (b[k].lo > lo) {
+        out.push_back({static_cast<uint32_t>(lo), b[k].lo - 1});
+      }
+      lo = static_cast<uint64_t>(b[k].hi) + 1;
+      ++k;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<dp::ReachFact> facts_minus(const std::vector<dp::ReachFact>& a,
+                                       const std::vector<dp::ReachFact>& b) {
+  std::vector<dp::ReachFact> out;
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    const auto key_src = a[i].src;
+    const auto key_dst = a[i].dst;
+    std::vector<Interval> ai, bi;
+    while (i < a.size() && a[i].src == key_src && a[i].dst == key_dst) {
+      ai.push_back({a[i].lo, a[i].hi});
+      ++i;
+    }
+    while (j < b.size() && (b[j].src < key_src ||
+                            (b[j].src == key_src && b[j].dst < key_dst))) {
+      ++j;
+    }
+    size_t k = j;
+    while (k < b.size() && b[k].src == key_src && b[k].dst == key_dst) {
+      bi.push_back({b[k].lo, b[k].hi});
+      ++k;
+    }
+    for (const Interval& iv : subtract(ai, bi)) {
+      out.push_back({key_src, key_dst, iv.lo, iv.hi});
+    }
+  }
+  return out;
+}
+
+std::vector<dp::FlagFact> facts_minus(const std::vector<dp::FlagFact>& a,
+                                      const std::vector<dp::FlagFact>& b) {
+  std::vector<dp::FlagFact> out;
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    const auto key_src = a[i].src;
+    std::vector<Interval> ai, bi;
+    while (i < a.size() && a[i].src == key_src) {
+      ai.push_back({a[i].lo, a[i].hi});
+      ++i;
+    }
+    while (j < b.size() && b[j].src < key_src) ++j;
+    size_t k = j;
+    while (k < b.size() && b[k].src == key_src) {
+      bi.push_back({b[k].lo, b[k].hi});
+      ++k;
+    }
+    for (const Interval& iv : subtract(ai, bi)) {
+      out.push_back({key_src, iv.lo, iv.hi});
+    }
+  }
+  return out;
+}
+
+}  // namespace dna::core

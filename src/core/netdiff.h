@@ -1,0 +1,56 @@
+// NetworkDiff: the complete semantic difference between two snapshots —
+// what DNA computes and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/diff.h"
+#include "controlplane/route.h"
+#include "dataplane/verifier.h"
+#include "topo/topology.h"
+#include "util/timer.h"
+
+namespace dna::core {
+
+struct InvariantFlip {
+  std::string description;
+  bool before_holds = false;
+  bool after_holds = false;
+
+  bool operator==(const InvariantFlip&) const = default;
+};
+
+struct NetworkDiff {
+  // Syntactic layer.
+  std::vector<config::ConfigChange> config_changes;
+  std::vector<topo::LinkChange> link_changes;
+  // Forwarding layer.
+  cp::FibDelta fib_delta;
+  // Behaviour layer.
+  dp::ReachDelta reach_delta;
+  // Intent layer.
+  std::vector<InvariantFlip> invariant_flips;
+
+  // Diagnostics (not part of semantic equality).
+  double seconds_total = 0;
+  StageTimers stages;
+  size_t affected_ecs = 0;
+  size_t total_ecs = 0;
+  bool used_monolithic = false;
+
+  /// True when the change had no effect on forwarding or reachability.
+  bool semantically_empty() const {
+    return fib_delta.empty() && reach_delta.empty();
+  }
+};
+
+/// Interval-aware set difference: the (src, dst, address) points present in
+/// `a` but not in `b`. Inputs must be canonical (sorted, coalesced); output
+/// is canonical. Used by monolithic mode to diff two full fact sets.
+std::vector<dp::ReachFact> facts_minus(const std::vector<dp::ReachFact>& a,
+                                       const std::vector<dp::ReachFact>& b);
+std::vector<dp::FlagFact> facts_minus(const std::vector<dp::FlagFact>& a,
+                                      const std::vector<dp::FlagFact>& b);
+
+}  // namespace dna::core

@@ -1,0 +1,133 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace dna::core {
+
+namespace {
+
+std::string range_str(uint32_t lo, uint32_t hi) {
+  if (lo == hi) return Ipv4Addr(lo).str();
+  return Ipv4Addr(lo).str() + "-" + Ipv4Addr(hi).str();
+}
+
+template <typename T>
+void cap_note(std::ostringstream& out, const std::vector<T>& items,
+              size_t max_items) {
+  if (max_items > 0 && items.size() > max_items) {
+    out << "    ... and " << (items.size() - max_items) << " more\n";
+  }
+}
+
+size_t limit(size_t size, size_t max_items) {
+  return max_items == 0 ? size : std::min(size, max_items);
+}
+
+}  // namespace
+
+std::string summarize(const NetworkDiff& diff) {
+  std::ostringstream out;
+  out << diff.config_changes.size() << " config change(s), "
+      << diff.link_changes.size() << " link change(s), "
+      << diff.fib_delta.total_changes() << " fib change(s), "
+      << diff.reach_delta.total_changes() << " reachability change(s), "
+      << diff.invariant_flips.size() << " invariant flip(s)";
+  return out.str();
+}
+
+std::string render(const NetworkDiff& diff, const topo::Topology& topology,
+                   size_t max_items) {
+  std::ostringstream out;
+  out << "=== network diff ("
+      << (diff.used_monolithic ? "monolithic" : "differential") << ", "
+      << diff.seconds_total * 1e3 << " ms) ===\n";
+  out << summarize(diff) << "\n";
+
+  if (!diff.config_changes.empty()) {
+    out << "  config changes:\n";
+    for (size_t i = 0; i < limit(diff.config_changes.size(), max_items); ++i) {
+      out << "    " << diff.config_changes[i].str() << "\n";
+    }
+    cap_note(out, diff.config_changes, max_items);
+  }
+  if (!diff.link_changes.empty()) {
+    out << "  link changes:\n";
+    for (size_t i = 0; i < limit(diff.link_changes.size(), max_items); ++i) {
+      const auto& change = diff.link_changes[i];
+      const topo::Link& link = topology.link(change.link);
+      out << "    " << topology.node_name(link.a) << " <-> "
+          << topology.node_name(link.b) << " now "
+          << (change.now_up ? "up" : "down") << "\n";
+    }
+    cap_note(out, diff.link_changes, max_items);
+  }
+  if (!diff.fib_delta.empty()) {
+    out << "  fib changes:\n";
+    size_t shown = 0;
+    for (const auto& [node, delta] : diff.fib_delta.by_node) {
+      for (const auto& entry : delta.removed) {
+        if (max_items && shown >= max_items) break;
+        out << "    - " << topology.node_name(node) << ": "
+            << entry.str(topology) << "\n";
+        ++shown;
+      }
+      for (const auto& entry : delta.added) {
+        if (max_items && shown >= max_items) break;
+        out << "    + " << topology.node_name(node) << ": "
+            << entry.str(topology) << "\n";
+        ++shown;
+      }
+    }
+    if (max_items && diff.fib_delta.total_changes() > shown) {
+      out << "    ... and " << (diff.fib_delta.total_changes() - shown)
+          << " more\n";
+    }
+  }
+  auto render_reach = [&](const char* label,
+                          const std::vector<dp::ReachFact>& facts) {
+    if (facts.empty()) return;
+    out << "  " << label << ":\n";
+    for (size_t i = 0; i < limit(facts.size(), max_items); ++i) {
+      const auto& fact = facts[i];
+      out << "    " << topology.node_name(fact.src) << " -> "
+          << topology.node_name(fact.dst) << " for "
+          << range_str(fact.lo, fact.hi) << "\n";
+    }
+    cap_note(out, facts, max_items);
+  };
+  render_reach("reachability gained", diff.reach_delta.gained);
+  render_reach("reachability lost", diff.reach_delta.lost);
+
+  auto render_flags = [&](const char* label,
+                          const std::vector<dp::FlagFact>& facts) {
+    if (facts.empty()) return;
+    out << "  " << label << ":\n";
+    for (size_t i = 0; i < limit(facts.size(), max_items); ++i) {
+      const auto& fact = facts[i];
+      out << "    from " << topology.node_name(fact.src) << " for "
+          << range_str(fact.lo, fact.hi) << "\n";
+    }
+    cap_note(out, facts, max_items);
+  };
+  render_flags("loops introduced", diff.reach_delta.loops_gained);
+  render_flags("loops fixed", diff.reach_delta.loops_lost);
+  render_flags("blackholes introduced", diff.reach_delta.blackholes_gained);
+  render_flags("blackholes fixed", diff.reach_delta.blackholes_lost);
+
+  if (!diff.invariant_flips.empty()) {
+    out << "  invariant flips:\n";
+    for (const auto& flip : diff.invariant_flips) {
+      out << "    " << (flip.after_holds ? "FIXED " : "BROKEN") << ": "
+          << flip.description << "\n";
+    }
+  }
+  out << "  stages:";
+  for (const auto& entry : diff.stages.entries()) {
+    out << " " << entry.stage << "=" << entry.seconds * 1e3 << "ms";
+  }
+  out << "\n  affected ECs: " << diff.affected_ecs << " / " << diff.total_ecs
+      << "\n";
+  return out.str();
+}
+
+}  // namespace dna::core

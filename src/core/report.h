@@ -1,0 +1,18 @@
+// Human-readable rendering of a NetworkDiff.
+#pragma once
+
+#include <string>
+
+#include "core/netdiff.h"
+
+namespace dna::core {
+
+/// Full report: config changes, FIB churn, reachability changes, invariant
+/// flips and timing. `max_items` caps each list (0 = unlimited).
+std::string render(const NetworkDiff& diff, const topo::Topology& topology,
+                   size_t max_items = 20);
+
+/// One-line summary ("3 fib changes, 12 reach changes, 1 invariant broken").
+std::string summarize(const NetworkDiff& diff);
+
+}  // namespace dna::core

@@ -1,0 +1,127 @@
+#include "dataflow/graph.h"
+
+#include "util/error.h"
+
+namespace dna::dataflow {
+
+NodeId Graph::add_node(std::unique_ptr<Node> node,
+                       const std::vector<NodeId>& sources) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  DNA_CHECK_MSG(static_cast<int>(sources.size()) == node->arity() ||
+                    (sources.empty() && dynamic_cast<InputNode*>(node.get())),
+                "wrong number of sources for node " + node->name());
+  for (size_t port = 0; port < sources.size(); ++port) {
+    const NodeId src = sources[port];
+    DNA_CHECK_MSG(src < id, "dataflow graphs must be built bottom-up");
+    successors_[src].push_back({id, static_cast<int>(port)});
+  }
+  nodes_.push_back(std::move(node));
+  successors_.emplace_back();
+  pending_.emplace_back(nodes_.back()->arity());
+  return id;
+}
+
+NodeId Graph::add_input(std::string name) {
+  return add_node(std::make_unique<InputNode>(std::move(name)), {});
+}
+
+NodeId Graph::add_map(std::string name, NodeId src, MapNode::Fn fn) {
+  return add_node(std::make_unique<MapNode>(std::move(name), std::move(fn)),
+                  {src});
+}
+
+NodeId Graph::add_flat_map(std::string name, NodeId src, FlatMapNode::Fn fn) {
+  return add_node(
+      std::make_unique<FlatMapNode>(std::move(name), std::move(fn)), {src});
+}
+
+NodeId Graph::add_filter(std::string name, NodeId src, FilterNode::Fn fn) {
+  return add_node(std::make_unique<FilterNode>(std::move(name), std::move(fn)),
+                  {src});
+}
+
+NodeId Graph::add_union(std::string name, const std::vector<NodeId>& srcs) {
+  return add_node(std::make_unique<UnionNode>(std::move(name),
+                                              static_cast<int>(srcs.size())),
+                  srcs);
+}
+
+NodeId Graph::add_distinct(std::string name, NodeId src) {
+  return add_node(std::make_unique<DistinctNode>(std::move(name)), {src});
+}
+
+NodeId Graph::add_join(std::string name, NodeId left,
+                       std::vector<int> left_key, NodeId right,
+                       std::vector<int> right_key, JoinNode::Combine combine) {
+  return add_node(
+      std::make_unique<JoinNode>(std::move(name), std::move(left_key),
+                                 std::move(right_key), std::move(combine)),
+      {left, right});
+}
+
+NodeId Graph::add_antijoin(std::string name, NodeId left,
+                           std::vector<int> left_key, NodeId right,
+                           std::vector<int> right_key) {
+  return add_node(
+      std::make_unique<AntiJoinNode>(std::move(name), std::move(left_key),
+                                     std::move(right_key)),
+      {left, right});
+}
+
+NodeId Graph::add_reduce(std::string name, NodeId src, std::vector<int> key,
+                         ReduceNode::Aggregate agg) {
+  return add_node(std::make_unique<ReduceNode>(std::move(name), std::move(key),
+                                               std::move(agg)),
+                  {src});
+}
+
+NodeId Graph::add_output(std::string name, NodeId src) {
+  return add_node(std::make_unique<OutputNode>(std::move(name)), {src});
+}
+
+void Graph::push(NodeId input, DeltaVec deltas) {
+  DNA_CHECK(input < nodes_.size());
+  DNA_CHECK_MSG(dynamic_cast<InputNode*>(nodes_[input].get()) != nullptr,
+                "push() target must be an input node");
+  DeltaVec& queue = pending_[input][0];
+  queue.insert(queue.end(), deltas.begin(), deltas.end());
+}
+
+void Graph::step() {
+  // Output nodes record one epoch's deltas at a time.
+  clear_output_deltas();
+  // Creation order is a topological order, so one forward sweep per epoch
+  // delivers every delta exactly once.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Node& node = *nodes_[id];
+    for (int port = 0; port < node.arity(); ++port) {
+      DeltaVec batch = consolidate(pending_[id][static_cast<size_t>(port)]);
+      pending_[id][static_cast<size_t>(port)].clear();
+      if (batch.empty()) continue;
+      node.on_input(port, batch);
+    }
+    DeltaVec out = node.take_output();
+    if (out.empty()) continue;
+    for (const EdgeTarget& target : successors_[id]) {
+      DeltaVec& queue = pending_[target.node][static_cast<size_t>(target.port)];
+      queue.insert(queue.end(), out.begin(), out.end());
+    }
+  }
+}
+
+const OutputNode& Graph::output(NodeId id) const {
+  DNA_CHECK(id < nodes_.size());
+  const auto* out = dynamic_cast<const OutputNode*>(nodes_[id].get());
+  DNA_CHECK_MSG(out != nullptr, "node is not an output node");
+  return *out;
+}
+
+void Graph::clear_output_deltas() {
+  for (auto& node : nodes_) {
+    if (auto* out = dynamic_cast<OutputNode*>(node.get())) {
+      out->clear_last_deltas();
+    }
+  }
+}
+
+}  // namespace dna::dataflow

@@ -1,0 +1,71 @@
+// The dataflow graph: wires operators into a DAG and drives epochs.
+//
+// Usage:
+//   Graph g;
+//   NodeId edges = g.add_input("edges");
+//   NodeId fwd   = g.add_map("fwd", edges, swap_columns);
+//   NodeId out   = g.add_output("out", fwd);
+//   g.push(edges, {{{1, 2}, +1}});
+//   g.step();
+//   g.output(out).state();        // consolidated collection
+//   g.output(out).last_deltas();  // what changed this epoch
+//
+// Nodes may only consume earlier-created nodes, which makes creation order a
+// topological order; step() exploits that to run each node exactly once per
+// epoch. Multi-port nodes receive their ports in ascending order, which the
+// join/anti-join operators rely on for the dL><R_old + L_new><dR identity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataflow/ops.h"
+
+namespace dna::dataflow {
+
+class Graph {
+ public:
+  NodeId add_input(std::string name);
+  NodeId add_map(std::string name, NodeId src, MapNode::Fn fn);
+  NodeId add_flat_map(std::string name, NodeId src, FlatMapNode::Fn fn);
+  NodeId add_filter(std::string name, NodeId src, FilterNode::Fn fn);
+  NodeId add_union(std::string name, const std::vector<NodeId>& srcs);
+  NodeId add_distinct(std::string name, NodeId src);
+  NodeId add_join(std::string name, NodeId left, std::vector<int> left_key,
+                  NodeId right, std::vector<int> right_key,
+                  JoinNode::Combine combine);
+  NodeId add_antijoin(std::string name, NodeId left, std::vector<int> left_key,
+                      NodeId right, std::vector<int> right_key);
+  NodeId add_reduce(std::string name, NodeId src, std::vector<int> key,
+                    ReduceNode::Aggregate agg);
+  NodeId add_output(std::string name, NodeId src);
+
+  /// Queues external deltas for an input node; applied by the next step().
+  void push(NodeId input, DeltaVec deltas);
+
+  /// Runs one epoch: drains queued input and propagates through the DAG.
+  void step();
+
+  const OutputNode& output(NodeId id) const;
+
+  /// Clears every output node's last-epoch delta record.
+  void clear_output_deltas();
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct EdgeTarget {
+    NodeId node;
+    int port;
+  };
+
+  NodeId add_node(std::unique_ptr<Node> node,
+                  const std::vector<NodeId>& sources);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::vector<EdgeTarget>> successors_;  // by source node
+  // Pending deltas per node per port, filled by push() and by propagation.
+  std::vector<std::vector<DeltaVec>> pending_;
+};
+
+}  // namespace dna::dataflow

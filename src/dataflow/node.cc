@@ -1,0 +1,4 @@
+#include "dataflow/node.h"
+
+// Node is header-only apart from this anchor for its vtable.
+namespace dna::dataflow {}

@@ -1,0 +1,60 @@
+// Operator node interface for the dataflow graph.
+//
+// Nodes receive batches of signed deltas on numbered input ports, update any
+// internal state, and emit output deltas. The Graph (graph.h) wires nodes
+// into a DAG and drives them one epoch at a time in topological order, so a
+// node sees all of an epoch's input before it must produce output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "dataflow/row.h"
+
+namespace dna::dataflow {
+
+/// Identifies a node inside its owning Graph.
+using NodeId = uint32_t;
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Delivers one epoch's consolidated deltas arriving on `port`.
+  /// Implementations buffer their output via emit(); the graph collects it
+  /// with take_output() after all ports have been fed.
+  virtual void on_input(int port, const DeltaVec& deltas) = 0;
+
+  /// Number of input ports this node accepts.
+  virtual int arity() const { return 1; }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  void emit(Row row, int64_t mult) {
+    if (mult != 0) output_.push_back({std::move(row), mult});
+  }
+  void emit(const DeltaVec& deltas) {
+    output_.insert(output_.end(), deltas.begin(), deltas.end());
+  }
+
+ private:
+  friend class Graph;
+
+  DeltaVec take_output() {
+    DeltaVec out = consolidate(output_);
+    output_.clear();
+    return out;
+  }
+
+  std::string name_;
+  DeltaVec output_;
+};
+
+}  // namespace dna::dataflow

@@ -1,0 +1,222 @@
+#include "dataflow/ops.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::dataflow {
+
+void InputNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  emit(deltas);
+}
+
+void MapNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  for (const Delta& d : deltas) emit(fn_(d.row), d.mult);
+}
+
+void FlatMapNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  for (const Delta& d : deltas) {
+    for (Row& row : fn_(d.row)) emit(std::move(row), d.mult);
+  }
+}
+
+void FilterNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  for (const Delta& d : deltas) {
+    if (fn_(d.row)) emit(d.row, d.mult);
+  }
+}
+
+void UnionNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port >= 0 && port < arity_);
+  emit(deltas);
+}
+
+void DistinctNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  emit(apply_to_multiset(state_, deltas));
+}
+
+void JoinNode::update_side(Side& side, const Row& key, const Row& row,
+                           int64_t mult) {
+  Multiset& rows = side[key];
+  auto [it, inserted] = rows.try_emplace(row, 0);
+  it->second += mult;
+  if (it->second == 0) {
+    rows.erase(it);
+    if (rows.empty()) side.erase(key);
+  }
+}
+
+void JoinNode::on_input(int port, const DeltaVec& deltas) {
+  if (port == 0) {
+    // dL joined against the right state as of the epoch start (the graph
+    // delivers port 0 before port 1, so right_ is still pre-epoch here).
+    for (const Delta& d : deltas) {
+      Row key = project(d.row, left_key_);
+      auto it = right_.find(key);
+      if (it != right_.end()) {
+        for (const auto& [rrow, rmult] : it->second) {
+          emit(combine_(d.row, rrow), d.mult * rmult);
+        }
+      }
+      update_side(left_, key, d.row, d.mult);
+    }
+  } else {
+    DNA_CHECK(port == 1);
+    // dR joined against the updated left state (L_new).
+    for (const Delta& d : deltas) {
+      Row key = project(d.row, right_key_);
+      auto it = left_.find(key);
+      if (it != left_.end()) {
+        for (const auto& [lrow, lmult] : it->second) {
+          emit(combine_(lrow, d.row), lmult * d.mult);
+        }
+      }
+      update_side(right_, key, d.row, d.mult);
+    }
+  }
+}
+
+void AntiJoinNode::on_input(int port, const DeltaVec& deltas) {
+  if (port == 0) {
+    for (const Delta& d : deltas) {
+      Row key = project(d.row, left_key_);
+      // Emit only if the key currently has no right match.
+      auto rit = right_.find(key);
+      if (rit == right_.end() || rit->second == 0) emit(d.row, d.mult);
+      Multiset& rows = left_[key];
+      auto [it, inserted] = rows.try_emplace(d.row, 0);
+      it->second += d.mult;
+      if (it->second == 0) {
+        rows.erase(it);
+        if (rows.empty()) left_.erase(key);
+      }
+    }
+  } else {
+    DNA_CHECK(port == 1);
+    for (const Delta& d : deltas) {
+      Row key = project(d.row, right_key_);
+      auto [it, inserted] = right_.try_emplace(key, 0);
+      const int64_t before = it->second;
+      it->second += d.mult;
+      const int64_t after = it->second;
+      DNA_CHECK_MSG(after >= 0, "anti-join right side went negative");
+      if (after == 0) right_.erase(it);
+      const bool was_present = before > 0;
+      const bool now_present = after > 0;
+      if (was_present == now_present) continue;
+      auto lit = left_.find(key);
+      if (lit == left_.end()) continue;
+      // Key flipped: retract (or re-emit) every current left row under it.
+      const int64_t sign = now_present ? -1 : +1;
+      for (const auto& [lrow, lmult] : lit->second) emit(lrow, sign * lmult);
+    }
+  }
+}
+
+void ReduceNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  // Collect affected groups, apply deltas, then recompute each group once.
+  std::vector<Row> touched;
+  for (const Delta& d : deltas) {
+    Row key = project(d.row, key_);
+    Multiset& group = groups_[key];
+    auto [it, inserted] = group.try_emplace(d.row, 0);
+    if (it->second == 0 && !inserted) {
+      // unreachable: zero entries are erased eagerly
+    }
+    it->second += d.mult;
+    DNA_CHECK_MSG(it->second >= 0, "reduce group multiplicity went negative");
+    if (it->second == 0) group.erase(it);
+    touched.push_back(std::move(key));
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  for (const Row& key : touched) {
+    auto git = groups_.find(key);
+    std::optional<Row> next;
+    if (git != groups_.end() && !git->second.empty()) {
+      Row agg = agg_(git->second);
+      Row out = key;
+      out.insert(out.end(), agg.begin(), agg.end());
+      next = std::move(out);
+    } else if (git != groups_.end()) {
+      groups_.erase(git);
+    }
+    auto oit = last_output_.find(key);
+    const bool had = oit != last_output_.end();
+    if (had && next && oit->second == *next) continue;
+    if (had) emit(oit->second, -1);
+    if (next) {
+      emit(*next, +1);
+      last_output_[key] = std::move(*next);
+    } else if (had) {
+      last_output_.erase(oit);
+    }
+  }
+}
+
+ReduceNode::Aggregate agg_count() {
+  return [](const Multiset& group) {
+    int64_t n = 0;
+    for (const auto& [row, mult] : group) n += mult;
+    return Row{n};
+  };
+}
+
+ReduceNode::Aggregate agg_sum(int column) {
+  return [column](const Multiset& group) {
+    int64_t sum = 0;
+    for (const auto& [row, mult] : group) {
+      sum += row[static_cast<size_t>(column)] * mult;
+    }
+    return Row{sum};
+  };
+}
+
+ReduceNode::Aggregate agg_min(int column) {
+  return [column](const Multiset& group) {
+    bool first = true;
+    int64_t best = 0;
+    for (const auto& [row, mult] : group) {
+      (void)mult;
+      int64_t v = row[static_cast<size_t>(column)];
+      if (first || v < best) best = v;
+      first = false;
+    }
+    return Row{best};
+  };
+}
+
+ReduceNode::Aggregate agg_max(int column) {
+  return [column](const Multiset& group) {
+    bool first = true;
+    int64_t best = 0;
+    for (const auto& [row, mult] : group) {
+      (void)mult;
+      int64_t v = row[static_cast<size_t>(column)];
+      if (first || v > best) best = v;
+      first = false;
+    }
+    return Row{best};
+  };
+}
+
+void OutputNode::on_input(int port, const DeltaVec& deltas) {
+  DNA_CHECK(port == 0);
+  for (const Delta& d : deltas) {
+    auto [it, inserted] = state_.try_emplace(d.row, 0);
+    it->second += d.mult;
+    if (it->second == 0) state_.erase(it);
+  }
+  // The graph clears last_deltas_ at the start of each epoch, so this
+  // records exactly the epoch's (already consolidated) changes.
+  last_deltas_.insert(last_deltas_.end(), deltas.begin(), deltas.end());
+}
+
+}  // namespace dna::dataflow

@@ -1,0 +1,187 @@
+// Concrete dataflow operators.
+//
+// Every operator is fully incremental: given input deltas it produces exactly
+// the deltas of its output collection, maintaining whatever indexed state it
+// needs. Multiset semantics throughout; Distinct converts to set semantics.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/node.h"
+
+namespace dna::dataflow {
+
+/// Entry point for external changes; forwards pushed deltas unchanged.
+class InputNode final : public Node {
+ public:
+  explicit InputNode(std::string name) : Node(std::move(name)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+};
+
+/// Applies a function to each row; multiplicities pass through.
+class MapNode final : public Node {
+ public:
+  using Fn = std::function<Row(const Row&)>;
+  MapNode(std::string name, Fn fn) : Node(std::move(name)), fn_(std::move(fn)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+
+ private:
+  Fn fn_;
+};
+
+/// Expands each row into zero or more rows; multiplicities pass through.
+class FlatMapNode final : public Node {
+ public:
+  using Fn = std::function<std::vector<Row>(const Row&)>;
+  FlatMapNode(std::string name, Fn fn)
+      : Node(std::move(name)), fn_(std::move(fn)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+
+ private:
+  Fn fn_;
+};
+
+/// Keeps rows satisfying a predicate.
+class FilterNode final : public Node {
+ public:
+  using Fn = std::function<bool(const Row&)>;
+  FilterNode(std::string name, Fn fn)
+      : Node(std::move(name)), fn_(std::move(fn)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+
+ private:
+  Fn fn_;
+};
+
+/// Multiset union of any number of inputs (sum of multiplicities).
+class UnionNode final : public Node {
+ public:
+  UnionNode(std::string name, int arity)
+      : Node(std::move(name)), arity_(arity) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+  int arity() const override { return arity_; }
+
+ private:
+  int arity_;
+};
+
+/// Set-semantics gate: output multiplicity is 1 while the input row's net
+/// multiplicity is positive, 0 otherwise.
+class DistinctNode final : public Node {
+ public:
+  explicit DistinctNode(std::string name) : Node(std::move(name)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+
+  const Multiset& state() const { return state_; }
+
+ private:
+  Multiset state_;  // row -> net input multiplicity (> 0)
+};
+
+/// Binary equi-join. Port 0 is the left input, port 1 the right. Keys are
+/// column projections; `combine` builds the output row from a matching pair.
+///
+/// Incremental rule: out' = dL >< R_old + L_new >< dR, which the node realizes
+/// by processing left deltas against the right state as of the epoch start,
+/// then right deltas against the already-updated left state. The Graph feeds
+/// port 0 before port 1 within an epoch.
+class JoinNode final : public Node {
+ public:
+  using Combine = std::function<Row(const Row& left, const Row& right)>;
+
+  JoinNode(std::string name, std::vector<int> left_key,
+           std::vector<int> right_key, Combine combine)
+      : Node(std::move(name)),
+        left_key_(std::move(left_key)),
+        right_key_(std::move(right_key)),
+        combine_(std::move(combine)) {}
+
+  void on_input(int port, const DeltaVec& deltas) override;
+  int arity() const override { return 2; }
+
+ private:
+  using Side = std::unordered_map<Row, Multiset, RowHash>;  // key -> rows
+
+  static void update_side(Side& side, const Row& key, const Row& row,
+                          int64_t mult);
+
+  std::vector<int> left_key_;
+  std::vector<int> right_key_;
+  Combine combine_;
+  Side left_;
+  Side right_;
+};
+
+/// Anti-join (negation): emits left rows whose key has no match on the right.
+/// Left rows keep their multiplicity; the right side acts as a set.
+class AntiJoinNode final : public Node {
+ public:
+  AntiJoinNode(std::string name, std::vector<int> left_key,
+               std::vector<int> right_key)
+      : Node(std::move(name)),
+        left_key_(std::move(left_key)),
+        right_key_(std::move(right_key)) {}
+
+  void on_input(int port, const DeltaVec& deltas) override;
+  int arity() const override { return 2; }
+
+ private:
+  std::vector<int> left_key_;
+  std::vector<int> right_key_;
+  std::unordered_map<Row, Multiset, RowHash> left_;   // key -> rows
+  std::unordered_map<Row, int64_t, RowHash> right_;   // key -> net count
+};
+
+/// Group-and-aggregate. Groups input rows by a key projection and emits one
+/// output row per non-empty group, recomputing groups touched by the epoch's
+/// deltas and retracting their previous output.
+class ReduceNode final : public Node {
+ public:
+  /// Aggregate over one group: receives the group's consolidated rows with
+  /// positive multiplicities; returns the aggregate row (the key columns are
+  /// prepended by the node, so return only the aggregate values).
+  using Aggregate = std::function<Row(const Multiset& group)>;
+
+  ReduceNode(std::string name, std::vector<int> key, Aggregate agg)
+      : Node(std::move(name)), key_(std::move(key)), agg_(std::move(agg)) {}
+
+  void on_input(int port, const DeltaVec& deltas) override;
+
+ private:
+  std::vector<int> key_;
+  Aggregate agg_;
+  std::unordered_map<Row, Multiset, RowHash> groups_;   // key -> rows
+  std::unordered_map<Row, Row, RowHash> last_output_;   // key -> agg row
+};
+
+/// Common aggregates for ReduceNode.
+ReduceNode::Aggregate agg_count();
+ReduceNode::Aggregate agg_sum(int column);
+ReduceNode::Aggregate agg_min(int column);
+ReduceNode::Aggregate agg_max(int column);
+
+/// Terminal node: accumulates the consolidated output collection and records
+/// the deltas of the most recent epoch for observers.
+class OutputNode final : public Node {
+ public:
+  explicit OutputNode(std::string name) : Node(std::move(name)) {}
+  void on_input(int port, const DeltaVec& deltas) override;
+
+  /// The full collection as of the last completed epoch.
+  const Multiset& state() const { return state_; }
+
+  /// Deltas applied during the last epoch (consolidated); reset by the
+  /// graph at the start of every step().
+  const DeltaVec& last_deltas() const { return last_deltas_; }
+  void clear_last_deltas() { last_deltas_.clear(); }
+
+ private:
+  friend class Graph;
+  Multiset state_;
+  DeltaVec last_deltas_;
+};
+
+}  // namespace dna::dataflow

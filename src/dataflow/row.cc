@@ -1,0 +1,46 @@
+#include "dataflow/row.h"
+
+namespace dna::dataflow {
+
+DeltaVec consolidate(const DeltaVec& deltas) {
+  Multiset sums;
+  for (const Delta& d : deltas) {
+    if (d.mult == 0) continue;
+    auto [it, inserted] = sums.try_emplace(d.row, d.mult);
+    if (!inserted) {
+      it->second += d.mult;
+      if (it->second == 0) sums.erase(it);
+    }
+  }
+  DeltaVec out;
+  out.reserve(sums.size());
+  for (auto& [row, mult] : sums) out.push_back({row, mult});
+  return out;
+}
+
+DeltaVec apply_to_multiset(Multiset& state, const DeltaVec& deltas) {
+  DeltaVec sign_changes;
+  for (const Delta& d : deltas) {
+    if (d.mult == 0) continue;
+    auto [it, inserted] = state.try_emplace(d.row, 0);
+    const int64_t before = it->second;
+    it->second += d.mult;
+    const int64_t after = it->second;
+    if (after == 0) state.erase(it);
+    if (before == 0 && after != 0) {
+      sign_changes.push_back({d.row, +1});
+    } else if (before != 0 && after == 0) {
+      sign_changes.push_back({d.row, -1});
+    }
+  }
+  return sign_changes;
+}
+
+Row project(const Row& row, const std::vector<int>& columns) {
+  Row out;
+  out.reserve(columns.size());
+  for (int c : columns) out.push_back(row[static_cast<size_t>(c)]);
+  return out;
+}
+
+}  // namespace dna::dataflow

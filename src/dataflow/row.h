@@ -1,0 +1,52 @@
+// Rows and signed deltas: the currency of the differential dataflow engine.
+//
+// A Row is a fixed-arity tuple of 64-bit values. Strings are interned to
+// symbols by callers (see util/interner.h) so rows stay flat and hashing is
+// cheap. A Delta pairs a row with a signed multiplicity: +k inserts, -k
+// retracts. Collections are multisets represented as consolidated deltas.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace dna::dataflow {
+
+using Value = int64_t;
+using Row = std::vector<Value>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const noexcept {
+    size_t h = hash_u64(row.size());
+    for (Value v : row) h = hash_combine(h, hash_u64(static_cast<uint64_t>(v)));
+    return h;
+  }
+};
+
+/// A signed change to a multiset: `mult > 0` inserts copies, `< 0` retracts.
+struct Delta {
+  Row row;
+  int64_t mult = 0;
+
+  bool operator==(const Delta&) const = default;
+};
+
+using DeltaVec = std::vector<Delta>;
+
+/// A consolidated multiset: row -> multiplicity (never zero).
+using Multiset = std::unordered_map<Row, int64_t, RowHash>;
+
+/// Sums multiplicities per row and drops rows whose net multiplicity is zero.
+DeltaVec consolidate(const DeltaVec& deltas);
+
+/// Applies `deltas` to `state`, erasing entries that reach zero.
+/// Returns the rows whose sign (absent/present) changed, useful for
+/// set-semantics observers: +1 rows that appeared, -1 rows that vanished.
+DeltaVec apply_to_multiset(Multiset& state, const DeltaVec& deltas);
+
+/// Extracts selected columns of a row (used for join/group keys).
+Row project(const Row& row, const std::vector<int>& columns);
+
+}  // namespace dna::dataflow

@@ -1,0 +1,189 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace dna::datalog {
+
+DatalogEngine::DatalogEngine(const std::string& program_text,
+                             Strategy strategy)
+    : strategy_(strategy), db_(Program{}) {
+  ParsedProgram parsed = parse_program(program_text, interner_);
+  program_ = std::move(parsed.program);
+  init();
+  for (auto& [rel, tuple] : parsed.facts) insert(rel, std::move(tuple));
+  flush();
+}
+
+DatalogEngine::DatalogEngine(Program program, Strategy strategy)
+    : program_(std::move(program)), strategy_(strategy), db_(Program{}) {
+  program_.validate();
+  init();
+}
+
+void DatalogEngine::init() {
+  strat_ = stratify(program_);
+  db_ = Database(program_);
+  maintainer_ =
+      std::make_unique<IncrementalMaintainer>(program_, strat_, db_);
+  last_changes_.assign(program_.relations().size(), {});
+}
+
+int DatalogEngine::relation_id(const std::string& name) const {
+  int id = program_.relation_id(name);
+  if (id < 0) throw Error("unknown relation: " + name);
+  return id;
+}
+
+void DatalogEngine::insert(int rel, Tuple tuple) {
+  DNA_CHECK_MSG(program_.relation(rel).is_input,
+                "insert into non-input relation " +
+                    program_.relation(rel).name);
+  DNA_CHECK_MSG(static_cast<int>(tuple.size()) == program_.relation(rel).arity,
+                "tuple arity mismatch for " + program_.relation(rel).name);
+  pending_.push_back({rel, std::move(tuple), true});
+}
+
+void DatalogEngine::insert(const std::string& rel, Tuple tuple) {
+  insert(relation_id(rel), std::move(tuple));
+}
+
+void DatalogEngine::remove(int rel, Tuple tuple) {
+  DNA_CHECK_MSG(program_.relation(rel).is_input,
+                "remove from non-input relation " +
+                    program_.relation(rel).name);
+  pending_.push_back({rel, std::move(tuple), false});
+}
+
+void DatalogEngine::remove(const std::string& rel, Tuple tuple) {
+  remove(relation_id(rel), std::move(tuple));
+}
+
+void DatalogEngine::net_pending(std::vector<std::pair<int, Tuple>>& inserts,
+                                std::vector<std::pair<int, Tuple>>& removes) {
+  // Replay the queued ops over the current presence to find net changes.
+  std::map<std::pair<int, Tuple>, bool> final_state;
+  for (const PendingOp& op : pending_) {
+    final_state[{op.rel, op.tuple}] = op.is_insert;
+  }
+  for (auto& [key, present_after] : final_state) {
+    const auto& [rel, tuple] = key;
+    const bool present_before = db_.rel(rel).contains(tuple);
+    if (present_after && !present_before) {
+      inserts.emplace_back(rel, tuple);
+    } else if (!present_after && present_before) {
+      removes.emplace_back(rel, tuple);
+    }
+  }
+  pending_.clear();
+}
+
+void DatalogEngine::flush() {
+  for (auto& changes : last_changes_) {
+    changes.added.clear();
+    changes.removed.clear();
+  }
+  switch (strategy_) {
+    case Strategy::kIncremental:
+      flush_incremental(/*force_dred=*/false);
+      break;
+    case Strategy::kIncrementalForceDRed:
+      flush_incremental(/*force_dred=*/true);
+      break;
+    case Strategy::kRecompute:
+      flush_recompute();
+      break;
+  }
+}
+
+void DatalogEngine::flush_incremental(bool force_dred) {
+  std::vector<std::pair<int, Tuple>> inserts, removes;
+  net_pending(inserts, removes);
+  if (inserts.empty() && removes.empty()) return;
+  BatchDeltas deltas = maintainer_->apply(inserts, removes, force_dred);
+  for (auto& [rel, delta] : deltas) {
+    last_changes_[static_cast<size_t>(rel)].added = delta.added;
+    last_changes_[static_cast<size_t>(rel)].removed = delta.removed;
+  }
+}
+
+void DatalogEngine::flush_recompute() {
+  std::vector<std::pair<int, Tuple>> inserts, removes;
+  net_pending(inserts, removes);
+
+  // Snapshot old IDB contents for change reporting.
+  std::vector<TupleSet> before(program_.relations().size());
+  for (size_t rel = 0; rel < program_.relations().size(); ++rel) {
+    if (program_.relation(static_cast<int>(rel)).is_input) continue;
+    for (const auto& [tuple, cnt] : db_.rel(static_cast<int>(rel)).facts()) {
+      (void)cnt;
+      before[rel].insert(tuple);
+    }
+  }
+
+  for (auto& [rel, tuple] : inserts) {
+    db_.rel(rel).add_count(tuple, +1);
+    last_changes_[static_cast<size_t>(rel)].added.push_back(tuple);
+  }
+  for (auto& [rel, tuple] : removes) {
+    db_.rel(rel).add_count(tuple, -db_.rel(rel).count(tuple));
+    last_changes_[static_cast<size_t>(rel)].removed.push_back(tuple);
+  }
+
+  evaluate_program(db_, program_, strat_);
+
+  for (size_t rel = 0; rel < program_.relations().size(); ++rel) {
+    if (program_.relation(static_cast<int>(rel)).is_input) continue;
+    Changes& changes = last_changes_[rel];
+    for (const auto& [tuple, cnt] : db_.rel(static_cast<int>(rel)).facts()) {
+      (void)cnt;
+      if (!before[rel].count(tuple)) changes.added.push_back(tuple);
+    }
+    for (const Tuple& tuple : before[rel]) {
+      if (!db_.rel(static_cast<int>(rel)).contains(tuple)) {
+        changes.removed.push_back(tuple);
+      }
+    }
+  }
+}
+
+bool DatalogEngine::contains(int rel, const Tuple& tuple) const {
+  return db_.rel(rel).contains(tuple);
+}
+
+bool DatalogEngine::contains(const std::string& rel,
+                             const Tuple& tuple) const {
+  return contains(relation_id(rel), tuple);
+}
+
+size_t DatalogEngine::size(const std::string& rel) const {
+  return size(relation_id(rel));
+}
+
+std::vector<Tuple> DatalogEngine::rows(int rel) const {
+  std::vector<Tuple> out;
+  out.reserve(db_.rel(rel).size());
+  for (const auto& [tuple, cnt] : db_.rel(rel).facts()) {
+    (void)cnt;
+    out.push_back(tuple);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Tuple> DatalogEngine::rows(const std::string& rel) const {
+  return rows(relation_id(rel));
+}
+
+const DatalogEngine::Changes& DatalogEngine::changes(int rel) const {
+  return last_changes_.at(static_cast<size_t>(rel));
+}
+
+const DatalogEngine::Changes& DatalogEngine::changes(
+    const std::string& rel) const {
+  return changes(relation_id(rel));
+}
+
+}  // namespace dna::datalog

@@ -1,0 +1,491 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::datalog {
+
+int64_t Relation::count(const Tuple& t) const {
+  auto it = facts_.find(t);
+  return it == facts_.end() ? 0 : it->second;
+}
+
+int Relation::add_count(const Tuple& t, int64_t delta) {
+  if (delta == 0) return 0;
+  auto [it, inserted] = facts_.try_emplace(t, 0);
+  const int64_t before = it->second;
+  it->second += delta;
+  const int64_t after = it->second;
+  DNA_CHECK_MSG(after >= 0, "derivation count went negative");
+  if (after == 0) facts_.erase(it);
+  if (before == 0 && after > 0) {
+    for (Index& index : indexes_) index_insert(index, t);
+    return +1;
+  }
+  if (before > 0 && after == 0) {
+    for (Index& index : indexes_) index_erase(index, t);
+    return -1;
+  }
+  return 0;
+}
+
+const std::vector<Tuple>* Relation::match(const std::vector<int>& cols,
+                                          const Tuple& key) {
+  for (Index& index : indexes_) {
+    if (index.cols == cols) {
+      auto it = index.buckets.find(key);
+      return it == index.buckets.end() ? nullptr : &it->second;
+    }
+  }
+  // Build the index on first use.
+  indexes_.push_back({cols, {}});
+  Index& index = indexes_.back();
+  for (const auto& [tuple, cnt] : facts_) {
+    (void)cnt;
+    index_insert(index, tuple);
+  }
+  auto it = index.buckets.find(key);
+  return it == index.buckets.end() ? nullptr : &it->second;
+}
+
+void Relation::clear() {
+  facts_.clear();
+  indexes_.clear();
+}
+
+void Relation::index_insert(Index& index, const Tuple& t) {
+  Tuple key;
+  key.reserve(index.cols.size());
+  for (int c : index.cols) key.push_back(t[static_cast<size_t>(c)]);
+  index.buckets[key].push_back(t);
+}
+
+void Relation::index_erase(Index& index, const Tuple& t) {
+  Tuple key;
+  key.reserve(index.cols.size());
+  for (int c : index.cols) key.push_back(t[static_cast<size_t>(c)]);
+  auto it = index.buckets.find(key);
+  if (it == index.buckets.end()) return;
+  auto& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == t) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  if (bucket.empty()) index.buckets.erase(it);
+}
+
+Database::Database(const Program& program) {
+  relations_.reserve(program.relations().size());
+  for (const RelationDecl& decl : program.relations()) {
+    relations_.emplace_back(decl.arity);
+  }
+}
+
+RulePlan make_plan(const Rule& rule) {
+  RulePlan plan;
+  plan.rule = &rule;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (!rule.body[i].negated) plan.order.push_back(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (rule.body[i].negated) plan.order.push_back(static_cast<int>(i));
+  }
+
+  // Attach each comparison to the earliest plan step after which both of its
+  // sides are bound (constants are always bound).
+  std::vector<bool> bound(static_cast<size_t>(rule.num_vars), false);
+  plan.cmps_after.assign(plan.order.size(), {});
+  std::vector<bool> attached(rule.comparisons.size(), false);
+  for (size_t step = 0; step < plan.order.size(); ++step) {
+    const Literal& lit = rule.body[static_cast<size_t>(plan.order[step])];
+    if (!lit.negated) {
+      for (const Term& term : lit.atom.terms) {
+        if (term.is_var()) bound[static_cast<size_t>(term.var)] = true;
+      }
+    }
+    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+      if (attached[c]) continue;
+      const Comparison& cmp = rule.comparisons[c];
+      auto is_bound = [&](const Term& term) {
+        return !term.is_var() || bound[static_cast<size_t>(term.var)];
+      };
+      if (is_bound(cmp.lhs) && is_bound(cmp.rhs)) {
+        plan.cmps_after[step].push_back(static_cast<int>(c));
+        attached[c] = true;
+      }
+    }
+  }
+  // Validation guarantees every comparison var is bound by a positive atom,
+  // so everything must be attached by the end.
+  for (bool a : attached) DNA_CHECK(a);
+  return plan;
+}
+
+namespace {
+
+/// In-flight variable assignment while enumerating a rule's bindings.
+struct Binding {
+  std::vector<Value> values;
+  std::vector<bool> bound;
+
+  explicit Binding(int num_vars)
+      : values(static_cast<size_t>(num_vars), 0),
+        bound(static_cast<size_t>(num_vars), false) {}
+};
+
+/// Binds `tuple` against `atom`; records newly bound vars in `trail` so the
+/// caller can unwind. Returns false (leaving a partial trail) on mismatch.
+bool try_bind(const Atom& atom, const Tuple& tuple, Binding& binding,
+              std::vector<int>& trail) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.is_var()) {
+      const size_t v = static_cast<size_t>(term.var);
+      if (binding.bound[v]) {
+        if (binding.values[v] != tuple[i]) return false;
+      } else {
+        binding.bound[v] = true;
+        binding.values[v] = tuple[i];
+        trail.push_back(term.var);
+      }
+    } else if (term.value != tuple[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void unwind(Binding& binding, std::vector<int>& trail, size_t mark) {
+  while (trail.size() > mark) {
+    binding.bound[static_cast<size_t>(trail.back())] = false;
+    trail.pop_back();
+  }
+}
+
+/// Builds the ground tuple of `atom` under a binding where all of the atom's
+/// variables are bound. Returns false if some variable is unbound (possible
+/// only for malformed plans; validation prevents it for negated atoms).
+bool ground_atom(const Atom& atom, const Binding& binding, Tuple& out) {
+  out.clear();
+  out.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    if (term.is_var()) {
+      const size_t v = static_cast<size_t>(term.var);
+      if (!binding.bound[v]) return false;
+      out.push_back(binding.values[v]);
+    } else {
+      out.push_back(term.value);
+    }
+  }
+  return true;
+}
+
+const RelationDelta* find_delta(const BatchDeltas& deltas, int rel) {
+  auto it = deltas.find(rel);
+  return it == deltas.end() ? nullptr : &it->second;
+}
+
+/// Membership in the pre-batch state of a relation.
+bool contains_old(Database& db, const BatchDeltas& deltas, int rel,
+                  const Tuple& t) {
+  const RelationDelta* delta = find_delta(deltas, rel);
+  if (delta) {
+    if (delta->added_set.count(t)) return false;   // added this batch
+    if (delta->removed_set.count(t)) return true;  // removed this batch
+  }
+  return db.rel(rel).contains(t);
+}
+
+class PlanEvaluator {
+ public:
+  PlanEvaluator(Database& db, const BatchDeltas& deltas, const RulePlan& plan,
+                const std::vector<PositionSource>& sources,
+                const std::function<void(const Tuple&)>& sink)
+      : db_(db),
+        deltas_(deltas),
+        plan_(plan),
+        sources_(sources),
+        sink_(sink),
+        binding_(plan.rule->num_vars) {
+    DNA_CHECK(sources.size() == plan.steps());
+  }
+
+  void run(const Tuple* restrict_head) {
+    if (restrict_head) {
+      std::vector<int> trail;
+      if (!try_bind(plan_.rule->head, *restrict_head, binding_, trail)) {
+        return;
+      }
+      head_override_ = restrict_head;
+    }
+    descend(0);
+  }
+
+ private:
+  bool comparisons_hold(size_t step) const {
+    for (int c : plan_.cmps_after[step]) {
+      const Comparison& cmp =
+          plan_.rule->comparisons[static_cast<size_t>(c)];
+      auto value_of = [&](const Term& term) {
+        return term.is_var() ? binding_.values[static_cast<size_t>(term.var)]
+                             : term.value;
+      };
+      if (!eval_cmp(cmp.op, value_of(cmp.lhs), value_of(cmp.rhs))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void descend(size_t step) {
+    if (step == plan_.steps()) {
+      Tuple head;
+      if (head_override_) {
+        head = *head_override_;
+      } else {
+        DNA_CHECK(ground_atom(plan_.rule->head, binding_, head));
+      }
+      sink_(head);
+      return;
+    }
+
+    const Literal& lit = plan_.literal(step);
+    const PositionSource& source = sources_[step];
+    const int rel = lit.atom.relation;
+
+    if (lit.negated) {
+      Tuple t;
+      DNA_CHECK_MSG(ground_atom(lit.atom, binding_, t),
+                    "negated atom with unbound variable");
+      bool pass = false;
+      switch (source.kind) {
+        case PositionSource::Kind::kState:
+          pass = !db_.rel(rel).contains(t);
+          break;
+        case PositionSource::Kind::kOldState:
+          pass = !contains_old(db_, deltas_, rel, t);
+          break;
+        case PositionSource::Kind::kAddedOf: {
+          const RelationDelta* delta = find_delta(deltas_, rel);
+          pass = delta && delta->added_set.count(t) > 0;
+          break;
+        }
+        case PositionSource::Kind::kRemovedOf: {
+          const RelationDelta* delta = find_delta(deltas_, rel);
+          pass = delta && delta->removed_set.count(t) > 0;
+          break;
+        }
+        case PositionSource::Kind::kList:
+          DNA_CHECK_MSG(false, "kList source on a negated literal");
+      }
+      if (pass && comparisons_hold(step)) descend(step + 1);
+      return;
+    }
+
+    // Positive literal: enumerate candidate tuples from the source.
+    switch (source.kind) {
+      case PositionSource::Kind::kState:
+        enumerate_state(step, lit);
+        break;
+      case PositionSource::Kind::kOldState:
+        enumerate_old_state(step, lit);
+        break;
+      case PositionSource::Kind::kAddedOf: {
+        const RelationDelta* delta = find_delta(deltas_, rel);
+        if (delta) enumerate_list(step, lit, delta->added);
+        break;
+      }
+      case PositionSource::Kind::kRemovedOf: {
+        const RelationDelta* delta = find_delta(deltas_, rel);
+        if (delta) enumerate_list(step, lit, delta->removed);
+        break;
+      }
+      case PositionSource::Kind::kList:
+        DNA_CHECK(source.list != nullptr);
+        enumerate_list(step, lit, *source.list);
+        break;
+    }
+  }
+
+  /// The (sorted) bound columns of the atom under the current binding,
+  /// together with the lookup key they induce.
+  void bound_columns(const Atom& atom, std::vector<int>& cols,
+                     Tuple& key) const {
+    cols.clear();
+    key.clear();
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& term = atom.terms[i];
+      if (term.is_var()) {
+        const size_t v = static_cast<size_t>(term.var);
+        if (binding_.bound[v]) {
+          cols.push_back(static_cast<int>(i));
+          key.push_back(binding_.values[v]);
+        }
+      } else {
+        cols.push_back(static_cast<int>(i));
+        key.push_back(term.value);
+      }
+    }
+  }
+
+  void try_candidate(size_t step, const Literal& lit, const Tuple& tuple) {
+    std::vector<int> trail;
+    if (try_bind(lit.atom, tuple, binding_, trail) && comparisons_hold(step)) {
+      descend(step + 1);
+    }
+    unwind(binding_, trail, 0);
+  }
+
+  void enumerate_state(size_t step, const Literal& lit) {
+    std::vector<int> cols;
+    Tuple key;
+    bound_columns(lit.atom, cols, key);
+    const std::vector<Tuple>* bucket = db_.rel(lit.atom.relation).match(cols, key);
+    if (!bucket) return;
+    // The bucket may be mutated if a nested step touches the same index; the
+    // engine never mutates during evaluation, so iteration is safe.
+    for (const Tuple& tuple : *bucket) try_candidate(step, lit, tuple);
+  }
+
+  void enumerate_old_state(size_t step, const Literal& lit) {
+    const int rel = lit.atom.relation;
+    const RelationDelta* delta = find_delta(deltas_, rel);
+    std::vector<int> cols;
+    Tuple key;
+    bound_columns(lit.atom, cols, key);
+    const std::vector<Tuple>* bucket = db_.rel(rel).match(cols, key);
+    if (bucket) {
+      for (const Tuple& tuple : *bucket) {
+        if (delta && delta->added_set.count(tuple)) continue;  // not in old
+        try_candidate(step, lit, tuple);
+      }
+    }
+    if (delta) {
+      // Removed tuples were in the old state; filter them by the bound key.
+      for (const Tuple& tuple : delta->removed) {
+        bool key_matches = true;
+        for (size_t k = 0; k < cols.size(); ++k) {
+          if (tuple[static_cast<size_t>(cols[k])] != key[k]) {
+            key_matches = false;
+            break;
+          }
+        }
+        if (key_matches) try_candidate(step, lit, tuple);
+      }
+    }
+  }
+
+  void enumerate_list(size_t step, const Literal& lit,
+                      const std::vector<Tuple>& list) {
+    for (const Tuple& tuple : list) try_candidate(step, lit, tuple);
+  }
+
+  Database& db_;
+  const BatchDeltas& deltas_;
+  const RulePlan& plan_;
+  const std::vector<PositionSource>& sources_;
+  const std::function<void(const Tuple&)>& sink_;
+  Binding binding_;
+  const Tuple* head_override_ = nullptr;
+};
+
+}  // namespace
+
+void evaluate_plan(Database& db, const BatchDeltas& deltas,
+                   const RulePlan& plan,
+                   const std::vector<PositionSource>& sources,
+                   const std::function<void(const Tuple&)>& sink,
+                   const Tuple* restrict_head) {
+  PlanEvaluator(db, deltas, plan, sources, sink).run(restrict_head);
+}
+
+void evaluate_program(Database& db, const Program& program,
+                      const Stratification& strat) {
+  static const BatchDeltas kNoDeltas;
+
+  // Clear IDB relations.
+  for (size_t rel = 0; rel < program.relations().size(); ++rel) {
+    if (!program.relation(static_cast<int>(rel)).is_input) {
+      db.rel(static_cast<int>(rel)).clear();
+    }
+  }
+
+  for (const Stratum& stratum : strat.strata) {
+    std::vector<RulePlan> plans;
+    plans.reserve(stratum.rules.size());
+    for (int ri : stratum.rules) {
+      plans.push_back(make_plan(program.rules()[static_cast<size_t>(ri)]));
+    }
+
+    if (!stratum.recursive) {
+      // Exact derivation counts via a single pass per rule.
+      for (const RulePlan& plan : plans) {
+        std::vector<PositionSource> sources(plan.steps());
+        evaluate_plan(db, kNoDeltas, plan, sources, [&](const Tuple& head) {
+          db.rel(plan.rule->head.relation).add_count(head, +1);
+        });
+      }
+      continue;
+    }
+
+    // Recursive stratum: semi-naive iteration with set semantics.
+    std::unordered_set<int> in_stratum(stratum.relations.begin(),
+                                       stratum.relations.end());
+    std::unordered_map<int, std::vector<Tuple>> delta;
+    for (int rel : stratum.relations) delta[rel] = {};
+
+    // Derivations are buffered per pass and applied afterwards: the sink
+    // must not mutate a relation while evaluate_plan may be iterating one of
+    // its index buckets (recursive rules read the head relation).
+    std::vector<std::pair<int, Tuple>> derived;
+
+    // Round zero: full evaluation (same-stratum relations start empty).
+    for (const RulePlan& plan : plans) {
+      std::vector<PositionSource> sources(plan.steps());
+      evaluate_plan(db, kNoDeltas, plan, sources, [&](const Tuple& head) {
+        derived.emplace_back(plan.rule->head.relation, head);
+      });
+    }
+    for (auto& [rel, head] : derived) {
+      if (!db.rel(rel).contains(head)) {
+        db.rel(rel).add_count(head, +1);
+        delta[rel].push_back(head);
+      }
+    }
+
+    while (true) {
+      derived.clear();
+      for (const RulePlan& plan : plans) {
+        for (size_t step = 0; step < plan.steps(); ++step) {
+          const Literal& lit = plan.literal(step);
+          if (lit.negated || !in_stratum.count(lit.atom.relation)) continue;
+          const std::vector<Tuple>& dl = delta[lit.atom.relation];
+          if (dl.empty()) continue;
+          std::vector<PositionSource> sources(plan.steps());
+          sources[step] = {PositionSource::Kind::kList, &dl};
+          evaluate_plan(db, kNoDeltas, plan, sources, [&](const Tuple& head) {
+            derived.emplace_back(plan.rule->head.relation, head);
+          });
+        }
+      }
+      std::unordered_map<int, std::vector<Tuple>> next_delta;
+      for (int rel : stratum.relations) next_delta[rel] = {};
+      bool any = false;
+      for (auto& [rel, head] : derived) {
+        if (!db.rel(rel).contains(head)) {
+          db.rel(rel).add_count(head, +1);
+          next_delta[rel].push_back(head);
+          any = true;
+        }
+      }
+      if (!any) break;
+      delta = std::move(next_delta);
+    }
+  }
+}
+
+}  // namespace dna::datalog

@@ -1,0 +1,323 @@
+#include "datalog/incremental.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::datalog {
+
+IncrementalMaintainer::IncrementalMaintainer(const Program& program,
+                                             const Stratification& strat,
+                                             Database& db)
+    : program_(program), strat_(strat), db_(db) {
+  plans_.reserve(strat.strata.size());
+  for (const Stratum& stratum : strat.strata) {
+    std::vector<RulePlan> plans;
+    plans.reserve(stratum.rules.size());
+    for (int ri : stratum.rules) {
+      plans.push_back(make_plan(program.rules()[static_cast<size_t>(ri)]));
+    }
+    plans_.push_back(std::move(plans));
+  }
+}
+
+BatchDeltas IncrementalMaintainer::apply(
+    const std::vector<std::pair<int, Tuple>>& edb_inserts,
+    const std::vector<std::pair<int, Tuple>>& edb_removes, bool force_dred) {
+  BatchDeltas deltas;
+
+  for (const auto& [rel, tuple] : edb_inserts) {
+    DNA_CHECK_MSG(program_.relation(rel).is_input,
+                  "EDB insert into non-input relation");
+    DNA_CHECK_MSG(!db_.rel(rel).contains(tuple),
+                  "EDB insert of an already-present tuple (not net)");
+    db_.rel(rel).add_count(tuple, +1);
+    deltas[rel].add_added(tuple);
+  }
+  for (const auto& [rel, tuple] : edb_removes) {
+    DNA_CHECK_MSG(program_.relation(rel).is_input,
+                  "EDB removal from non-input relation");
+    DNA_CHECK_MSG(db_.rel(rel).contains(tuple),
+                  "EDB removal of an absent tuple (not net)");
+    DNA_CHECK_MSG(!deltas[rel].added_set.count(tuple),
+                  "tuple both inserted and removed in one batch");
+    db_.rel(rel).add_count(tuple, -db_.rel(rel).count(tuple));
+    deltas[rel].add_removed(tuple);
+  }
+
+  for (size_t si = 0; si < strat_.strata.size(); ++si) {
+    const Stratum& stratum = strat_.strata[si];
+    if (!stratum_inputs_changed(stratum, deltas)) continue;
+    if (stratum.recursive || force_dred) {
+      dred_stratum(stratum, deltas);
+    } else {
+      counting_stratum(stratum, deltas);
+    }
+  }
+  return deltas;
+}
+
+bool IncrementalMaintainer::stratum_inputs_changed(
+    const Stratum& stratum, const BatchDeltas& deltas) const {
+  for (int ri : stratum.rules) {
+    const Rule& rule = program_.rules()[static_cast<size_t>(ri)];
+    for (const Literal& lit : rule.body) {
+      auto it = deltas.find(lit.atom.relation);
+      if (it != deltas.end() && !it->second.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalMaintainer::counting_stratum(const Stratum& stratum,
+                                             BatchDeltas& deltas) {
+  const size_t si = static_cast<size_t>(strat_.stratum_of[stratum.relations[0]]);
+  CountMap head_delta;
+
+  for (const RulePlan& plan : plans_[si]) {
+    const size_t k = plan.steps();
+    for (size_t i = 0; i < k; ++i) {
+      const Literal& lit = plan.literal(i);
+      auto dit = deltas.find(lit.atom.relation);
+      if (dit == deltas.end() || dit->second.empty()) continue;
+
+      // Telescoping: steps before i see the new state, steps after i the
+      // old state; step i ranges over the relation's delta.
+      std::vector<PositionSource> sources(k);
+      for (size_t j = 0; j < i; ++j) {
+        sources[j] = {PositionSource::Kind::kState, nullptr};
+      }
+      for (size_t j = i + 1; j < k; ++j) {
+        sources[j] = {PositionSource::Kind::kOldState, nullptr};
+      }
+
+      // Positive literal: additions derive (+), removals retract (-).
+      // Negated literal: additions retract (-), removals derive (+).
+      const int add_sign = lit.negated ? -1 : +1;
+      if (!dit->second.added.empty()) {
+        sources[i] = {PositionSource::Kind::kAddedOf, nullptr};
+        evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+          head_delta[head] += add_sign;
+        });
+      }
+      if (!dit->second.removed.empty()) {
+        sources[i] = {PositionSource::Kind::kRemovedOf, nullptr};
+        evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+          head_delta[head] -= add_sign;
+        });
+      }
+    }
+  }
+
+  const int head_rel = stratum.relations[0];
+  for (const auto& [tuple, dcount] : head_delta) {
+    const int transition = db_.rel(head_rel).add_count(tuple, dcount);
+    if (transition > 0) {
+      deltas[head_rel].add_added(tuple);
+    } else if (transition < 0) {
+      deltas[head_rel].add_removed(tuple);
+    }
+  }
+}
+
+void IncrementalMaintainer::dred_stratum(const Stratum& stratum,
+                                         BatchDeltas& deltas) {
+  const size_t si = static_cast<size_t>(strat_.stratum_of[stratum.relations[0]]);
+  const std::vector<RulePlan>& plans = plans_[si];
+  std::unordered_set<int> in_stratum(stratum.relations.begin(),
+                                     stratum.relations.end());
+
+  // Original presence of every tuple we touch, to compute net changes last.
+  std::unordered_map<int, std::unordered_map<Tuple, bool, TupleHash>> touched;
+  auto note_touch = [&](int rel, const Tuple& t, bool currently_present) {
+    touched[rel].try_emplace(t, currently_present);
+  };
+
+  // ---- Phase A: over-delete ----------------------------------------------
+  // Deletion candidates: head tuples with a derivation through a removed
+  // tuple (positive position) or a newly added tuple (negated position).
+  // Stratum relations keep their pre-phase contents during the whole phase,
+  // so kState on them *is* the old state; lower strata use kOldState views.
+  std::unordered_map<int, std::vector<Tuple>> del_frontier;
+  std::unordered_map<int, TupleSet> del_set;
+
+  auto queue_delete = [&](int rel, const Tuple& head) {
+    if (!db_.rel(rel).contains(head)) return;   // never materialized
+    if (del_set[rel].count(head)) return;       // already queued
+    del_set[rel].insert(head);
+    del_frontier[rel].push_back(head);
+    note_touch(rel, head, true);
+  };
+
+  auto sources_for_overdelete = [&](const RulePlan& plan, size_t delta_step,
+                                    PositionSource::Kind delta_kind) {
+    std::vector<PositionSource> sources(plan.steps());
+    for (size_t j = 0; j < plan.steps(); ++j) {
+      const Literal& lj = plan.literal(j);
+      if (j == delta_step) {
+        sources[j] = {delta_kind, nullptr};
+      } else if (in_stratum.count(lj.atom.relation)) {
+        sources[j] = {PositionSource::Kind::kState, nullptr};  // == old
+      } else {
+        sources[j] = {PositionSource::Kind::kOldState, nullptr};
+      }
+    }
+    return sources;
+  };
+
+  // Seed with external (lower-strata / EDB) changes.
+  std::vector<std::pair<int, Tuple>> buffered;
+  for (const RulePlan& plan : plans) {
+    for (size_t i = 0; i < plan.steps(); ++i) {
+      const Literal& lit = plan.literal(i);
+      if (in_stratum.count(lit.atom.relation)) continue;
+      auto dit = deltas.find(lit.atom.relation);
+      if (dit == deltas.end() || dit->second.empty()) continue;
+      // A removed positive tuple or an added negated tuple kills derivations.
+      const auto kind = lit.negated ? PositionSource::Kind::kAddedOf
+                                    : PositionSource::Kind::kRemovedOf;
+      auto sources = sources_for_overdelete(plan, i, kind);
+      evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+        buffered.emplace_back(plan.rule->head.relation, head);
+      });
+    }
+  }
+  for (auto& [rel, head] : buffered) queue_delete(rel, head);
+  buffered.clear();
+
+  // Propagate over-deletions within the stratum.
+  while (true) {
+    std::unordered_map<int, std::vector<Tuple>> frontier =
+        std::move(del_frontier);
+    del_frontier.clear();
+    bool any = false;
+    for (auto& [rel, list] : frontier) {
+      if (!list.empty()) any = true;
+    }
+    if (!any) break;
+    for (const RulePlan& plan : plans) {
+      for (size_t i = 0; i < plan.steps(); ++i) {
+        const Literal& lit = plan.literal(i);
+        if (lit.negated || !in_stratum.count(lit.atom.relation)) continue;
+        auto fit = frontier.find(lit.atom.relation);
+        if (fit == frontier.end() || fit->second.empty()) continue;
+        auto sources =
+            sources_for_overdelete(plan, i, PositionSource::Kind::kList);
+        sources[i].list = &fit->second;
+        evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+          buffered.emplace_back(plan.rule->head.relation, head);
+        });
+      }
+    }
+    for (auto& [rel, head] : buffered) queue_delete(rel, head);
+    buffered.clear();
+  }
+
+  // Physically delete.
+  for (auto& [rel, tuples] : del_set) {
+    for (const Tuple& t : tuples) {
+      db_.rel(rel).add_count(t, -db_.rel(rel).count(t));
+    }
+  }
+
+  // ---- Phase B + C: re-derive and insert ----------------------------------
+  // Seeds: (1) over-deleted tuples that still have a derivation from the
+  // remaining facts; (2) derivations enabled by external additions (positive)
+  // or external removals (negated). Then a semi-naive insertion fixpoint.
+  std::unordered_map<int, std::vector<Tuple>> ins_frontier;
+
+  auto sources_new = [&](const RulePlan& plan) {
+    return std::vector<PositionSource>(plan.steps());
+  };
+
+  // (1) Re-derivation of deleted tuples, head-restricted.
+  for (auto& [rel, tuples] : del_set) {
+    for (const Tuple& t : tuples) {
+      bool rederived = false;
+      for (const RulePlan& plan : plans) {
+        if (plan.rule->head.relation != rel) continue;
+        auto sources = sources_new(plan);
+        evaluate_plan(
+            db_, deltas, plan, sources,
+            [&](const Tuple&) { rederived = true; }, &t);
+        if (rederived) break;
+      }
+      if (rederived) {
+        db_.rel(rel).add_count(t, +1);
+        ins_frontier[rel].push_back(t);
+      }
+    }
+  }
+
+  // (2) External additions / removed-negations.
+  for (const RulePlan& plan : plans) {
+    for (size_t i = 0; i < plan.steps(); ++i) {
+      const Literal& lit = plan.literal(i);
+      if (in_stratum.count(lit.atom.relation)) continue;
+      auto dit = deltas.find(lit.atom.relation);
+      if (dit == deltas.end() || dit->second.empty()) continue;
+      const auto kind = lit.negated ? PositionSource::Kind::kRemovedOf
+                                    : PositionSource::Kind::kAddedOf;
+      auto sources = sources_new(plan);
+      sources[i] = {kind, nullptr};
+      evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+        buffered.emplace_back(plan.rule->head.relation, head);
+      });
+    }
+  }
+  for (auto& [rel, head] : buffered) {
+    if (!db_.rel(rel).contains(head)) {
+      note_touch(rel, head, false);
+      db_.rel(rel).add_count(head, +1);
+      ins_frontier[rel].push_back(head);
+    }
+  }
+  buffered.clear();
+
+  // Semi-naive insertion fixpoint within the stratum.
+  while (true) {
+    std::unordered_map<int, std::vector<Tuple>> frontier =
+        std::move(ins_frontier);
+    ins_frontier.clear();
+    bool any = false;
+    for (auto& [rel, list] : frontier) {
+      if (!list.empty()) any = true;
+    }
+    if (!any) break;
+    for (const RulePlan& plan : plans) {
+      for (size_t i = 0; i < plan.steps(); ++i) {
+        const Literal& lit = plan.literal(i);
+        if (lit.negated || !in_stratum.count(lit.atom.relation)) continue;
+        auto fit = frontier.find(lit.atom.relation);
+        if (fit == frontier.end() || fit->second.empty()) continue;
+        auto sources = sources_new(plan);
+        sources[i] = {PositionSource::Kind::kList, &fit->second};
+        evaluate_plan(db_, deltas, plan, sources, [&](const Tuple& head) {
+          buffered.emplace_back(plan.rule->head.relation, head);
+        });
+      }
+    }
+    for (auto& [rel, head] : buffered) {
+      if (!db_.rel(rel).contains(head)) {
+        note_touch(rel, head, false);
+        db_.rel(rel).add_count(head, +1);
+        ins_frontier[rel].push_back(head);
+      }
+    }
+    buffered.clear();
+  }
+
+  // ---- Net changes ---------------------------------------------------------
+  for (auto& [rel, tuples] : touched) {
+    for (auto& [tuple, was_present] : tuples) {
+      const bool now_present = db_.rel(rel).contains(tuple);
+      if (was_present && !now_present) {
+        deltas[rel].add_removed(tuple);
+      } else if (!was_present && now_present) {
+        deltas[rel].add_added(tuple);
+      }
+    }
+  }
+}
+
+}  // namespace dna::datalog

@@ -1,0 +1,58 @@
+// Incremental view maintenance for datalog programs.
+//
+// Given a batch of EDB insertions/deletions, propagates set-level changes
+// stratum by stratum:
+//
+//  * Non-recursive strata use the COUNTING algorithm: each IDB tuple stores
+//    its exact number of derivations, and a telescoping delta-join
+//      Δ(L1 ⋈ … ⋈ Lk) = Σ_i  L1ⁿᵉʷ … L(i-1)ⁿᵉʷ ⋈ ΔLi ⋈ L(i+1)ᵒˡᵈ … Lkᵒˡᵈ
+//    updates the counts; a tuple appears/disappears when its count crosses
+//    zero.
+//
+//  * Recursive strata use DRed (delete–rederive): over-delete everything
+//    whose derivation may depend on a deleted tuple, re-derive survivors
+//    from the remaining facts, then semi-naively insert new derivations.
+//    Counting is unsound under recursion (a tuple may "support itself"),
+//    which is exactly why both algorithms exist — and why the engine exposes
+//    a force-DRed mode so the two can be compared on non-recursive programs
+//    (experiment F6).
+#pragma once
+
+#include "datalog/eval.h"
+
+namespace dna::datalog {
+
+class IncrementalMaintainer {
+ public:
+  /// `db` must already hold a consistent materialization of `program`
+  /// (counting counts in non-recursive strata, presence in recursive ones).
+  IncrementalMaintainer(const Program& program, const Stratification& strat,
+                        Database& db);
+
+  /// Applies net EDB set-changes and propagates them through all strata.
+  /// Inputs must be *net*: no tuple may appear in both lists, inserts must
+  /// be absent from the EDB, removals present. Returns the set-level change
+  /// of every relation (EDB and IDB) keyed by relation id.
+  ///
+  /// When `force_dred` is true every stratum is maintained with DRed; the
+  /// database must then have been materialized with set semantics
+  /// (see DatalogEngine Strategy::kIncrementalForceDRed).
+  BatchDeltas apply(const std::vector<std::pair<int, Tuple>>& edb_inserts,
+                    const std::vector<std::pair<int, Tuple>>& edb_removes,
+                    bool force_dred = false);
+
+ private:
+  void counting_stratum(const Stratum& stratum, BatchDeltas& deltas);
+  void dred_stratum(const Stratum& stratum, BatchDeltas& deltas);
+
+  /// True if any relation read by this stratum's rules changed in `deltas`.
+  bool stratum_inputs_changed(const Stratum& stratum,
+                              const BatchDeltas& deltas) const;
+
+  const Program& program_;
+  const Stratification& strat_;
+  Database& db_;
+  std::vector<std::vector<RulePlan>> plans_;  // by stratum index
+};
+
+}  // namespace dna::datalog

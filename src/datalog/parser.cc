@@ -1,0 +1,330 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::datalog {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,    // foo, Bar, _
+    kInt,      // 42, -7
+    kString,   // "quoted"
+    kPunct,    // ( ) , . :- ! != == < <= > >=
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token tok = current_;
+    advance();
+    return tok;
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, "", line_};
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kIdent, text_.substr(start, pos_ - start),
+                  line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_++;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kInt, text_.substr(start, pos_ - start), line_};
+      return;
+    }
+    if (c == '"') {
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) throw ParseError("unterminated string", line_);
+      current_ = {Token::Kind::kString, text_.substr(start, pos_ - start),
+                  line_};
+      ++pos_;
+      return;
+    }
+    // Multi-char punctuation first.
+    static const char* two_char[] = {":-", "!=", "==", "<=", ">="};
+    for (const char* p : two_char) {
+      if (text_.compare(pos_, 2, p) == 0) {
+        current_ = {Token::Kind::kPunct, p, line_};
+        pos_ += 2;
+        return;
+      }
+    }
+    static const std::string one_char = "(),.!<>=";
+    if (one_char.find(c) != std::string::npos) {
+      current_ = {Token::Kind::kPunct, std::string(1, c), line_};
+      ++pos_;
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Interner& interner)
+      : lexer_(text), interner_(interner) {}
+
+  ParsedProgram parse() {
+    while (lexer_.peek().kind != Token::Kind::kEnd) {
+      if (lexer_.peek().kind == Token::Kind::kPunct &&
+          lexer_.peek().text == ".") {
+        // ".decl" arrives as punct '.' then ident 'decl'.
+        lexer_.take();
+        expect_ident("decl");
+        parse_decl();
+      } else {
+        parse_clause();
+      }
+    }
+    result_.program.validate();
+    return std::move(result_);
+  }
+
+ private:
+  void expect_punct(const std::string& text) {
+    Token tok = lexer_.take();
+    if (tok.kind != Token::Kind::kPunct || tok.text != text) {
+      throw ParseError("expected '" + text + "', got '" + tok.text + "'",
+                       tok.line);
+    }
+  }
+
+  void expect_ident(const std::string& text) {
+    Token tok = lexer_.take();
+    if (tok.kind != Token::Kind::kIdent || tok.text != text) {
+      throw ParseError("expected '" + text + "', got '" + tok.text + "'",
+                       tok.line);
+    }
+  }
+
+  void parse_decl() {
+    Token name = lexer_.take();
+    if (name.kind != Token::Kind::kIdent) {
+      throw ParseError("expected relation name", name.line);
+    }
+    expect_punct("(");
+    Token arity = lexer_.take();
+    if (arity.kind != Token::Kind::kInt) {
+      throw ParseError("expected arity", arity.line);
+    }
+    expect_punct(")");
+    bool is_input = false;
+    if (lexer_.peek().kind == Token::Kind::kIdent &&
+        lexer_.peek().text == "input") {
+      lexer_.take();
+      is_input = true;
+    }
+    long long arity_value = parse_int(arity.text);
+    if (arity_value < 0 || arity_value > 64) {
+      throw ParseError("bad arity: " + arity.text, arity.line);
+    }
+    result_.program.add_relation(name.text, static_cast<int>(arity_value),
+                                 is_input);
+  }
+
+  /// A clause is either a ground fact `rel(c, ...).` or a rule with `:-`.
+  void parse_clause() {
+    vars_.clear();
+    num_vars_ = 0;
+    Atom head = parse_atom();
+    Token next = lexer_.take();
+    if (next.kind == Token::Kind::kPunct && next.text == ".") {
+      add_fact(head, next.line);
+      return;
+    }
+    if (!(next.kind == Token::Kind::kPunct && next.text == ":-")) {
+      throw ParseError("expected '.' or ':-' after head", next.line);
+    }
+    Rule rule;
+    rule.head = head;
+    for (;;) {
+      parse_body_element(rule);
+      Token sep = lexer_.take();
+      if (sep.kind == Token::Kind::kPunct && sep.text == ",") continue;
+      if (sep.kind == Token::Kind::kPunct && sep.text == ".") break;
+      throw ParseError("expected ',' or '.' in rule body", sep.line);
+    }
+    rule.num_vars = num_vars_;
+    result_.program.add_rule(std::move(rule));
+  }
+
+  void parse_body_element(Rule& rule) {
+    // Negated atom?
+    if (lexer_.peek().kind == Token::Kind::kPunct &&
+        lexer_.peek().text == "!") {
+      lexer_.take();
+      rule.body.push_back({parse_atom(), /*negated=*/true});
+      return;
+    }
+    // Lookahead: "ident (" is an atom; otherwise a comparison.
+    Token first = lexer_.take();
+    if (first.kind == Token::Kind::kIdent &&
+        lexer_.peek().kind == Token::Kind::kPunct &&
+        lexer_.peek().text == "(") {
+      rule.body.push_back({parse_atom_after_name(first), /*negated=*/false});
+      return;
+    }
+    // Comparison: term op term.
+    Term lhs = token_to_term(first);
+    Token op = lexer_.take();
+    if (op.kind != Token::Kind::kPunct) {
+      throw ParseError("expected comparison operator", op.line);
+    }
+    static const std::map<std::string, CmpOp> ops = {
+        {"==", CmpOp::kEq}, {"=", CmpOp::kEq},  {"!=", CmpOp::kNe},
+        {"<", CmpOp::kLt},  {"<=", CmpOp::kLe}, {">", CmpOp::kGt},
+        {">=", CmpOp::kGe}};
+    auto it = ops.find(op.text);
+    if (it == ops.end()) {
+      throw ParseError("unknown comparison operator '" + op.text + "'",
+                       op.line);
+    }
+    Term rhs = token_to_term(lexer_.take());
+    rule.comparisons.push_back({it->second, lhs, rhs});
+  }
+
+  Atom parse_atom() {
+    Token name = lexer_.take();
+    if (name.kind != Token::Kind::kIdent) {
+      throw ParseError("expected relation name, got '" + name.text + "'",
+                       name.line);
+    }
+    return parse_atom_after_name(name);
+  }
+
+  Atom parse_atom_after_name(const Token& name) {
+    int rel = result_.program.relation_id(name.text);
+    if (rel < 0) {
+      throw ParseError("undeclared relation '" + name.text + "'", name.line);
+    }
+    Atom atom;
+    atom.relation = rel;
+    expect_punct("(");
+    if (lexer_.peek().kind == Token::Kind::kPunct &&
+        lexer_.peek().text == ")") {
+      lexer_.take();
+      return atom;
+    }
+    for (;;) {
+      atom.terms.push_back(token_to_term(lexer_.take()));
+      Token sep = lexer_.take();
+      if (sep.kind == Token::Kind::kPunct && sep.text == ",") continue;
+      if (sep.kind == Token::Kind::kPunct && sep.text == ")") break;
+      throw ParseError("expected ',' or ')' in atom", sep.line);
+    }
+    return atom;
+  }
+
+  Term token_to_term(const Token& tok) {
+    switch (tok.kind) {
+      case Token::Kind::kInt:
+        return Term::make_const(std::stoll(tok.text));
+      case Token::Kind::kString:
+        return Term::make_const(
+            static_cast<Value>(interner_.intern(tok.text)));
+      case Token::Kind::kIdent: {
+        if (tok.text == "_") {
+          return Term::make_var(num_vars_++);  // fresh anonymous variable
+        }
+        if (std::isupper(static_cast<unsigned char>(tok.text[0]))) {
+          auto [it, inserted] = vars_.try_emplace(tok.text, num_vars_);
+          if (inserted) ++num_vars_;
+          return Term::make_var(it->second);
+        }
+        // Bare lowercase identifier: symbolic constant.
+        return Term::make_const(static_cast<Value>(interner_.intern(tok.text)));
+      }
+      default:
+        throw ParseError("expected a term, got '" + tok.text + "'", tok.line);
+    }
+  }
+
+  void add_fact(const Atom& atom, int line) {
+    const RelationDecl& decl = result_.program.relation(atom.relation);
+    if (!decl.is_input) {
+      throw ParseError("ground facts are only allowed for input relations",
+                       line);
+    }
+    Tuple tuple;
+    tuple.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      if (term.is_var()) {
+        throw ParseError("ground fact contains a variable", line);
+      }
+      tuple.push_back(term.value);
+    }
+    result_.facts.emplace_back(atom.relation, std::move(tuple));
+  }
+
+  Lexer lexer_;
+  Interner& interner_;
+  ParsedProgram result_;
+  std::map<std::string, int> vars_;
+  int num_vars_ = 0;
+};
+
+}  // namespace
+
+ParsedProgram parse_program(const std::string& text, Interner& interner) {
+  return Parser(text, interner).parse();
+}
+
+}  // namespace dna::datalog

@@ -1,0 +1,36 @@
+// Textual datalog syntax.
+//
+//   .decl edge(2) input        // EDB relation, arity 2
+//   .decl reach(2)             // IDB relation
+//   reach(X, Y) :- edge(X, Y).
+//   reach(X, Z) :- reach(X, Y), edge(Y, Z).
+//   island(X, Y) :- node(X), node(Y), !reach(X, Y), X != Y.
+//   edge(1, 2).                // ground fact (EDB only)
+//
+// Variables start with an uppercase letter; `_` is an anonymous variable.
+// Constants are integers, "quoted strings", or bare lowercase identifiers
+// (both string forms are interned through the supplied Interner).
+// Comments run from `//` or `#` to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/interner.h"
+
+namespace dna::datalog {
+
+struct ParsedProgram {
+  Program program;
+  /// Ground facts that appeared in the text, to be inserted after engine
+  /// construction: (relation id, tuple).
+  std::vector<std::pair<int, Tuple>> facts;
+};
+
+/// Parses and validates a program. Interned constants are registered in
+/// `interner` so callers can translate values back to strings.
+/// Throws dna::ParseError (with line numbers) or dna::Error on invalid input.
+ParsedProgram parse_program(const std::string& text, Interner& interner);
+
+}  // namespace dna::datalog

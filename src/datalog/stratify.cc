@@ -1,0 +1,154 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::datalog {
+
+namespace {
+
+/// Iterative Tarjan SCC over the relation dependency graph.
+class SccFinder {
+ public:
+  SccFinder(int n, const std::vector<std::vector<int>>& adj)
+      : adj_(adj),
+        index_(static_cast<size_t>(n), -1),
+        lowlink_(static_cast<size_t>(n), -1),
+        on_stack_(static_cast<size_t>(n), false),
+        component_(static_cast<size_t>(n), -1) {}
+
+  /// Returns components in reverse topological order (Tarjan property):
+  /// component_of[v] for every v, components listed callee-first.
+  std::pair<std::vector<int>, int> run() {
+    for (int v = 0; v < static_cast<int>(index_.size()); ++v) {
+      if (index_[v] == -1) strong_connect(v);
+    }
+    return {component_, num_components_};
+  }
+
+ private:
+  void strong_connect(int root) {
+    struct Frame {
+      int node;
+      size_t edge = 0;
+    };
+    std::vector<Frame> call_stack{{root}};
+    push_node(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const int v = frame.node;
+      if (frame.edge < adj_[v].size()) {
+        const int w = adj_[v][frame.edge++];
+        if (index_[w] == -1) {
+          push_node(w);
+          call_stack.push_back({w});
+        } else if (on_stack_[w]) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      } else {
+        if (lowlink_[v] == index_[v]) {
+          // v roots an SCC; pop it.
+          for (;;) {
+            int w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            component_[w] = num_components_;
+            if (w == v) break;
+          }
+          ++num_components_;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          int parent = call_stack.back().node;
+          lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+        }
+      }
+    }
+  }
+
+  void push_node(int v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> index_, lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<int> component_;
+  std::vector<int> stack_;
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+}  // namespace
+
+Stratification stratify(const Program& program) {
+  const int n = static_cast<int>(program.relations().size());
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));  // body -> head
+  // (body relation, head relation) pairs connected by negation.
+  std::vector<std::pair<int, int>> negative_edges;
+  std::vector<bool> self_recursive(static_cast<size_t>(n), false);
+
+  for (const Rule& rule : program.rules()) {
+    const int head = rule.head.relation;
+    for (const Literal& lit : rule.body) {
+      adj[lit.atom.relation].push_back(head);
+      if (lit.negated) negative_edges.emplace_back(lit.atom.relation, head);
+      if (lit.atom.relation == head && !lit.negated) {
+        self_recursive[head] = true;
+      }
+    }
+  }
+
+  auto [component, num_components] = SccFinder(n, adj).run();
+
+  for (auto [body, head] : negative_edges) {
+    if (component[body] == component[head]) {
+      throw Error("program is not stratifiable: negation of " +
+                  program.relation(body).name + " inside a recursive cycle");
+    }
+  }
+
+  std::vector<std::vector<int>> members(static_cast<size_t>(num_components));
+  for (int v = 0; v < n; ++v) {
+    members[component[v]].push_back(v);
+  }
+
+  Stratification out;
+  out.stratum_of.assign(static_cast<size_t>(n), -1);
+  // Along body -> head edges, Tarjan finishes dependent SCCs first, so the
+  // dependency-first (evaluation) order is the reverse component order.
+  for (int c = num_components - 1; c >= 0; --c) {
+    // Skip strata that contain only input relations with no rules.
+    bool any_idb = false;
+    for (int rel : members[c]) {
+      if (!program.relation(rel).is_input) any_idb = true;
+    }
+    if (!any_idb) continue;
+    Stratum stratum;
+    stratum.relations = members[c];
+    for (int rel : members[c]) {
+      if (program.relation(rel).is_input) {
+        throw Error("input relation " + program.relation(rel).name +
+                    " participates in a derivation cycle");
+      }
+      if (members[c].size() > 1 || self_recursive[rel]) {
+        stratum.recursive = true;
+      }
+    }
+    for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+      if (component[program.rules()[ri].head.relation] == c) {
+        stratum.rules.push_back(static_cast<int>(ri));
+      }
+    }
+    for (int rel : members[c]) {
+      out.stratum_of[rel] = static_cast<int>(out.strata.size());
+    }
+    out.strata.push_back(std::move(stratum));
+  }
+  return out;
+}
+
+}  // namespace dna::datalog

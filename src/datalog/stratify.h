@@ -1,0 +1,31 @@
+// Stratification: orders relations so negation is applied only to relations
+// that are fully computed in an earlier stratum.
+//
+// Each stratum is one strongly connected component of the relation dependency
+// graph (edges run body -> head), emitted in topological order. A stratum is
+// recursive when its SCC has more than one relation or a relation that
+// (transitively within the SCC) depends on itself.
+#pragma once
+
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dna::datalog {
+
+struct Stratum {
+  std::vector<int> relations;  // relation ids in this stratum
+  std::vector<int> rules;      // indices into Program::rules() with head here
+  bool recursive = false;
+};
+
+struct Stratification {
+  std::vector<Stratum> strata;   // topological order, EDB-only strata omitted
+  std::vector<int> stratum_of;   // relation id -> stratum index; -1 for EDB
+};
+
+/// Computes strata; throws dna::Error if a negation occurs inside a cycle
+/// (the program is not stratifiable).
+Stratification stratify(const Program& program);
+
+}  // namespace dna::datalog

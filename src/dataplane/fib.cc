@@ -1,0 +1,23 @@
+#include "dataplane/fib.h"
+
+namespace dna::dp {
+
+void LpmTable::rebuild(const cp::Fib& fib) {
+  entries_.clear();
+  present_lengths_ = 0;
+  for (const cp::FibEntry& entry : fib) {
+    entries_[entry.prefix] = entry;
+    present_lengths_ |= uint64_t{1} << entry.prefix.length();
+  }
+}
+
+const cp::FibEntry* LpmTable::lookup(Ipv4Addr addr) const {
+  for (int len = 32; len >= 0; --len) {
+    if (!((present_lengths_ >> len) & 1)) continue;
+    auto it = entries_.find(Ipv4Prefix(addr, static_cast<uint8_t>(len)));
+    if (it != entries_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace dna::dp

@@ -1,0 +1,30 @@
+// Longest-prefix-match lookup over a node's FIB.
+#pragma once
+
+#include <unordered_map>
+
+#include "controlplane/route.h"
+
+namespace dna::dp {
+
+/// Hash-probing LPM: one exact-match table, probed from /32 down to /0.
+/// Rebuilt per node whenever that node's FIB changes (cheap relative to
+/// re-verification, and only dirty nodes are rebuilt).
+class LpmTable {
+ public:
+  LpmTable() = default;
+  explicit LpmTable(const cp::Fib& fib) { rebuild(fib); }
+
+  void rebuild(const cp::Fib& fib);
+
+  /// The longest-prefix entry covering `addr`, or nullptr (drop).
+  const cp::FibEntry* lookup(Ipv4Addr addr) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Ipv4Prefix, cp::FibEntry> entries_;
+  uint64_t present_lengths_ = 0;  // bit l set => some entry has length l
+};
+
+}  // namespace dna::dp

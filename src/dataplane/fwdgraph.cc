@@ -1,0 +1,25 @@
+#include "dataplane/fwdgraph.h"
+
+namespace dna::dp {
+
+EcGraph build_ec_graph(const topo::Snapshot& snapshot,
+                       const std::vector<LpmTable>& lpm, Ipv4Addr rep) {
+  EcGraph graph;
+  const size_t n = snapshot.topology.num_nodes();
+  graph.verdicts.resize(n);
+  for (size_t node = 0; node < n; ++node) {
+    const cp::FibEntry* entry = lpm[node].lookup(rep);
+    NodeVerdict& verdict = graph.verdicts[node];
+    if (!entry) {
+      verdict.kind = NodeVerdict::Kind::kDrop;
+    } else if (entry->action == cp::FibEntry::Action::kLocal) {
+      verdict.kind = NodeVerdict::Kind::kLocal;
+    } else {
+      verdict.kind = NodeVerdict::Kind::kForward;
+      verdict.hops = entry->hops;
+    }
+  }
+  return graph;
+}
+
+}  // namespace dna::dp

@@ -1,0 +1,27 @@
+// Per-EC reachability analysis: delivery sets, loops, blackholes.
+#pragma once
+
+#include "dataplane/fwdgraph.h"
+#include "util/bitset.h"
+
+namespace dna::dp {
+
+/// Reachability of one EC from every ingress node.
+struct EcReach {
+  /// delivered[src].test(dst): a probe injected at src (with src's probe
+  /// address) is delivered locally at dst.
+  std::vector<DynamicBitset> delivered;
+  DynamicBitset loop;       // by src: a forwarding cycle is reachable
+  DynamicBitset blackhole;  // by src: a drop (no route / ACL / dead end)
+                            // is reachable
+
+  bool operator==(const EcReach&) const = default;
+};
+
+/// Walks the EC graph from every source, applying out-ACLs at the sending
+/// interface and in-ACLs at the receiving interface with the source node's
+/// probe address.
+EcReach compute_reach(const topo::Snapshot& snapshot, const EcGraph& graph,
+                      Ipv4Addr rep);
+
+}  // namespace dna::dp

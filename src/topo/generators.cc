@@ -1,0 +1,264 @@
+#include "topo/generators.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::topo {
+
+namespace {
+
+/// Shared scaffolding: build a snapshot from an edge list, assigning
+/// addresses and (optionally) enabling OSPF on every node.
+class Builder {
+ public:
+  explicit Builder(int n, const std::string& prefix = "r") {
+    for (int i = 0; i < n; ++i) {
+      NodeId id = snap_.topology.add_node(prefix + std::to_string(i));
+      config::NodeConfig cfg;
+      cfg.name = prefix + std::to_string(i);
+      // Loopback: 172.16.x.y/32.
+      config::InterfaceConfig lo;
+      lo.name = "lo";
+      lo.address = Ipv4Addr(172, 16, static_cast<uint8_t>(id >> 8),
+                            static_cast<uint8_t>(id & 0xff));
+      lo.prefix_len = 32;
+      lo.ospf_passive = true;
+      cfg.interfaces.push_back(lo);
+      snap_.configs.push_back(std::move(cfg));
+    }
+  }
+
+  /// Connects a and b with a fresh /30; returns the link index.
+  uint32_t connect(NodeId a, NodeId b, int cost = 10) {
+    const uint32_t base = 0x0a000000u + 4u * link_count_;  // 10.0.0.0 + 4i
+    ++link_count_;
+    DNA_CHECK_MSG(link_count_ < (1u << 22), "too many links for 10/8 pool");
+    std::string a_if = "eth" + std::to_string(eth_count_[a]++);
+    std::string b_if = "eth" + std::to_string(eth_count_[b]++);
+
+    config::InterfaceConfig ia;
+    ia.name = a_if;
+    ia.address = Ipv4Addr(base + 1);
+    ia.prefix_len = 30;
+    ia.ospf_cost = cost;
+    snap_.configs[a].interfaces.push_back(ia);
+
+    config::InterfaceConfig ib;
+    ib.name = b_if;
+    ib.address = Ipv4Addr(base + 2);
+    ib.prefix_len = 30;
+    ib.ospf_cost = cost;
+    snap_.configs[b].interfaces.push_back(ib);
+
+    return snap_.topology.add_link(a, a_if, b, b_if);
+  }
+
+  /// Attaches a passive host network to a node.
+  void add_host_network(NodeId node, Ipv4Prefix prefix) {
+    config::InterfaceConfig iface;
+    iface.name = "host" + std::to_string(host_count_[node]++);
+    iface.address = Ipv4Addr(prefix.addr().bits() + 1);
+    iface.prefix_len = prefix.length();
+    iface.ospf_passive = true;
+    snap_.configs[node].interfaces.push_back(iface);
+  }
+
+  /// Runs OSPF on every node over all interfaces.
+  void enable_ospf_everywhere() {
+    for (auto& cfg : snap_.configs) {
+      cfg.ospf.enabled = true;
+      cfg.ospf.networks = {Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8),
+                           Ipv4Prefix(Ipv4Addr(172, 16, 0, 0), 12),
+                           Ipv4Prefix(Ipv4Addr(172, 31, 0, 0), 16)};
+    }
+  }
+
+  Snapshot take() {
+    snap_.validate();
+    return std::move(snap_);
+  }
+
+  Snapshot& snapshot() { return snap_; }
+
+ private:
+  Snapshot snap_;
+  uint32_t link_count_ = 0;
+  std::unordered_map<NodeId, int> eth_count_;
+  std::unordered_map<NodeId, int> host_count_;
+};
+
+Ipv4Prefix host_prefix(int index) {
+  DNA_CHECK_MSG(index < 256, "host network pool (172.31.x.0/24) exhausted");
+  return Ipv4Prefix(Ipv4Addr(172, 31, static_cast<uint8_t>(index), 0), 24);
+}
+
+}  // namespace
+
+Snapshot make_line(int n) {
+  DNA_CHECK(n >= 2);
+  Builder builder(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.connect(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  builder.add_host_network(0, host_prefix(0));
+  builder.add_host_network(static_cast<NodeId>(n - 1), host_prefix(1));
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_ring(int n) {
+  DNA_CHECK(n >= 3);
+  Builder builder(n);
+  for (int i = 0; i < n; ++i) {
+    builder.connect(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  builder.add_host_network(0, host_prefix(0));
+  builder.add_host_network(static_cast<NodeId>(n / 2), host_prefix(1));
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_grid(int rows, int cols) {
+  DNA_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Builder builder(rows * cols);
+  auto id = [cols](int r, int c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.connect(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.connect(id(r, c), id(r + 1, c));
+    }
+  }
+  builder.add_host_network(id(0, 0), host_prefix(0));
+  builder.add_host_network(id(rows - 1, cols - 1), host_prefix(1));
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_star(int n) {
+  DNA_CHECK(n >= 2);
+  Builder builder(n);
+  for (int i = 1; i < n; ++i) {
+    builder.connect(0, static_cast<NodeId>(i));
+  }
+  for (int i = 1; i < n; ++i) {
+    builder.add_host_network(static_cast<NodeId>(i), host_prefix(i - 1));
+  }
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_random(int n, int m, Rng& rng) {
+  DNA_CHECK(n >= 2 && m >= n - 1);
+  Builder builder(n);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto has_edge = [&](NodeId a, NodeId b) {
+    for (auto& [x, y] : edges) {
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+  };
+  // Random spanning tree: attach each node to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    NodeId parent = static_cast<NodeId>(rng.below(static_cast<uint64_t>(i)));
+    edges.emplace_back(parent, static_cast<NodeId>(i));
+  }
+  int extra = m - (n - 1);
+  int guard = 0;
+  while (extra > 0 && guard < 100 * m) {
+    ++guard;
+    NodeId a = static_cast<NodeId>(rng.below(static_cast<uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng.below(static_cast<uint64_t>(n)));
+    if (a == b || has_edge(a, b)) continue;
+    edges.emplace_back(a, b);
+    --extra;
+  }
+  for (auto& [a, b] : edges) {
+    builder.connect(a, b, /*cost=*/static_cast<int>(rng.range(1, 20)));
+  }
+  builder.add_host_network(0, host_prefix(0));
+  builder.add_host_network(static_cast<NodeId>(n - 1), host_prefix(1));
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_fattree(int k) {
+  DNA_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree k must be even");
+  const int half = k / 2;
+  const int num_edge = k * half;
+  const int num_agg = k * half;
+  const int num_core = half * half;
+  Builder builder(num_edge + num_agg + num_core, "sw");
+
+  auto edge_id = [&](int pod, int i) {
+    return static_cast<NodeId>(pod * half + i);
+  };
+  auto agg_id = [&](int pod, int i) {
+    return static_cast<NodeId>(num_edge + pod * half + i);
+  };
+  auto core_id = [&](int i) {
+    return static_cast<NodeId>(num_edge + num_agg + i);
+  };
+
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        builder.connect(edge_id(pod, e), agg_id(pod, a));
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        builder.connect(agg_id(pod, a), core_id(a * half + c));
+      }
+    }
+  }
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      builder.add_host_network(edge_id(pod, e),
+                               host_prefix(pod * half + e));
+    }
+  }
+  builder.enable_ospf_everywhere();
+  return builder.take();
+}
+
+Snapshot make_two_tier_as(int edges, int cores) {
+  DNA_CHECK(edges >= 1 && cores >= 1);
+  Builder builder(edges + cores, "as");
+  // Edge i is node i; core j is node edges + j.
+  for (int e = 0; e < edges; ++e) {
+    for (int c = 0; c < cores; ++c) {
+      builder.connect(static_cast<NodeId>(e),
+                      static_cast<NodeId>(edges + c));
+    }
+  }
+
+  Snapshot& snap = builder.snapshot();
+  for (int i = 0; i < edges + cores; ++i) {
+    config::NodeConfig& cfg = snap.configs[static_cast<size_t>(i)];
+    cfg.bgp.enabled = true;
+    cfg.bgp.as_number =
+        i < edges ? 65001u + static_cast<uint32_t>(i) : 65000u;
+    cfg.bgp.router_id = Ipv4Addr(1, 0, static_cast<uint8_t>(i >> 8),
+                                 static_cast<uint8_t>(i & 0xff));
+  }
+  for (int e = 0; e < edges; ++e) {
+    builder.add_host_network(static_cast<NodeId>(e), host_prefix(e));
+    snap.configs[static_cast<size_t>(e)].bgp.networks.push_back(
+        host_prefix(e));
+  }
+  // Configure both ends of every link as eBGP neighbors.
+  for (const Link& link : snap.topology.links()) {
+    const auto* ia = snap.configs[link.a].find_interface(link.a_if);
+    const auto* ib = snap.configs[link.b].find_interface(link.b_if);
+    snap.configs[link.a].bgp.neighbors.push_back(
+        {ib->address, snap.configs[link.b].bgp.as_number, "", ""});
+    snap.configs[link.b].bgp.neighbors.push_back(
+        {ia->address, snap.configs[link.a].bgp.as_number, "", ""});
+  }
+  return builder.take();
+}
+
+}  // namespace dna::topo

@@ -1,0 +1,48 @@
+// Synthetic topology + configuration generators.
+//
+// These stand in for the production configurations evaluated by the paper
+// (see DESIGN.md, substitutions). Every generator produces a fully valid,
+// deterministic snapshot:
+//
+//  * link subnets are /30s allocated from 10.0.0.0/8 in link-index order,
+//  * every node gets a loopback /32 from 172.16.0.0/16 ("lo"),
+//  * OSPF topologies run OSPF on all link interfaces and advertise
+//    loopbacks plus any host networks,
+//  * host networks (172.31.x.0/24) attach to designated nodes as passive
+//    interfaces,
+//  * the two-tier AS fabric runs eBGP between tiers, each edge node
+//    originating its host /24.
+#pragma once
+
+#include "topo/snapshot.h"
+#include "util/rng.h"
+
+namespace dna::topo {
+
+/// n nodes in a path: r0 - r1 - ... - r(n-1). OSPF everywhere.
+Snapshot make_line(int n);
+
+/// n nodes in a cycle. OSPF everywhere.
+Snapshot make_ring(int n);
+
+/// rows x cols mesh. OSPF everywhere.
+Snapshot make_grid(int rows, int cols);
+
+/// Hub connected to n-1 leaves. OSPF everywhere.
+Snapshot make_star(int n);
+
+/// Random connected graph: n nodes, m >= n-1 edges (a random spanning tree
+/// plus random extra edges). OSPF everywhere. Deterministic given the rng.
+Snapshot make_random(int n, int m, Rng& rng);
+
+/// k-ary fat-tree (k even): k pods of k/2 edge + k/2 aggregation switches,
+/// (k/2)^2 cores. Each edge switch hosts a /24. OSPF everywhere.
+Snapshot make_fattree(int k);
+
+/// Two-tier eBGP fabric: `cores` core routers (AS 65000) fully meshed with
+/// `edges` edge routers (AS 65001 + i), each edge originating a host /24.
+/// No IGP: all routing via eBGP. Import/export maps are installed empty-
+/// permissive so policy-change workloads can edit them.
+Snapshot make_two_tier_as(int edges, int cores);
+
+}  // namespace dna::topo

@@ -1,0 +1,164 @@
+#include "topo/mutators.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dna::topo {
+
+Snapshot with_link_cost(Snapshot snapshot, uint32_t link, int cost) {
+  const Link& l = snapshot.topology.link(link);
+  auto* ia = snapshot.configs[l.a].find_interface(l.a_if);
+  auto* ib = snapshot.configs[l.b].find_interface(l.b_if);
+  DNA_CHECK(ia && ib);
+  ia->ospf_cost = cost;
+  ib->ospf_cost = cost;
+  return snapshot;
+}
+
+Snapshot with_link_state(Snapshot snapshot, uint32_t link, bool up) {
+  snapshot.topology.set_link_up(link, up);
+  return snapshot;
+}
+
+Snapshot with_interface_enabled(Snapshot snapshot, const std::string& node,
+                                const std::string& if_name, bool enabled) {
+  auto* iface = snapshot.config_of(node).find_interface(if_name);
+  DNA_CHECK_MSG(iface != nullptr, "unknown interface " + node + ":" + if_name);
+  iface->enabled = enabled;
+  return snapshot;
+}
+
+Snapshot with_static_route(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix, Ipv4Addr next_hop) {
+  snapshot.config_of(node).static_routes.push_back({prefix, next_hop});
+  return snapshot;
+}
+
+Snapshot with_acl_block(Snapshot snapshot, const std::string& node,
+                        Ipv4Prefix dst, const std::string& acl_name) {
+  config::NodeConfig& cfg = snapshot.config_of(node);
+  config::AclConfig acl;
+  acl.name = acl_name;
+  acl.rules.push_back({config::FilterAction::kDeny,
+                       Ipv4Prefix(),  // any source
+                       dst, -1, -1, -1});
+  acl.rules.push_back({config::FilterAction::kPermit, Ipv4Prefix(),
+                       Ipv4Prefix(), -1, -1, -1});
+  // Replace an existing ACL of the same name, else append.
+  bool replaced = false;
+  for (auto& existing : cfg.acls) {
+    if (existing.name == acl_name) {
+      existing = acl;
+      replaced = true;
+    }
+  }
+  if (!replaced) cfg.acls.push_back(acl);
+  for (auto& iface : cfg.interfaces) {
+    iface.acl_in = acl_name;
+  }
+  return snapshot;
+}
+
+Snapshot with_bgp_local_pref(Snapshot snapshot, const std::string& node,
+                             Ipv4Addr neighbor, int local_pref) {
+  config::NodeConfig& cfg = snapshot.config_of(node);
+  const std::string map_name = "LP_" + neighbor.str();
+  config::RouteMapConfig map;
+  map.name = map_name;
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.action = config::FilterAction::kPermit;
+  clause.set_local_pref = local_pref;
+  map.clauses.push_back(clause);
+
+  bool replaced = false;
+  for (auto& existing : cfg.route_maps) {
+    if (existing.name == map_name) {
+      existing = map;
+      replaced = true;
+    }
+  }
+  if (!replaced) cfg.route_maps.push_back(map);
+
+  bool found = false;
+  for (auto& n : cfg.bgp.neighbors) {
+    if (n.peer_ip == neighbor) {
+      n.import_map = map_name;
+      found = true;
+    }
+  }
+  DNA_CHECK_MSG(found, "no BGP neighbor " + neighbor.str() + " on " + node);
+  return snapshot;
+}
+
+Snapshot with_bgp_announce(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix) {
+  auto& networks = snapshot.config_of(node).bgp.networks;
+  if (std::find(networks.begin(), networks.end(), prefix) == networks.end()) {
+    networks.push_back(prefix);
+  }
+  return snapshot;
+}
+
+Snapshot with_bgp_withdraw(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix) {
+  auto& networks = snapshot.config_of(node).bgp.networks;
+  networks.erase(std::remove(networks.begin(), networks.end(), prefix),
+                 networks.end());
+  return snapshot;
+}
+
+RandomChange random_change(const Snapshot& snapshot, Rng& rng) {
+  const size_t num_links = snapshot.topology.num_links();
+  const size_t num_nodes = snapshot.topology.num_nodes();
+  DNA_CHECK(num_links > 0 && num_nodes > 0);
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    switch (rng.below(5)) {
+      case 0: {  // link cost change
+        uint32_t link = static_cast<uint32_t>(rng.below(num_links));
+        int cost = static_cast<int>(rng.range(1, 50));
+        return {with_link_cost(snapshot, link, cost),
+                "set cost of link " + std::to_string(link) + " to " +
+                    std::to_string(cost)};
+      }
+      case 1: {  // link down (keep at least one up link)
+        uint32_t link = static_cast<uint32_t>(rng.below(num_links));
+        if (!snapshot.topology.link(link).up) continue;
+        return {with_link_state(snapshot, link, false),
+                "fail link " + std::to_string(link)};
+      }
+      case 2: {  // link back up
+        uint32_t link = static_cast<uint32_t>(rng.below(num_links));
+        if (snapshot.topology.link(link).up) continue;
+        return {with_link_state(snapshot, link, true),
+                "restore link " + std::to_string(link)};
+      }
+      case 3: {  // ACL block of some host prefix
+        NodeId node = static_cast<NodeId>(rng.below(num_nodes));
+        Ipv4Prefix dst(Ipv4Addr(172, 31, static_cast<uint8_t>(rng.below(8)), 0),
+                       24);
+        return {with_acl_block(snapshot, snapshot.topology.node_name(node),
+                               dst),
+                "block " + dst.str() + " at " +
+                    snapshot.topology.node_name(node)};
+      }
+      default: {  // static route toward a random neighbor
+        uint32_t link = static_cast<uint32_t>(rng.below(num_links));
+        const Link& l = snapshot.topology.link(link);
+        const auto* peer_if = snapshot.configs[l.b].find_interface(l.b_if);
+        Ipv4Prefix prefix(
+            Ipv4Addr(192, 168, static_cast<uint8_t>(rng.below(16)), 0), 24);
+        return {with_static_route(snapshot, snapshot.topology.node_name(l.a),
+                                  prefix, peer_if->address),
+                "static " + prefix.str() + " at " +
+                    snapshot.topology.node_name(l.a)};
+      }
+    }
+  }
+  // Fall back to a cost change, always applicable.
+  return {with_link_cost(snapshot, 0, 42), "set cost of link 0 to 42"};
+}
+
+}  // namespace dna::topo

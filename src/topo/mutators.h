@@ -1,0 +1,54 @@
+// Change workloads: each mutator copies a snapshot and applies one realistic
+// operator action. Benches and property tests compose these to generate
+// before/after snapshot pairs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "topo/snapshot.h"
+#include "util/rng.h"
+
+namespace dna::topo {
+
+/// Sets the OSPF cost of both interfaces of a link.
+Snapshot with_link_cost(Snapshot snapshot, uint32_t link, int cost);
+
+/// Marks a link operationally down / up.
+Snapshot with_link_state(Snapshot snapshot, uint32_t link, bool up);
+
+/// Administratively shuts (or re-enables) one interface.
+Snapshot with_interface_enabled(Snapshot snapshot, const std::string& node,
+                                const std::string& if_name, bool enabled);
+
+/// Adds a static route on a node.
+Snapshot with_static_route(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix, Ipv4Addr next_hop);
+
+/// Installs an ACL that denies traffic to `dst` and applies it inbound on
+/// every interface of `node` (the "fat-finger firewall rule" workload).
+Snapshot with_acl_block(Snapshot snapshot, const std::string& node,
+                        Ipv4Prefix dst, const std::string& acl_name = "BLOCK");
+
+/// Adds (or replaces) an import route-map on a BGP session setting
+/// local-pref for every route.
+Snapshot with_bgp_local_pref(Snapshot snapshot, const std::string& node,
+                             Ipv4Addr neighbor, int local_pref);
+
+/// Originates a new prefix from a node's BGP process.
+Snapshot with_bgp_announce(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix);
+
+/// Withdraws a previously originated BGP prefix.
+Snapshot with_bgp_withdraw(Snapshot snapshot, const std::string& node,
+                           Ipv4Prefix prefix);
+
+/// A randomly chosen mutation, for property tests. Returns the mutated
+/// snapshot and a human-readable description of what changed.
+struct RandomChange {
+  Snapshot snapshot;
+  std::string description;
+};
+RandomChange random_change(const Snapshot& snapshot, Rng& rng);
+
+}  // namespace dna::topo

@@ -1,0 +1,45 @@
+#include "topo/snapshot.h"
+
+#include "util/error.h"
+
+namespace dna::topo {
+
+void Snapshot::validate() const {
+  if (configs.size() != topology.num_nodes()) {
+    throw Error("snapshot has " + std::to_string(configs.size()) +
+                " configs for " + std::to_string(topology.num_nodes()) +
+                " nodes");
+  }
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    if (configs[id].name != topology.node_name(id)) {
+      throw Error("config order does not match topology: expected " +
+                  topology.node_name(id) + ", got " + configs[id].name);
+    }
+  }
+  for (const Link& link : topology.links()) {
+    const config::InterfaceConfig* ia =
+        configs[link.a].find_interface(link.a_if);
+    const config::InterfaceConfig* ib =
+        configs[link.b].find_interface(link.b_if);
+    if (!ia || !ib) {
+      throw Error("link endpoint interface missing: " +
+                  topology.node_name(link.a) + ":" + link.a_if + " <-> " +
+                  topology.node_name(link.b) + ":" + link.b_if);
+    }
+    if (ia->subnet() != ib->subnet()) {
+      throw Error("link endpoints are on different subnets: " +
+                  ia->subnet().str() + " vs " + ib->subnet().str());
+    }
+  }
+}
+
+NodeId find_address_owner(const Snapshot& snapshot, Ipv4Addr addr) {
+  for (NodeId id = 0; id < snapshot.topology.num_nodes(); ++id) {
+    for (const auto& iface : snapshot.configs[id].interfaces) {
+      if (iface.address == addr) return id;
+    }
+  }
+  return kNoNode;
+}
+
+}  // namespace dna::topo

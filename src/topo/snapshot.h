@@ -1,0 +1,41 @@
+// A snapshot: the complete state dna verifies — topology plus per-node
+// configuration. Snapshots are values; mutators (mutators.h) copy and edit
+// them, and the core engine diffs them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/model.h"
+#include "topo/topology.h"
+
+namespace dna::topo {
+
+struct Snapshot {
+  Topology topology;
+  /// Indexed by NodeId (same order as topology nodes).
+  std::vector<config::NodeConfig> configs;
+
+  config::NodeConfig& config_of(NodeId id) { return configs.at(id); }
+  const config::NodeConfig& config_of(NodeId id) const {
+    return configs.at(id);
+  }
+  config::NodeConfig& config_of(const std::string& name) {
+    return configs.at(topology.node_id(name));
+  }
+  const config::NodeConfig& config_of(const std::string& name) const {
+    return configs.at(topology.node_id(name));
+  }
+
+  /// Consistency checks: configs align with topology, every link endpoint
+  /// interface exists, both ends of a link share a subnet.
+  /// Throws dna::Error on violations.
+  void validate() const;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// The node owning `addr` on one of its interfaces, or kNoNode.
+NodeId find_address_owner(const Snapshot& snapshot, Ipv4Addr addr);
+
+}  // namespace dna::topo

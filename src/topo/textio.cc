@@ -1,0 +1,112 @@
+#include "topo/textio.h"
+
+#include <sstream>
+
+#include "config/parser.h"
+#include "config/printer.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::topo {
+
+Topology parse_topology(const std::string& text) {
+  Topology topology;
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  bool seen_header = false;
+  auto ensure_node = [&](const std::string& name) {
+    return topology.has_node(name) ? topology.node_id(name)
+                                   : topology.add_node(name);
+  };
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> tok = split_ws(line);
+    if (tok[0] == "topology") {
+      seen_header = true;
+      continue;
+    }
+    if (!seen_header) {
+      throw ParseError("topology text must start with 'topology'", line_no);
+    }
+    if (tok[0] == "node") {
+      if (tok.size() != 2) throw ParseError("expected: node <name>", line_no);
+      ensure_node(tok[1]);
+      continue;
+    }
+    if (tok[0] == "link") {
+      // link <a> <a-if> <b> <b-if> [down]
+      if (tok.size() != 5 && !(tok.size() == 6 && tok[5] == "down")) {
+        throw ParseError(
+            "expected: link <node> <if> <node> <if> [down]", line_no);
+      }
+      NodeId a = ensure_node(tok[1]);
+      NodeId b = ensure_node(tok[3]);
+      uint32_t index;
+      try {
+        index = topology.add_link(a, tok[2], b, tok[4]);
+      } catch (const Error& e) {
+        throw ParseError(e.what(), line_no);
+      }
+      if (tok.size() == 6) topology.set_link_up(index, false);
+      continue;
+    }
+    throw ParseError("unknown topology directive '" + tok[0] + "'", line_no);
+  }
+  if (!seen_header) throw ParseError("empty topology text", 0);
+  return topology;
+}
+
+std::string print_topology(const Topology& topology) {
+  std::ostringstream out;
+  out << "topology\n";
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    out << "  node " << topology.node_name(id) << "\n";
+  }
+  for (const Link& link : topology.links()) {
+    out << "  link " << topology.node_name(link.a) << " " << link.a_if << " "
+        << topology.node_name(link.b) << " " << link.b_if;
+    if (!link.up) out << " down";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Snapshot load_snapshot(const std::string& topology_text,
+                       const std::string& config_text) {
+  Snapshot snap;
+  snap.topology = parse_topology(topology_text);
+  std::vector<config::NodeConfig> configs = config::parse_configs(config_text);
+
+  snap.configs.resize(snap.topology.num_nodes());
+  std::vector<bool> seen(snap.topology.num_nodes(), false);
+  for (auto& cfg : configs) {
+    if (!snap.topology.has_node(cfg.name)) {
+      throw Error("config for unknown node '" + cfg.name + "'");
+    }
+    const NodeId id = snap.topology.node_id(cfg.name);
+    if (seen[id]) throw Error("duplicate config for node '" + cfg.name + "'");
+    seen[id] = true;
+    snap.configs[id] = std::move(cfg);
+  }
+  for (NodeId id = 0; id < snap.topology.num_nodes(); ++id) {
+    if (!seen[id]) {
+      throw Error("missing config for node '" + snap.topology.node_name(id) +
+                  "'");
+    }
+  }
+  snap.validate();
+  return snap;
+}
+
+SnapshotText print_snapshot(const Snapshot& snapshot) {
+  return {print_topology(snapshot.topology),
+          config::print_configs(snapshot.configs)};
+}
+
+}  // namespace dna::topo

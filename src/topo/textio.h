@@ -1,0 +1,40 @@
+// Text format for topologies and whole snapshots.
+//
+//   topology
+//     node r0
+//     node r1
+//     link r0 eth0 r1 eth0
+//     link r0 eth1 r1 eth1 down
+//
+// Node lines are optional when every node appears in a link (they pin node
+// id order); `down` marks an operationally failed link. A snapshot is a
+// topology text plus a configuration text (config/parser.h); configs are
+// matched to nodes by name.
+#pragma once
+
+#include <string>
+
+#include "topo/snapshot.h"
+
+namespace dna::topo {
+
+/// Parses the topology format above. Throws dna::ParseError on malformed
+/// input.
+Topology parse_topology(const std::string& text);
+
+/// Canonical text output; parse_topology(print_topology(t)) == t.
+std::string print_topology(const Topology& topology);
+
+/// Assembles and validates a snapshot from topology + configuration text.
+/// Every topology node must have a config (by name) and vice versa.
+Snapshot load_snapshot(const std::string& topology_text,
+                       const std::string& config_text);
+
+/// Serializes a snapshot into the pair of texts accepted by load_snapshot.
+struct SnapshotText {
+  std::string topology;
+  std::string configs;
+};
+SnapshotText print_snapshot(const Snapshot& snapshot);
+
+}  // namespace dna::topo

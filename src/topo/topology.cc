@@ -1,0 +1,73 @@
+#include "topo/topology.h"
+
+namespace dna::topo {
+
+NodeId Topology::add_node(const std::string& name) {
+  DNA_CHECK_MSG(!ids_.count(name), "duplicate node name: " + name);
+  NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  incident_.emplace_back();
+  return id;
+}
+
+NodeId Topology::node_id(const std::string& name) const {
+  auto it = ids_.find(name);
+  DNA_CHECK_MSG(it != ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+bool Topology::has_node(const std::string& name) const {
+  return ids_.count(name) > 0;
+}
+
+const std::string& Topology::node_name(NodeId id) const {
+  return names_.at(id);
+}
+
+uint32_t Topology::add_link(NodeId a, const std::string& a_if, NodeId b,
+                            const std::string& b_if) {
+  DNA_CHECK(a < names_.size() && b < names_.size() && a != b);
+  DNA_CHECK_MSG(link_at(a, a_if) < 0 && link_at(b, b_if) < 0,
+                "interface already attached to a link");
+  uint32_t index = static_cast<uint32_t>(links_.size());
+  links_.push_back({a, a_if, b, b_if, true});
+  incident_[a].push_back(index);
+  incident_[b].push_back(index);
+  return index;
+}
+
+const std::vector<uint32_t>& Topology::links_of(NodeId node) const {
+  return incident_.at(node);
+}
+
+int Topology::link_at(NodeId node, const std::string& if_name) const {
+  if (node >= incident_.size()) return -1;
+  for (uint32_t index : incident_[node]) {
+    const Link& link = links_[index];
+    if ((link.a == node && link.a_if == if_name) ||
+        (link.b == node && link.b_if == if_name)) {
+      return static_cast<int>(index);
+    }
+  }
+  return -1;
+}
+
+std::vector<LinkChange> diff_link_states(const Topology& before,
+                                         const Topology& after) {
+  DNA_CHECK_MSG(before.num_nodes() == after.num_nodes() &&
+                    before.num_links() == after.num_links(),
+                "topologies differ structurally");
+  std::vector<LinkChange> out;
+  for (uint32_t i = 0; i < before.num_links(); ++i) {
+    const Link& lhs = before.link(i);
+    const Link& rhs = after.link(i);
+    DNA_CHECK_MSG(lhs.a == rhs.a && lhs.b == rhs.b && lhs.a_if == rhs.a_if &&
+                      lhs.b_if == rhs.b_if,
+                  "topologies differ structurally");
+    if (lhs.up != rhs.up) out.push_back({i, rhs.up});
+  }
+  return out;
+}
+
+}  // namespace dna::topo

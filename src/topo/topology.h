@@ -1,0 +1,84 @@
+// Physical topology: nodes and point-to-point links between named interfaces.
+//
+// Link state (up/down) lives here rather than in configs: an operational
+// link failure is an environment change, not a configuration change, and the
+// differ reports the two separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dna::topo {
+
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = ~NodeId{0};
+
+struct Link {
+  NodeId a = kNoNode;
+  std::string a_if;
+  NodeId b = kNoNode;
+  std::string b_if;
+  bool up = true;
+
+  /// The other endpoint, given one of the two nodes.
+  NodeId peer_of(NodeId node) const { return node == a ? b : a; }
+  const std::string& if_of(NodeId node) const {
+    return node == a ? a_if : b_if;
+  }
+
+  bool operator==(const Link&) const = default;
+};
+
+class Topology {
+ public:
+  NodeId add_node(const std::string& name);
+  NodeId node_id(const std::string& name) const;  // throws if unknown
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  size_t num_nodes() const { return names_.size(); }
+
+  /// Adds a link; returns its index. Endpoint interfaces must be distinct
+  /// per node across links.
+  uint32_t add_link(NodeId a, const std::string& a_if, NodeId b,
+                    const std::string& b_if);
+
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(uint32_t index) const { return links_.at(index); }
+  size_t num_links() const { return links_.size(); }
+
+  void set_link_up(uint32_t index, bool up) { links_.at(index).up = up; }
+
+  /// Indices of links incident to a node.
+  const std::vector<uint32_t>& links_of(NodeId node) const;
+
+  /// The link attached to (node, interface), or -1.
+  int link_at(NodeId node, const std::string& if_name) const;
+
+  bool operator==(const Topology&) const = default;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> ids_;
+  std::vector<Link> links_;
+  std::vector<std::vector<uint32_t>> incident_;  // by node
+};
+
+/// An operational (non-config) difference between two topologies.
+struct LinkChange {
+  uint32_t link = 0;  // index valid in both topologies
+  bool now_up = true;
+
+  bool operator==(const LinkChange&) const = default;
+};
+
+/// Diffs link states of two structurally identical topologies (same nodes
+/// and links, possibly different up/down flags). Throws if structures
+/// differ — node/link additions are config-level events handled elsewhere.
+std::vector<LinkChange> diff_link_states(const Topology& before,
+                                         const Topology& after);
+
+}  // namespace dna::topo

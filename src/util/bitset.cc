@@ -1,0 +1,52 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace dna {
+
+size_t DynamicBitset::count() const {
+  size_t total = 0;
+  for (auto w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+std::vector<uint32_t> DynamicBitset::minus(const DynamicBitset& other) const {
+  DNA_CHECK(size_ == other.size_);
+  std::vector<uint32_t> out;
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t diff = words_[wi] & ~other.words_[wi];
+    while (diff) {
+      int bit = std::countr_zero(diff);
+      out.push_back(static_cast<uint32_t>(wi * 64 + bit));
+      diff &= diff - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> DynamicBitset::to_indices() const {
+  std::vector<uint32_t> out;
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t word = words_[wi];
+    while (word) {
+      int bit = std::countr_zero(word);
+      out.push_back(static_cast<uint32_t>(wi * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  DNA_CHECK(size_ == other.size_);
+  for (size_t wi = 0; wi < words_.size(); ++wi) words_[wi] |= other.words_[wi];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  DNA_CHECK(size_ == other.size_);
+  for (size_t wi = 0; wi < words_.size(); ++wi) words_[wi] &= other.words_[wi];
+  return *this;
+}
+
+}  // namespace dna

@@ -1,0 +1,20 @@
+#include "util/error.h"
+
+namespace dna::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::string what = "DNA_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw InternalError(what);
+}
+
+}  // namespace dna::detail

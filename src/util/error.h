@@ -1,0 +1,56 @@
+// Error types and invariant checks shared by all dna subsystems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dna {
+
+/// Base class for all errors raised by the dna library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing configuration or datalog text fails.
+/// Carries the 1-based line number of the offending input when known.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = 0)
+      : Error(line > 0 ? "line " + std::to_string(line) + ": " + what : what),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+/// Raised when an internal invariant is violated (a bug in dna itself).
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace dna
+
+/// Always-on invariant check; throws dna::InternalError on failure.
+/// Used for conditions that indicate a bug rather than bad user input.
+#define DNA_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dna::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                \
+  } while (0)
+
+#define DNA_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dna::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (0)

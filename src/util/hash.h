@@ -1,0 +1,29 @@
+// Hashing helpers used across dna containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dna {
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash.
+constexpr uint64_t hash_u64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a new value into a running hash (boost::hash_combine style,
+/// strengthened with the 64-bit golden ratio).
+constexpr size_t hash_combine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+template <typename T>
+size_t hash_value(const T& value) {
+  return std::hash<T>{}(value);
+}
+
+}  // namespace dna

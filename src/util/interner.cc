@@ -1,0 +1,26 @@
+#include "util/interner.h"
+
+#include "util/error.h"
+
+namespace dna {
+
+Symbol Interner::intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  Symbol sym = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), sym);
+  return sym;
+}
+
+Symbol Interner::find(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& Interner::str(Symbol sym) const {
+  DNA_CHECK_MSG(sym < strings_.size(), "unknown symbol");
+  return strings_[sym];
+}
+
+}  // namespace dna

@@ -1,0 +1,46 @@
+#include "util/ip.h"
+
+#include <cstdio>
+
+namespace dna {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  return Ipv4Addr(static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+                  static_cast<uint8_t>(c), static_cast<uint8_t>(d));
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  int len = 0;
+  for (char ch : len_text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    len = len * 10 + (ch - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<uint8_t>(len));
+}
+
+std::string Ipv4Prefix::str() const {
+  return addr().str() + "/" + std::to_string(len_);
+}
+
+}  // namespace dna

@@ -1,0 +1,104 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are host-order 32-bit values wrapped in a strong type; prefixes
+// pair a (masked) address with a length. Both are cheap to copy, ordered and
+// hashable so they can key standard containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/hash.h"
+
+namespace dna {
+
+/// An IPv4 address in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Addr(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              uint32_t{d}) {}
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  /// Parses dotted-quad notation ("10.0.1.2"); nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(const std::string& text);
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+/// An IPv4 prefix (CIDR block). The stored address is always masked to the
+/// prefix length, so two prefixes covering the same block compare equal.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Builds the prefix covering `addr` at `len` bits; host bits are cleared.
+  constexpr Ipv4Prefix(Ipv4Addr addr, uint8_t len)
+      : addr_(addr.bits() & mask_bits(len)), len_(len) {}
+
+  constexpr Ipv4Addr addr() const { return Ipv4Addr(addr_); }
+  constexpr uint8_t length() const { return len_; }
+
+  /// The netmask as a 32-bit value (e.g. /24 -> 0xffffff00).
+  static constexpr uint32_t mask_bits(uint8_t len) {
+    return len == 0 ? 0u : ~uint32_t{0} << (32 - len);
+  }
+
+  /// First and last addresses covered by the block.
+  constexpr Ipv4Addr first() const { return Ipv4Addr(addr_); }
+  constexpr Ipv4Addr last() const {
+    return Ipv4Addr(addr_ | ~mask_bits(len_));
+  }
+
+  constexpr bool contains(Ipv4Addr a) const {
+    return (a.bits() & mask_bits(len_)) == addr_;
+  }
+  constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.len_ >= len_ && contains(other.addr());
+  }
+  constexpr bool overlaps(const Ipv4Prefix& other) const {
+    return contains(other.addr()) || other.contains(Ipv4Addr(addr_));
+  }
+
+  /// Parses CIDR notation ("10.0.0.0/8"); nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(const std::string& text);
+
+  /// The default route 0.0.0.0/0.
+  static constexpr Ipv4Prefix default_route() { return Ipv4Prefix(); }
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&,
+                                    const Ipv4Prefix&) = default;
+
+ private:
+  uint32_t addr_ = 0;  // masked
+  uint8_t len_ = 0;
+};
+
+}  // namespace dna
+
+template <>
+struct std::hash<dna::Ipv4Addr> {
+  size_t operator()(dna::Ipv4Addr a) const noexcept {
+    return dna::hash_u64(a.bits());
+  }
+};
+
+template <>
+struct std::hash<dna::Ipv4Prefix> {
+  size_t operator()(const dna::Ipv4Prefix& p) const noexcept {
+    return dna::hash_u64((uint64_t{p.addr().bits()} << 8) | p.length());
+  }
+};

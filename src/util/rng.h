@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// All workload generators take an explicit Rng so that every experiment and
+// every randomized test is reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace dna {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step to spread the seed across the state.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t below(uint64_t bound) {
+    DNA_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      uint64_t value = next();
+      if (value >= threshold) return value % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    DNA_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace dna

@@ -1,0 +1,28 @@
+// Small string utilities used by the parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dna {
+
+/// Splits on any run of the given separator character; no empty tokens.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on whitespace (spaces and tabs); no empty tokens.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading and trailing whitespace (spaces, tabs, CR, LF).
+std::string_view trim(std::string_view text);
+
+/// Joins the elements with the given separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a non-negative decimal integer; returns -1 on malformed input.
+long long parse_int(std::string_view text);
+
+}  // namespace dna

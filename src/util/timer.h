@@ -1,0 +1,59 @@
+// Wall-clock stopwatch and per-stage timing accumulator for the benches.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace dna {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage timings; used for the breakdown experiments.
+class StageTimers {
+ public:
+  void add(const std::string& stage, double seconds) {
+    for (auto& entry : entries_) {
+      if (entry.stage == stage) {
+        entry.seconds += seconds;
+        return;
+      }
+    }
+    entries_.push_back({stage, seconds});
+  }
+
+  struct Entry {
+    std::string stage;
+    double seconds = 0;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  double total() const {
+    double sum = 0;
+    for (const auto& entry : entries_) sum += entry.seconds;
+    return sum;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dna

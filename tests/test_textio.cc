@@ -1,0 +1,90 @@
+// Topology/snapshot text IO: parsing, canonical printing, round-trips, and
+// load_snapshot consistency checks.
+#include <gtest/gtest.h>
+
+#include "topo/generators.h"
+#include "topo/textio.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dna::topo {
+namespace {
+
+TEST(TopologyText, ParsesNodesAndLinks) {
+  Topology topo = parse_topology(R"(
+    topology
+      node a
+      node b
+      link a eth0 b eth0
+      link a eth1 b eth1 down
+  )");
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_links(), 2u);
+  EXPECT_TRUE(topo.link(0).up);
+  EXPECT_FALSE(topo.link(1).up);
+}
+
+TEST(TopologyText, NodesImplicitFromLinks) {
+  Topology topo = parse_topology("topology\nlink x e0 y e0\n");
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_TRUE(topo.has_node("x"));
+}
+
+TEST(TopologyText, RejectsMalformed) {
+  EXPECT_THROW(parse_topology("link a e0 b e0\n"), ParseError);  // no header
+  EXPECT_THROW(parse_topology("topology\nlink a e0\n"), ParseError);
+  EXPECT_THROW(parse_topology("topology\nfrobnicate\n"), ParseError);
+  EXPECT_THROW(parse_topology(""), ParseError);
+  // Duplicate interface attachment surfaces with a line number.
+  EXPECT_THROW(
+      parse_topology("topology\nlink a e0 b e0\nlink a e0 c e0\n"),
+      ParseError);
+}
+
+class TextRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TextRoundTrip, SnapshotSurvivesPrintAndLoad) {
+  std::string which = GetParam();
+  Rng rng(11);
+  Snapshot snap;
+  if (which == "fattree") snap = make_fattree(4);
+  if (which == "two_tier") snap = make_two_tier_as(3, 2);
+  if (which == "random") snap = make_random(8, 12, rng);
+  if (which == "failed_link") {
+    snap = make_ring(5);
+    snap.topology.set_link_up(2, false);
+  }
+  SnapshotText text = print_snapshot(snap);
+  Snapshot reloaded = load_snapshot(text.topology, text.configs);
+  EXPECT_EQ(snap, reloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, TextRoundTrip,
+                         ::testing::Values("fattree", "two_tier", "random",
+                                           "failed_link"),
+                         [](const auto& info) { return info.param; });
+
+TEST(LoadSnapshot, RejectsMissingOrExtraConfigs) {
+  Snapshot snap = make_line(3);
+  SnapshotText text = print_snapshot(snap);
+  // Drop r2's config block.
+  auto pos = text.configs.rfind("node r2");
+  std::string truncated = text.configs.substr(0, pos);
+  EXPECT_THROW(load_snapshot(text.topology, truncated), Error);
+  // A config for an unknown node is also rejected.
+  std::string extra = text.configs + "node ghost\n";
+  EXPECT_THROW(load_snapshot(text.topology, extra), Error);
+}
+
+TEST(LoadSnapshot, RejectsSubnetMismatch) {
+  Snapshot snap = make_line(2);
+  SnapshotText text = print_snapshot(snap);
+  // Corrupt one endpoint address.
+  auto pos = text.configs.find("10.0.0.1/30");
+  ASSERT_NE(pos, std::string::npos);
+  text.configs.replace(pos, 11, "10.9.0.1/30");
+  EXPECT_THROW(load_snapshot(text.topology, text.configs), Error);
+}
+
+}  // namespace
+}  // namespace dna::topo

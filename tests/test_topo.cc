@@ -1,0 +1,162 @@
+// Topology, snapshots, generators, and mutators.
+#include <gtest/gtest.h>
+
+#include "topo/generators.h"
+#include "topo/mutators.h"
+#include "util/error.h"
+
+namespace dna::topo {
+namespace {
+
+TEST(Topology, NodesAndLinks) {
+  Topology topo;
+  NodeId a = topo.add_node("a");
+  NodeId b = topo.add_node("b");
+  uint32_t link = topo.add_link(a, "eth0", b, "eth0");
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_links(), 1u);
+  EXPECT_EQ(topo.node_id("b"), b);
+  EXPECT_EQ(topo.link(link).peer_of(a), b);
+  EXPECT_EQ(topo.link(link).if_of(b), "eth0");
+  EXPECT_EQ(topo.link_at(a, "eth0"), 0);
+  EXPECT_EQ(topo.link_at(a, "eth9"), -1);
+  EXPECT_EQ(topo.links_of(a).size(), 1u);
+}
+
+TEST(Topology, RejectsDuplicates) {
+  Topology topo;
+  topo.add_node("a");
+  EXPECT_THROW(topo.add_node("a"), Error);
+  NodeId a = topo.node_id("a");
+  NodeId b = topo.add_node("b");
+  topo.add_link(a, "eth0", b, "eth0");
+  EXPECT_THROW(topo.add_link(a, "eth0", b, "eth1"), Error);
+}
+
+TEST(Topology, DiffLinkStates) {
+  Snapshot snap = make_ring(4);
+  Snapshot down = with_link_state(snap, 1, false);
+  auto changes = diff_link_states(snap.topology, down.topology);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].link, 1u);
+  EXPECT_FALSE(changes[0].now_up);
+}
+
+class GeneratorValidity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorValidity, ProducesValidSnapshots) {
+  std::string which = GetParam();
+  Rng rng(1);
+  Snapshot snap;
+  if (which == "line") snap = make_line(5);
+  if (which == "ring") snap = make_ring(6);
+  if (which == "grid") snap = make_grid(3, 4);
+  if (which == "star") snap = make_star(5);
+  if (which == "random") snap = make_random(12, 20, rng);
+  if (which == "fattree") snap = make_fattree(4);
+  if (which == "two_tier") snap = make_two_tier_as(4, 2);
+  ASSERT_GT(snap.topology.num_nodes(), 0u);
+  EXPECT_NO_THROW(snap.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GeneratorValidity,
+                         ::testing::Values("line", "ring", "grid", "star",
+                                           "random", "fattree", "two_tier"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Generators, FattreeShape) {
+  Snapshot snap = make_fattree(4);
+  // k=4: 8 edge + 8 agg + 4 core = 20 switches.
+  EXPECT_EQ(snap.topology.num_nodes(), 20u);
+  // Links: 8 edge x 2 agg + 8 agg x 2 core = 16 + 16 = 32.
+  EXPECT_EQ(snap.topology.num_links(), 32u);
+  // Every node runs OSPF.
+  for (const auto& cfg : snap.configs) EXPECT_TRUE(cfg.ospf.enabled);
+}
+
+TEST(Generators, TwoTierBgpSessionsConfigured) {
+  Snapshot snap = make_two_tier_as(3, 2);
+  EXPECT_EQ(snap.topology.num_nodes(), 5u);
+  EXPECT_EQ(snap.topology.num_links(), 6u);
+  for (const auto& cfg : snap.configs) {
+    EXPECT_TRUE(cfg.bgp.enabled);
+    EXPECT_FALSE(cfg.ospf.enabled);
+  }
+  // Edge ASes are distinct; cores share one.
+  EXPECT_NE(snap.config_of("as0").bgp.as_number,
+            snap.config_of("as1").bgp.as_number);
+  EXPECT_EQ(snap.config_of("as3").bgp.as_number,
+            snap.config_of("as4").bgp.as_number);
+  // Every link has symmetric neighbor statements.
+  EXPECT_EQ(snap.config_of("as0").bgp.neighbors.size(), 2u);
+}
+
+TEST(Generators, RandomIsDeterministicPerSeed) {
+  Rng rng_a(99), rng_b(99);
+  Snapshot a = make_random(10, 15, rng_a);
+  Snapshot b = make_random(10, 15, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mutators, LinkCostChangesBothEnds) {
+  Snapshot snap = make_line(3);
+  Snapshot changed = with_link_cost(snap, 0, 42);
+  const Link& link = changed.topology.link(0);
+  EXPECT_EQ(changed.configs[link.a].find_interface(link.a_if)->ospf_cost, 42);
+  EXPECT_EQ(changed.configs[link.b].find_interface(link.b_if)->ospf_cost, 42);
+  EXPECT_NE(snap, changed);
+}
+
+TEST(Mutators, AclBlockInstallsAndBinds) {
+  Snapshot snap = make_line(3);
+  Ipv4Prefix dst(Ipv4Addr(172, 31, 1, 0), 24);
+  Snapshot changed = with_acl_block(snap, "r1", dst);
+  const auto& cfg = changed.config_of("r1");
+  ASSERT_NE(cfg.find_acl("BLOCK"), nullptr);
+  for (const auto& iface : cfg.interfaces) {
+    EXPECT_EQ(iface.acl_in, "BLOCK");
+  }
+  // Idempotent re-application replaces rather than duplicates.
+  Snapshot again = with_acl_block(changed, "r1", dst);
+  EXPECT_EQ(again.config_of("r1").acls.size(), 1u);
+}
+
+TEST(Mutators, BgpAnnounceWithdrawRoundTrip) {
+  Snapshot snap = make_two_tier_as(2, 1);
+  Ipv4Prefix p(Ipv4Addr(192, 168, 7, 0), 24);
+  Snapshot announced = with_bgp_announce(snap, "as0", p);
+  const auto& networks = announced.config_of("as0").bgp.networks;
+  EXPECT_NE(std::find(networks.begin(), networks.end(), p), networks.end());
+  Snapshot withdrawn = with_bgp_withdraw(announced, "as0", p);
+  EXPECT_EQ(withdrawn, snap);
+}
+
+TEST(Mutators, RandomChangeAlwaysValid) {
+  Snapshot snap = make_fattree(4);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    RandomChange change = random_change(snap, rng);
+    EXPECT_NO_THROW(change.snapshot.validate()) << change.description;
+    EXPECT_FALSE(change.description.empty());
+    snap = std::move(change.snapshot);
+  }
+}
+
+TEST(Snapshot, ValidateCatchesMismatchedSubnets) {
+  Snapshot snap = make_line(2);
+  const Link& link = snap.topology.link(0);
+  snap.configs[link.a].find_interface(link.a_if)->address =
+      Ipv4Addr(10, 99, 0, 1);
+  EXPECT_THROW(snap.validate(), Error);
+}
+
+TEST(Snapshot, FindAddressOwner) {
+  Snapshot snap = make_line(3);
+  const auto& cfg = snap.config_of("r1");
+  EXPECT_EQ(find_address_owner(snap, cfg.interfaces[0].address),
+            snap.topology.node_id("r1"));
+  EXPECT_EQ(find_address_owner(snap, Ipv4Addr(9, 9, 9, 9)), kNoNode);
+}
+
+}  // namespace
+}  // namespace dna::topo

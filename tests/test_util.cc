@@ -1,0 +1,195 @@
+// Unit tests for the foundation utilities.
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/interner.h"
+#include "util/ip.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dna {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormatRoundTrip) {
+  auto addr = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->str(), "10.1.2.3");
+  EXPECT_EQ(addr->bits(), 0x0a010203u);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.3x").has_value());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, MasksHostBits) {
+  Ipv4Prefix p(Ipv4Addr(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.addr(), Ipv4Addr(10, 1, 2, 0));
+  EXPECT_EQ(p.str(), "10.1.2.0/24");
+  EXPECT_EQ(p.first(), Ipv4Addr(10, 1, 2, 0));
+  EXPECT_EQ(p.last(), Ipv4Addr(10, 1, 2, 255));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  auto p = Ipv4Prefix::parse("192.168.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->str(), "192.168.0.0/16");
+  EXPECT_FALSE(Ipv4Prefix::parse("192.168.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("192.168.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("192.168.0.0/x").has_value());
+}
+
+TEST(Ipv4Prefix, DefaultRouteCoversEverything) {
+  Ipv4Prefix def = Ipv4Prefix::default_route();
+  EXPECT_EQ(def.length(), 0);
+  EXPECT_TRUE(def.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_TRUE(def.contains(Ipv4Addr(255, 255, 255, 255)));
+}
+
+TEST(Ipv4Prefix, Containment) {
+  Ipv4Prefix wide(Ipv4Addr(10, 0, 0, 0), 8);
+  Ipv4Prefix narrow(Ipv4Addr(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.overlaps(narrow));
+  EXPECT_TRUE(narrow.overlaps(wide));
+  Ipv4Prefix other(Ipv4Addr(11, 0, 0, 0), 8);
+  EXPECT_FALSE(wide.overlaps(other));
+}
+
+TEST(Ipv4Prefix, EqualityIgnoresHostBits) {
+  Ipv4Prefix a(Ipv4Addr(10, 1, 2, 3), 24);
+  Ipv4Prefix b(Ipv4Addr(10, 1, 2, 200), 24);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<Ipv4Prefix>{}(a), std::hash<Ipv4Prefix>{}(b));
+}
+
+TEST(Ipv4Prefix, SlashThirtyTwo) {
+  Ipv4Prefix host(Ipv4Addr(172, 16, 0, 5), 32);
+  EXPECT_EQ(host.first(), host.last());
+  EXPECT_TRUE(host.contains(Ipv4Addr(172, 16, 0, 5)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(172, 16, 0, 6)));
+}
+
+TEST(Interner, BidirectionalMapping) {
+  Interner interner;
+  Symbol a = interner.intern("alpha");
+  Symbol b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.str(a), "alpha");
+  EXPECT_EQ(interner.str(b), "beta");
+  EXPECT_EQ(interner.find("alpha"), a);
+  EXPECT_EQ(interner.find("gamma"), Interner::kNoSymbol);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Strings, SplitAndTrim) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_ws("  a\t b  "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\r\n"), "");
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("12345"), 12345);
+  EXPECT_EQ(parse_int(""), -1);
+  EXPECT_EQ(parse_int("12x"), -1);
+  EXPECT_EQ(parse_int("-3"), -1);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v]++;
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Bitset, SetResetTestCount) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.count(), 0u);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, MinusAndIndices) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  a.set(69);
+  b.set(65);
+  EXPECT_EQ(a.minus(b), (std::vector<uint32_t>{1, 69}));
+  EXPECT_EQ(b.minus(a), (std::vector<uint32_t>{}));
+  EXPECT_EQ(a.to_indices(), (std::vector<uint32_t>{1, 65, 69}));
+}
+
+TEST(Bitset, UnionIntersection) {
+  DynamicBitset a(10), b(10);
+  a.set(1);
+  b.set(2);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(2));
+  u &= b;
+  EXPECT_FALSE(u.test(1));
+  EXPECT_TRUE(u.test(2));
+}
+
+TEST(Bitset, EqualityAndHash) {
+  DynamicBitset a(10), b(10);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(4);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dna

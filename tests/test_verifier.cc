@@ -1,0 +1,160 @@
+// Verifier: full verification semantics plus the incremental-equals-fresh
+// property under randomized change sequences.
+#include <gtest/gtest.h>
+
+#include "controlplane/engine.h"
+#include "dataplane/verifier.h"
+#include "topo/generators.h"
+#include "topo/mutators.h"
+#include "util/rng.h"
+
+namespace dna::dp {
+namespace {
+
+using topo::Snapshot;
+
+TEST(Verifier, FullBuildCoversAllAtoms) {
+  Snapshot snap = topo::make_fattree(4);
+  auto fibs = cp::ControlPlaneEngine::compute_fibs(snap);
+  Verifier verifier(&snap, &fibs);
+  EXPECT_GT(verifier.num_ecs(), 10u);
+  // Every atom has a graph and a reach record.
+  for (EcId ec = 0; ec < verifier.num_ecs(); ++ec) {
+    EXPECT_EQ(verifier.graph(ec).verdicts.size(), snap.topology.num_nodes());
+  }
+}
+
+TEST(Verifier, ReachFactsCanonicalFormIsSortedAndCoalesced) {
+  Snapshot snap = topo::make_line(3);
+  auto fibs = cp::ControlPlaneEngine::compute_fibs(snap);
+  Verifier verifier(&snap, &fibs);
+  auto facts = verifier.all_reach_facts();
+  ASSERT_FALSE(facts.empty());
+  EXPECT_TRUE(std::is_sorted(facts.begin(), facts.end()));
+  for (size_t i = 0; i + 1 < facts.size(); ++i) {
+    if (facts[i].src == facts[i + 1].src &&
+        facts[i].dst == facts[i + 1].dst) {
+      // Coalesced: no two adjacent facts of the same pair touch.
+      EXPECT_LT(static_cast<uint64_t>(facts[i].hi) + 1, facts[i + 1].lo);
+    }
+  }
+}
+
+TEST(CanonicalFacts, MergesAdjacentRanges) {
+  std::vector<ReachFact> facts = {
+      {1, 2, 100, 199}, {1, 2, 200, 300}, {1, 2, 500, 600}, {1, 3, 301, 400}};
+  canonicalize_facts(facts);
+  ASSERT_EQ(facts.size(), 3u);
+  EXPECT_EQ(facts[0].lo, 100u);
+  EXPECT_EQ(facts[0].hi, 300u);
+  EXPECT_EQ(facts[1].lo, 500u);
+  EXPECT_EQ(facts[2].dst, 3u);
+}
+
+/// The incremental verifier's state after a change must match a verifier
+/// built fresh against the new inputs (compared via canonical facts).
+void expect_verifier_matches_fresh(const Verifier& incremental,
+                                   const Snapshot& snap,
+                                   const std::vector<cp::Fib>& fibs,
+                                   const std::string& context) {
+  Verifier fresh(&snap, &fibs);
+  EXPECT_EQ(incremental.all_reach_facts(), fresh.all_reach_facts()) << context;
+  EXPECT_EQ(incremental.all_loop_facts(), fresh.all_loop_facts()) << context;
+  EXPECT_EQ(incremental.all_blackhole_facts(), fresh.all_blackhole_facts())
+      << context;
+}
+
+TEST(Verifier, IncrementalLinkCostChange) {
+  Snapshot snap = topo::make_ring(6);
+  cp::ControlPlaneEngine engine(snap);
+  Verifier verifier(&engine.snapshot(), &engine.fibs());
+
+  Snapshot changed = topo::with_link_cost(snap, 1, 77);
+  cp::AdvanceResult result = engine.advance(changed);
+  ReachDelta delta = verifier.apply(&engine.snapshot(), &engine.fibs(),
+                                    result.fib_delta, result.config_changes);
+  (void)delta;
+  expect_verifier_matches_fresh(verifier, engine.snapshot(), engine.fibs(),
+                                "cost change");
+}
+
+TEST(Verifier, AclChangeTouchesOnlyCoveredAtoms) {
+  Snapshot snap = topo::make_fattree(4);
+  cp::ControlPlaneEngine engine(snap);
+  Verifier verifier(&engine.snapshot(), &engine.fibs());
+  const size_t total = verifier.num_ecs();
+
+  // Block 172.31.3.0/24 at its own edge switch (sw3 hosts it), so transit
+  // traffic entering sw3 is dropped by the inbound ACL.
+  Snapshot changed =
+      topo::with_acl_block(snap, "sw3", Ipv4Prefix(Ipv4Addr(172, 31, 3, 0), 24));
+  cp::AdvanceResult result = engine.advance(changed);
+  EXPECT_TRUE(result.fib_delta.empty());  // control plane untouched
+  ReachDelta delta = verifier.apply(&engine.snapshot(), &engine.fibs(),
+                                    result.fib_delta, result.config_changes);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_FALSE(delta.lost.empty());
+  // Only the atoms of the blocked /24 (plus splits) are re-verified.
+  EXPECT_LT(verifier.last_affected_ecs(), total / 4);
+  expect_verifier_matches_fresh(verifier, engine.snapshot(), engine.fibs(),
+                                "acl change");
+}
+
+TEST(Verifier, ReachDeltaReportsLostDelivery) {
+  Snapshot snap = topo::make_line(3);
+  cp::ControlPlaneEngine engine(snap);
+  Verifier verifier(&engine.snapshot(), &engine.fibs());
+
+  // Fail the r1-r2 link: r0 loses the 172.31.1.0/24 host net at r2.
+  Snapshot broken = topo::with_link_state(snap, 1, false);
+  cp::AdvanceResult result = engine.advance(broken);
+  ReachDelta delta = verifier.apply(&engine.snapshot(), &engine.fibs(),
+                                    result.fib_delta, result.config_changes);
+  const auto r0 = snap.topology.node_id("r0");
+  const auto r2 = snap.topology.node_id("r2");
+  bool lost_host = false;
+  for (const ReachFact& fact : delta.lost) {
+    if (fact.src == r0 && fact.dst == r2 &&
+        fact.lo <= Ipv4Addr(172, 31, 1, 5).bits() &&
+        fact.hi >= Ipv4Addr(172, 31, 1, 5).bits()) {
+      lost_host = true;
+    }
+  }
+  EXPECT_TRUE(lost_host);
+  EXPECT_TRUE(delta.gained.empty());
+}
+
+class VerifierChurn : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VerifierChurn, IncrementalEqualsFreshUnderRandomChanges) {
+  std::string which = GetParam();
+  Rng rng(0x5E + which.size());
+  Snapshot snap;
+  if (which == "ring") snap = topo::make_ring(6);
+  if (which == "fattree") snap = topo::make_fattree(4);
+  if (which == "two_tier") snap = topo::make_two_tier_as(3, 2);
+  if (which == "grid") snap = topo::make_grid(3, 3);
+
+  cp::ControlPlaneEngine engine(snap);
+  Verifier verifier(&engine.snapshot(), &engine.fibs());
+
+  for (int step = 0; step < 15; ++step) {
+    topo::RandomChange change = topo::random_change(snap, rng);
+    snap = std::move(change.snapshot);
+    cp::AdvanceResult result = engine.advance(snap);
+    verifier.apply(&engine.snapshot(), &engine.fibs(), result.fib_delta,
+                   result.config_changes);
+    expect_verifier_matches_fresh(
+        verifier, engine.snapshot(), engine.fibs(),
+        which + " step " + std::to_string(step) + ": " + change.description);
+    if (HasNonfatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, VerifierChurn,
+                         ::testing::Values("ring", "fattree", "two_tier",
+                                           "grid"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace dna::dp

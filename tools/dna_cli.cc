@@ -1,0 +1,126 @@
+// dna_cli — differential network analysis from the command line.
+//
+//   dna_cli show  <topo-file> <config-file>
+//       Verify one snapshot: routes, equivalence classes, loops/blackholes.
+//
+//   dna_cli diff  <base-topo> <base-cfg> <target-topo> <target-cfg>
+//                 [--monolithic]
+//       Compute the semantic diff between two snapshots.
+//
+//   dna_cli paths <topo-file> <config-file> <src-node> <dst-ip>
+//       Enumerate the forwarding paths a probe takes.
+//
+// File formats: topo/textio.h (topology) and config/parser.h (configs).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/paths.h"
+#include "core/report.h"
+#include "topo/textio.h"
+
+using namespace dna;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_show(const std::string& topo_path, const std::string& cfg_path) {
+  topo::Snapshot snap =
+      topo::load_snapshot(read_file(topo_path), read_file(cfg_path));
+  core::DnaEngine engine(snap);
+  const dp::Verifier& verifier = engine.verifier();
+
+  std::cout << "snapshot: " << snap.topology.num_nodes() << " nodes, "
+            << snap.topology.num_links() << " links, " << verifier.num_ecs()
+            << " equivalence classes\n";
+  size_t fib_total = 0;
+  for (const auto& fib : engine.control_plane().fibs()) {
+    fib_total += fib.size();
+  }
+  std::cout << "fib entries: " << fib_total << "\n";
+  auto loops = verifier.all_loop_facts();
+  auto blackholes = verifier.all_blackhole_facts();
+  std::cout << "loops: " << loops.size() << " fact(s), blackholes: "
+            << blackholes.size() << " fact(s)\n";
+  for (size_t i = 0; i < std::min<size_t>(loops.size(), 10); ++i) {
+    std::cout << "  loop from " << snap.topology.node_name(loops[i].src)
+              << " for " << Ipv4Addr(loops[i].lo).str() << "-"
+              << Ipv4Addr(loops[i].hi).str() << "\n";
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& base_topo, const std::string& base_cfg,
+             const std::string& target_topo, const std::string& target_cfg,
+             bool monolithic) {
+  topo::Snapshot base =
+      topo::load_snapshot(read_file(base_topo), read_file(base_cfg));
+  topo::Snapshot target =
+      topo::load_snapshot(read_file(target_topo), read_file(target_cfg));
+  core::DnaEngine engine(std::move(base));
+  core::NetworkDiff diff = engine.advance(
+      std::move(target),
+      monolithic ? core::Mode::kMonolithic : core::Mode::kDifferential);
+  std::cout << core::render(diff, engine.snapshot().topology, 50);
+  return diff.semantically_empty() ? 0 : 1;
+}
+
+int cmd_paths(const std::string& topo_path, const std::string& cfg_path,
+              const std::string& src, const std::string& dst) {
+  topo::Snapshot snap =
+      topo::load_snapshot(read_file(topo_path), read_file(cfg_path));
+  auto addr = Ipv4Addr::parse(dst);
+  if (!addr) throw Error("bad destination address: " + dst);
+  core::DnaEngine engine(snap);
+  auto paths = core::forwarding_paths(engine.verifier(), engine.snapshot(),
+                                      engine.snapshot().topology.node_id(src),
+                                      *addr);
+  if (paths.empty()) {
+    std::cout << "no forwarding paths\n";
+    return 1;
+  }
+  for (const auto& path : paths) {
+    std::cout << path.str(engine.snapshot().topology) << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  dna_cli show  <topo> <cfg>\n"
+      << "  dna_cli diff  <base-topo> <base-cfg> <target-topo> <target-cfg>"
+         " [--monolithic]\n"
+      << "  dna_cli paths <topo> <cfg> <src-node> <dst-ip>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 3 && args[0] == "show") {
+      return cmd_show(args[1], args[2]);
+    }
+    if (args.size() >= 5 && args[0] == "diff") {
+      const bool monolithic = args.size() == 6 && args[5] == "--monolithic";
+      return cmd_diff(args[1], args[2], args[3], args[4], monolithic);
+    }
+    if (args.size() == 5 && args[0] == "paths") {
+      return cmd_paths(args[1], args[2], args[3], args[4]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
