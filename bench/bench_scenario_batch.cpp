@@ -1,0 +1,74 @@
+// Scaling of the batch what-if runner: wall time of a full link-failure
+// sweep on generated fat-trees as the thread count grows 1 -> N.
+//
+// Also the determinism check at bench scale: every thread count must produce
+// a byte-identical ranked report (diagnostics like timings are excluded from
+// the report text by design — see scenario/report.h).
+//
+//   $ ./bench_scenario_batch [k ...]      # fat-tree degrees, default 4 6
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenario/runner.h"
+#include "util/timer.h"
+
+using namespace dna;
+
+namespace {
+
+void bench_fattree(int k) {
+  topo::Snapshot base = topo::make_fattree(k);
+  std::vector<scenario::ScenarioSpec> specs =
+      scenario::link_failure_sweep(base);
+  std::vector<core::Invariant> invariants = {
+      {core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()}};
+  scenario::ScenarioRunner runner(base, invariants);
+
+  std::printf("fat-tree k=%d: %zu nodes, %zu links, %zu scenarios\n", k,
+              base.topology.num_nodes(), base.topology.num_links(),
+              specs.size());
+  std::printf("%8s %12s %10s %10s\n", "threads", "total ms", "speedup",
+              "report");
+  bench::print_rule(44);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::string reference_report;
+  double t1_ms = 0;
+  bool all_identical = true;
+  for (size_t threads : thread_counts) {
+    scenario::RunnerOptions options;
+    options.num_threads = threads;
+    Stopwatch stopwatch;
+    scenario::ScenarioReport report = runner.run(specs, options);
+    const double ms = stopwatch.elapsed_ms();
+    const std::string text = report.str();
+    if (reference_report.empty()) {
+      reference_report = text;
+      t1_ms = ms;
+    }
+    const bool identical = text == reference_report;
+    all_identical = all_identical && identical;
+    std::printf("%8zu %12.1f %9.2fx %10s\n", threads, ms, t1_ms / ms,
+                identical ? "identical" : "DIVERGED");
+  }
+  std::printf("(%u hardware thread(s) available; speedup saturates there)\n\n",
+              hw);
+  if (!all_identical) {
+    std::printf("FAIL: ranked reports diverged across thread counts\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> degrees;
+  for (int i = 1; i < argc; ++i) degrees.push_back(std::atoi(argv[i]));
+  if (degrees.empty()) degrees = {4, 6};
+  for (int k : degrees) bench_fattree(k);
+  return 0;
+}

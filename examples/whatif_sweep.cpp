@@ -1,0 +1,48 @@
+// What-if sweep: the batch version of maintenance_dryrun.
+//
+// Instead of advancing one engine through candidate link failures in a loop,
+// hand the whole sweep to the scenario runner: it fans the candidates out
+// over a thread pool (one cloned engine per worker), evaluates each one
+// differentially from the same base, and returns a deterministic report
+// ranked by blast radius. Print the top-5 riskiest links to drain.
+//
+//   $ ./whatif_sweep
+#include <iostream>
+
+#include "scenario/runner.h"
+#include "topo/generators.h"
+
+using namespace dna;
+
+int main() {
+  topo::Snapshot base = topo::make_fattree(4);
+
+  // Intent: every host network stays reachable from every other host-network
+  // owner (derived from the snapshot's 172.31/16 interfaces), and the fabric
+  // stays loop-free.
+  std::vector<core::Invariant> invariants =
+      scenario::host_reachability_invariants(base);
+  invariants.push_back(
+      {core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()});
+
+  std::vector<scenario::ScenarioSpec> specs = scenario::link_failure_sweep(base);
+  std::cout << "fat-tree k=4: " << base.topology.num_nodes() << " switches, "
+            << base.topology.num_links() << " links\n"
+            << "sweeping " << specs.size() << " candidate link failures under "
+            << invariants.size() << " invariants...\n\n";
+
+  scenario::ScenarioRunner runner(std::move(base), std::move(invariants));
+  scenario::ScenarioReport report = runner.run(specs);
+
+  std::cout << "top-5 riskiest scenarios:\n" << report.str(/*top_k=*/5);
+
+  size_t safe = 0;
+  for (const scenario::ScenarioResult& result : report.results) {
+    if (result.ok && result.invariants_broken == 0) ++safe;
+  }
+  std::cout << "\n" << safe << "/" << report.results.size()
+            << " links drainable without breaking intent ("
+            << report.threads << " threads, " << report.seconds_total
+            << " s total)\n";
+  return 0;
+}

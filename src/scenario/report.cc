@@ -1,0 +1,78 @@
+#include "scenario/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace dna::scenario {
+
+namespace {
+
+/// Lexicographic severity key, larger = worse.
+auto severity_key(const ScenarioResult& r) {
+  const size_t damage = r.reach_lost + r.loops_gained + r.blackholes_gained;
+  const size_t churn = r.reach_gained + r.fib_changes;
+  return std::make_tuple(r.ok ? 1 : 0, r.invariants_broken, damage, churn,
+                         r.invariants_fixed);
+}
+
+}  // namespace
+
+bool more_severe(const ScenarioResult& a, const ScenarioResult& b) {
+  const auto ka = severity_key(a);
+  const auto kb = severity_key(b);
+  if (ka != kb) return ka > kb;
+  return a.index < b.index;
+}
+
+void rank(ScenarioReport& report) {
+  report.ranking.resize(report.results.size());
+  for (size_t i = 0; i < report.ranking.size(); ++i) report.ranking[i] = i;
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [&](size_t a, size_t b) {
+              return more_severe(report.results[a], report.results[b]);
+            });
+  report.failures = 0;
+  for (const ScenarioResult& result : report.results) {
+    if (!result.ok) ++report.failures;
+  }
+}
+
+std::string ScenarioReport::str(size_t top_k) const {
+  std::ostringstream out;
+  const size_t evaluated = results.size() - failures;
+  out << "what-if report: " << results.size() << " scenario(s), " << evaluated
+      << " evaluated, " << failures << " failed\n";
+  size_t shown = 0;
+  for (size_t position = 0; position < ranking.size(); ++position) {
+    const ScenarioResult& r = results[ranking[position]];
+    if (!r.ok) break;  // failures sort last; printed separately below
+    if (top_k != 0 && shown == top_k) break;
+    ++shown;
+    out << "  #" << position + 1 << " " << r.name << "\n";
+    if (r.semantically_empty && r.invariants_broken == 0 &&
+        r.invariants_fixed == 0) {
+      out << "      no semantic effect\n";
+      continue;
+    }
+    out << "      invariants broken: " << r.invariants_broken
+        << ", fixed: " << r.invariants_fixed << " | reach lost: "
+        << r.reach_lost << ", gained: " << r.reach_gained << " | new loops: "
+        << r.loops_gained << ", new blackholes: " << r.blackholes_gained
+        << " | fib changes: " << r.fib_changes << "\n";
+    for (const std::string& description : r.broken_invariants) {
+      out << "      breaks: " << description << "\n";
+    }
+  }
+  if (top_k != 0 && evaluated > shown) {
+    out << "  ... " << evaluated - shown << " less severe scenario(s)\n";
+  }
+  for (size_t position = 0; position < ranking.size(); ++position) {
+    const ScenarioResult& r = results[ranking[position]];
+    if (r.ok) continue;
+    out << "  FAILED " << r.name << ": " << r.error << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dna::scenario

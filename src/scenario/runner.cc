@@ -1,0 +1,100 @@
+#include "scenario/runner.h"
+
+#include <exception>
+#include <memory>
+
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace dna::scenario {
+
+namespace {
+
+ScenarioResult evaluate(core::DnaEngine& engine, const topo::Snapshot& base,
+                        const ScenarioSpec& spec, const RunnerOptions& options,
+                        size_t index) {
+  ScenarioResult result;
+  result.index = index;
+  result.name = spec.name;
+
+  topo::Snapshot target = spec.plan.apply(base);
+  Stopwatch stopwatch;
+  core::NetworkDiff diff = engine.advance(std::move(target), options.mode);
+  result.seconds = stopwatch.elapsed_seconds();
+
+  result.fib_changes = diff.fib_delta.total_changes();
+  result.reach_lost = diff.reach_delta.lost.size();
+  result.reach_gained = diff.reach_delta.gained.size();
+  result.loops_gained = diff.reach_delta.loops_gained.size();
+  result.blackholes_gained = diff.reach_delta.blackholes_gained.size();
+  for (const core::InvariantFlip& flip : diff.invariant_flips) {
+    if (flip.before_holds && !flip.after_holds) {
+      ++result.invariants_broken;
+      result.broken_invariants.push_back(flip.description);
+    } else if (!flip.before_holds && flip.after_holds) {
+      ++result.invariants_fixed;
+    }
+  }
+  result.semantically_empty = diff.semantically_empty();
+  result.affected_ecs = diff.affected_ecs;
+  result.total_ecs = diff.total_ecs;
+  if (options.keep_diffs) result.diff = std::move(diff);
+
+  // Rewind to base so the next scenario this engine takes starts from the
+  // same semantic state a fresh engine would.
+  engine.advance(base, options.mode);
+  return result;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(topo::Snapshot base,
+                               std::vector<core::Invariant> invariants)
+    : base_(std::move(base)), invariants_(std::move(invariants)) {
+  base_.validate();
+}
+
+ScenarioReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
+                                   const RunnerOptions& options) const {
+  Stopwatch stopwatch;
+  util::ThreadPool pool(options.num_threads);
+
+  ScenarioReport report;
+  report.threads = pool.num_workers();
+  report.results.resize(specs.size());
+
+  // One engine per worker, built lazily on the worker's first scenario so
+  // the (expensive) base verifications themselves run in parallel.
+  std::vector<std::unique_ptr<core::DnaEngine>> engines(pool.num_workers());
+
+  pool.parallel_for(specs.size(), [&](size_t worker, size_t index) {
+    std::unique_ptr<core::DnaEngine>& engine = engines[worker];
+    try {
+      if (!engine) {
+        engine = std::make_unique<core::DnaEngine>(base_);
+        for (const core::Invariant& invariant : invariants_) {
+          engine->add_invariant(invariant);
+        }
+      }
+      report.results[index] =
+          evaluate(*engine, base_, specs[index], options, index);
+    } catch (const std::exception& e) {
+      // The engine may be mid-advance; drop it so the worker rebuilds a
+      // clean clone for its next scenario.
+      engine.reset();
+      ScenarioResult& failed = report.results[index];
+      failed = ScenarioResult{};
+      failed.index = index;
+      failed.name = specs[index].name;
+      failed.ok = false;
+      failed.error = e.what();
+    }
+    report.results[index].worker = worker;
+  });
+
+  rank(report);
+  report.seconds_total = stopwatch.elapsed_seconds();
+  return report;
+}
+
+}  // namespace dna::scenario

@@ -1,0 +1,95 @@
+#include "scenario/spec.h"
+
+#include "topo/mutators.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dna::scenario {
+
+std::vector<ScenarioSpec> link_failure_sweep(const topo::Snapshot& base) {
+  std::vector<ScenarioSpec> specs;
+  for (uint32_t i = 0; i < base.topology.num_links(); ++i) {
+    const topo::Link& link = base.topology.link(i);
+    if (!link.up) continue;
+    std::string name = "fail link " + std::to_string(i) + " (" +
+                       base.topology.node_name(link.a) + " <-> " +
+                       base.topology.node_name(link.b) + ")";
+    specs.emplace_back(std::move(name), core::ChangePlan::link_failure(i));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> interface_shutdown_sweep(const topo::Snapshot& base,
+                                                   const std::string& node) {
+  std::vector<ScenarioSpec> specs;
+  const topo::NodeId id = base.topology.node_id(node);  // throws if unknown
+  for (const config::InterfaceConfig& iface : base.configs[id].interfaces) {
+    if (!iface.enabled || iface.name == "lo") continue;
+    core::ChangePlan plan("shut " + node + ":" + iface.name);
+    plan.add([node, if_name = iface.name](topo::Snapshot snapshot) {
+      return topo::with_interface_enabled(std::move(snapshot), node, if_name,
+                                          false);
+    });
+    specs.emplace_back("shut " + node + ":" + iface.name, std::move(plan));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> link_cost_sweep(const topo::Snapshot& base,
+                                          int cost) {
+  std::vector<ScenarioSpec> specs;
+  for (uint32_t i = 0; i < base.topology.num_links(); ++i) {
+    const topo::Link& link = base.topology.link(i);
+    if (!link.up) continue;
+    std::string name = "set link " + std::to_string(i) + " (" +
+                       base.topology.node_name(link.a) + " <-> " +
+                       base.topology.node_name(link.b) + ") cost to " +
+                       std::to_string(cost);
+    specs.emplace_back(std::move(name), core::ChangePlan::link_cost(i, cost));
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> random_change_sweep(const topo::Snapshot& base,
+                                              int count, uint64_t seed) {
+  DNA_CHECK(count >= 0);
+  // Draw all mutations up front so the spec list (names and targets) is a
+  // pure function of (base, count, seed), independent of evaluation order.
+  std::vector<ScenarioSpec> specs;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    topo::RandomChange change = topo::random_change(base, rng);
+    core::ChangePlan plan(change.description);
+    plan.add([target = std::move(change.snapshot)](topo::Snapshot) {
+      return target;
+    });
+    specs.emplace_back("random #" + std::to_string(i) + ": " +
+                           plan.description(),
+                       std::move(plan));
+  }
+  return specs;
+}
+
+std::vector<core::Invariant> host_reachability_invariants(
+    const topo::Snapshot& base) {
+  const Ipv4Prefix hosts(Ipv4Addr(172, 31, 0, 0), 16);
+  std::vector<std::pair<std::string, Ipv4Prefix>> owners;
+  for (topo::NodeId node = 0; node < base.topology.num_nodes(); ++node) {
+    for (const config::InterfaceConfig& iface : base.configs[node].interfaces) {
+      if (hosts.contains(iface.address)) {
+        owners.emplace_back(base.topology.node_name(node), iface.subnet());
+      }
+    }
+  }
+  std::vector<core::Invariant> invariants;
+  for (const auto& [src, src_prefix] : owners) {
+    for (const auto& [dst, dst_prefix] : owners) {
+      if (src == dst) continue;
+      invariants.push_back(
+          {core::Invariant::Kind::kReachable, src, dst, "", dst_prefix});
+    }
+  }
+  return invariants;
+}
+
+}  // namespace dna::scenario

@@ -1,0 +1,51 @@
+// What-if scenarios: named candidate changes evaluated in batch.
+//
+// A ScenarioSpec pairs a human-readable name with the ChangePlan producing
+// the candidate snapshot. Sweep generators enumerate the standard operator
+// questions ("what if any one link failed?", "what if we drained node X?")
+// so callers never hand-build fifty plans; explicit plans compose with
+// generated ones in the same batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/change.h"
+#include "core/invariants.h"
+#include "topo/snapshot.h"
+
+namespace dna::scenario {
+
+struct ScenarioSpec {
+  std::string name;
+  core::ChangePlan plan;
+
+  ScenarioSpec(std::string name, core::ChangePlan plan)
+      : name(std::move(name)), plan(std::move(plan)) {}
+};
+
+/// One scenario per link: "what if link i failed?". Skips links already down.
+std::vector<ScenarioSpec> link_failure_sweep(const topo::Snapshot& base);
+
+/// One scenario per enabled non-loopback interface of `node`: "what if we
+/// shut node:ifN?". The drain-one-port maintenance question.
+std::vector<ScenarioSpec> interface_shutdown_sweep(const topo::Snapshot& base,
+                                                   const std::string& node);
+
+/// One scenario per up link: "what if link i's cost became `cost`?".
+std::vector<ScenarioSpec> link_cost_sweep(const topo::Snapshot& base,
+                                          int cost);
+
+/// `count` (non-negative) scenarios drawn from topo::random_change with the
+/// given seed — the fuzz workload, reproducible from the printed seed.
+std::vector<ScenarioSpec> random_change_sweep(const topo::Snapshot& base,
+                                              int count, uint64_t seed);
+
+/// The standard what-if intent set: every host-network (172.31/16) owner
+/// keeps reaching every other owner's host subnet. Owners are derived from
+/// the snapshot itself (any interface addressed inside 172.31/16), so this
+/// works for every generator and loaded snapshot alike.
+std::vector<core::Invariant> host_reachability_invariants(
+    const topo::Snapshot& base);
+
+}  // namespace dna::scenario

@@ -1,0 +1,131 @@
+#include "util/threadpool.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dna::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  DNA_CHECK(task != nullptr);
+  {
+    // The push must happen under wake_mutex_: a worker that found every
+    // queue empty re-checks them while holding wake_mutex_ before sleeping,
+    // so it either sees this task during that scan or is already inside
+    // wait() when the notify below fires. Pushing outside wake_mutex_ opens
+    // a lost-wakeup window between its scan and its wait().
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    DNA_CHECK(!stop_);
+    const size_t target = next_queue_++ % queues_.size();
+    ++pending_;
+    std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    size_t count, const std::function<void(size_t worker, size_t index)>& fn) {
+  for (size_t index = 0; index < count; ++index) {
+    submit([&fn, index](size_t worker) { fn(worker, index); });
+  }
+  wait_idle();
+}
+
+ThreadPool::Task ThreadPool::take_task(size_t worker) {
+  // Own queue first (front: LIFO locality is irrelevant here, FIFO keeps
+  // batch progress roughly in submission order)...
+  {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      Task task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return task;
+    }
+  }
+  // ... then steal from the back of a sibling's, scanning from the next
+  // worker around the ring so victims are spread evenly.
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(worker + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      Task task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(size_t worker) {
+  for (;;) {
+    Task task = take_task(worker);
+    if (!task) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (stop_) return;
+      // Re-check the queues under the wake lock: a submit may have landed
+      // between our failed scan and acquiring the lock. pending_ counts
+      // queued-or-running tasks, so pending_ > 0 with all queues empty just
+      // means tasks are still executing elsewhere — sleep until signalled.
+      bool maybe_work = false;
+      for (const auto& queue : queues_) {
+        std::lock_guard<std::mutex> queue_lock(queue->mutex);
+        if (!queue->tasks.empty()) {
+          maybe_work = true;
+          break;
+        }
+      }
+      if (!maybe_work) {
+        wake_cv_.wait(lock);
+      }
+      continue;
+    }
+    try {
+      task(worker);
+    } catch (const std::exception& e) {
+      DNA_ERROR("uncaught exception in ThreadPool task (worker " << worker
+                                                                 << "): "
+                                                                 << e.what());
+    } catch (...) {
+      DNA_ERROR("uncaught non-standard exception in ThreadPool task (worker "
+                << worker << ")");
+    }
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dna::util

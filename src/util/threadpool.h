@@ -1,0 +1,76 @@
+// A work-stealing thread pool for batch workloads.
+//
+// Each worker owns a deque of tasks; submissions are distributed round-robin,
+// workers pop from the front of their own deque and steal from the back of a
+// sibling's when theirs runs dry. Tasks receive the index of the executing
+// worker, so callers can keep expensive per-worker state (the scenario runner
+// keeps one cloned DnaEngine per worker) without any sharing between tasks.
+//
+// The pool makes no ordering promises: callers needing deterministic output
+// must key results by task index, not completion order (see
+// scenario/runner.cc for the pattern).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dna::util {
+
+class ThreadPool {
+ public:
+  /// A task sees the id (0-based, < num_workers()) of the worker running it.
+  using Task = std::function<void(size_t worker)>;
+
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task. Safe to call from any thread, including from inside
+  /// a running task. Tasks should handle their own failures: an exception
+  /// escaping a task is logged at error level and swallowed so the pool
+  /// (and its pending-task accounting) survives.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Submits `count` tasks fn(worker, index) for index in [0, count) and
+  /// waits for all of them.
+  void parallel_for(size_t count,
+                    const std::function<void(size_t worker, size_t index)>& fn);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(size_t worker);
+  /// Pops the front of `worker`'s own queue, or steals from the back of
+  /// another worker's. Returns an empty function when everything is dry.
+  Task take_task(size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;  // signalled on submit and shutdown
+  std::condition_variable idle_cv_;  // signalled when pending_ hits zero
+  size_t pending_ = 0;               // submitted but not yet finished
+  size_t next_queue_ = 0;            // round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace dna::util

@@ -10,6 +10,21 @@
 //   dna_cli paths <topo-file> <config-file> <src-node> <dst-ip>
 //       Enumerate the forwarding paths a probe takes.
 //
+//   dna_cli whatif (--gen=<spec> | <topo-file> <config-file>) [options]
+//       Batch-evaluate a sweep of candidate changes and rank them by blast
+//       radius (see src/scenario/). Options:
+//         --gen=fattree:K|ring:N|line:N|grid:RxC|two_tier:E,C
+//                              generate the base snapshot instead of files
+//         --sweep=links        fail every up link (default)
+//         --sweep=costs:C      set every link's cost to C
+//         --sweep=node:NAME    shut each interface of NAME
+//         --sweep=random:N[:SEED]  N seeded random changes
+//         --threads=N          worker threads (default: hardware)
+//         --top=K              rows to print (default 10, 0 = all)
+//         --monolithic         evaluate scenarios monolithically
+//         --host-invariants    add reachability invariants between all
+//                              host-network (172.31/16) owners
+//
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
 #include <fstream>
 #include <iostream>
@@ -18,7 +33,10 @@
 #include "core/engine.h"
 #include "core/paths.h"
 #include "core/report.h"
+#include "scenario/runner.h"
+#include "topo/generators.h"
 #include "topo/textio.h"
+#include "util/strings.h"
 
 using namespace dna;
 
@@ -93,13 +111,150 @@ int cmd_paths(const std::string& topo_path, const std::string& cfg_path,
   return 0;
 }
 
+// ---- whatif ---------------------------------------------------------------
+
+/// Strict integer parse: the whole string must be a number.
+int as_int(const std::string& s) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(s, &used);
+    if (used != s.size()) throw Error("bad number: " + s);
+    return value;
+  } catch (const std::logic_error&) {  // stoi's invalid_argument/out_of_range
+    throw Error("bad number: " + s);
+  }
+}
+
+/// Strict unsigned 64-bit parse, for RNG seeds.
+uint64_t as_u64(const std::string& s) {
+  try {
+    size_t used = 0;
+    const uint64_t value = std::stoull(s, &used);
+    if (used != s.size()) throw Error("bad number: " + s);
+    return value;
+  } catch (const std::logic_error&) {
+    throw Error("bad number: " + s);
+  }
+}
+
+/// "fattree:4" -> make_fattree(4), etc. Throws on a malformed spec.
+topo::Snapshot generate_snapshot(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) throw Error("bad --gen spec: " + spec);
+  const std::string kind = spec.substr(0, colon);
+  const std::string params = spec.substr(colon + 1);
+  if (kind == "fattree") return topo::make_fattree(as_int(params));
+  if (kind == "ring") return topo::make_ring(as_int(params));
+  if (kind == "line") return topo::make_line(as_int(params));
+  if (kind == "grid") {
+    const size_t x = params.find('x');
+    if (x == std::string::npos) throw Error("bad grid spec: " + params);
+    return topo::make_grid(as_int(params.substr(0, x)),
+                           as_int(params.substr(x + 1)));
+  }
+  if (kind == "two_tier") {
+    const size_t comma = params.find(',');
+    if (comma == std::string::npos) throw Error("bad two_tier spec: " + params);
+    return topo::make_two_tier_as(as_int(params.substr(0, comma)),
+                                  as_int(params.substr(comma + 1)));
+  }
+  throw Error("unknown --gen kind: " + kind);
+}
+
+int cmd_whatif(const std::vector<std::string>& args) {
+  std::string gen, sweep = "links";
+  std::vector<std::string> files;
+  size_t threads = 0, top_k = 10;
+  bool monolithic = false, want_host_invariants = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value_of = [&](const std::string& flag) {
+      return arg.substr(flag.size());
+    };
+    if (starts_with(arg, "--gen=")) {
+      gen = value_of("--gen=");
+    } else if (starts_with(arg, "--sweep=")) {
+      sweep = value_of("--sweep=");
+    } else if (starts_with(arg, "--threads=")) {
+      const int value = as_int(value_of("--threads="));
+      if (value < 0) throw Error("--threads must be >= 0");
+      threads = static_cast<size_t>(value);
+    } else if (starts_with(arg, "--top=")) {
+      const int value = as_int(value_of("--top="));
+      if (value < 0) throw Error("--top must be >= 0");
+      top_k = static_cast<size_t>(value);
+    } else if (arg == "--monolithic") {
+      monolithic = true;
+    } else if (arg == "--host-invariants") {
+      want_host_invariants = true;
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown whatif flag: " + arg);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  topo::Snapshot base;
+  if (!gen.empty()) {
+    base = generate_snapshot(gen);
+  } else if (files.size() == 2) {
+    base = topo::load_snapshot(read_file(files[0]), read_file(files[1]));
+  } else {
+    throw Error("whatif needs --gen=<spec> or <topo> <cfg>");
+  }
+
+  std::vector<core::Invariant> invariants = {
+      {core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()}};
+  if (want_host_invariants) {
+    auto more = scenario::host_reachability_invariants(base);
+    invariants.insert(invariants.end(), more.begin(), more.end());
+  }
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (sweep == "links") {
+    specs = scenario::link_failure_sweep(base);
+  } else if (starts_with(sweep, "costs:")) {
+    specs = scenario::link_cost_sweep(base, as_int(sweep.substr(6)));
+  } else if (starts_with(sweep, "node:")) {
+    specs = scenario::interface_shutdown_sweep(base, sweep.substr(5));
+  } else if (starts_with(sweep, "random:")) {
+    const std::string params = sweep.substr(7);
+    const size_t colon = params.find(':');
+    const int count = as_int(params.substr(0, colon));
+    if (count < 0) throw Error("random sweep count must be >= 0: " + sweep);
+    const uint64_t seed = colon == std::string::npos
+                              ? 0x5eed
+                              : as_u64(params.substr(colon + 1));
+    specs = scenario::random_change_sweep(base, count, seed);
+  } else {
+    throw Error("unknown sweep: " + sweep);
+  }
+
+  std::cout << "base: " << base.topology.num_nodes() << " nodes, "
+            << base.topology.num_links() << " links | " << specs.size()
+            << " scenario(s), " << invariants.size() << " invariant(s)\n";
+
+  scenario::ScenarioRunner runner(std::move(base), std::move(invariants));
+  scenario::RunnerOptions options;
+  options.num_threads = threads;
+  options.mode = monolithic ? core::Mode::kMonolithic : core::Mode::kDifferential;
+  scenario::ScenarioReport report = runner.run(specs, options);
+
+  std::cout << report.str(top_k)
+            << "evaluated on " << report.threads << " thread(s) in "
+            << report.seconds_total << " s\n";
+  return report.failures == 0 ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
       << "  dna_cli show  <topo> <cfg>\n"
       << "  dna_cli diff  <base-topo> <base-cfg> <target-topo> <target-cfg>"
          " [--monolithic]\n"
-      << "  dna_cli paths <topo> <cfg> <src-node> <dst-ip>\n";
+      << "  dna_cli paths <topo> <cfg> <src-node> <dst-ip>\n"
+      << "  dna_cli whatif (--gen=<spec> | <topo> <cfg>) [--sweep=...]"
+         " [--threads=N] [--top=K] [--monolithic] [--host-invariants]\n";
   return 2;
 }
 
@@ -117,6 +272,9 @@ int main(int argc, char** argv) {
     }
     if (args.size() == 5 && args[0] == "paths") {
       return cmd_paths(args[1], args[2], args[3], args[4]);
+    }
+    if (!args.empty() && args[0] == "whatif") {
+      return cmd_whatif(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
