@@ -1,0 +1,155 @@
+// Serving-layer benchmarks for the long-lived query service:
+//
+//  1. Query throughput scaling: a fixed batch of reachability/invariant
+//     queries against a resident fat-tree model, as the worker count grows
+//     1 -> N. Answers must be identical for every thread count.
+//
+//  2. Live update latency: committing a change against the running service
+//     differentially vs recomputing the same change from scratch
+//     (monolithic mode). The differential commit must win strictly — this
+//     is the paper's thesis restated at the serving layer, and the bench
+//     fails (exit 1) if it ever does not.
+//
+//   $ ./bench_service_throughput [k] [queries]   # defaults: k=4, 224
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/change.h"
+#include "scenario/spec.h"
+#include "service/service.h"
+#include "topo/generators.h"
+#include "util/timer.h"
+
+using namespace dna;
+
+namespace {
+
+/// Host-to-host reachability questions derived from the snapshot itself:
+/// one "reach <src> <addr-in-dst-host-net>" per ordered owner pair.
+std::vector<std::string> make_queries(const topo::Snapshot& base,
+                                      size_t count) {
+  std::vector<std::string> queries;
+  const auto invariants = scenario::host_reachability_invariants(base);
+  if (invariants.empty()) {
+    std::fprintf(stderr, "no host networks in base snapshot\n");
+    std::exit(1);
+  }
+  while (queries.size() < count) {
+    for (const core::Invariant& invariant : invariants) {
+      if (queries.size() >= count) break;
+      const Ipv4Addr probe(invariant.traffic.first().bits() + 1);
+      queries.push_back("reach " + invariant.src + " " + probe.str());
+    }
+  }
+  return queries;
+}
+
+void bench_throughput(int k, size_t num_queries) {
+  const topo::Snapshot base = topo::make_fattree(k);
+  const std::vector<std::string> queries = make_queries(base, num_queries);
+  std::printf("fat-tree k=%d: %zu nodes, %zu links, %zu queries per run\n", k,
+              base.topology.num_nodes(), base.topology.num_links(),
+              queries.size());
+  std::printf("%8s %12s %12s %10s %10s\n", "threads", "total ms", "queries/s",
+              "speedup", "answers");
+  bench::print_rule(58);
+
+  std::vector<std::string> reference;
+  double t1_ms = 0;
+  bool all_identical = true;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    service::DnaService service(base, {}, {.num_threads = threads});
+    // Warm every worker replica (base verification) outside the timing.
+    {
+      std::vector<std::future<service::QueryResult>> warmup;
+      for (size_t i = 0; i < service.num_workers() * 2; ++i) {
+        warmup.push_back(service.submit(queries[i % queries.size()]));
+      }
+      for (auto& future : warmup) future.get();
+    }
+
+    Stopwatch stopwatch;
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(queries.size());
+    for (const std::string& query : queries) {
+      futures.push_back(service.submit(query));
+    }
+    std::vector<std::string> answers;
+    answers.reserve(futures.size());
+    for (auto& future : futures) {
+      service::QueryResult result = future.get();
+      if (!result.ok) {
+        std::fprintf(stderr, "FAIL: query error: %s\n", result.body.c_str());
+        std::exit(1);
+      }
+      answers.push_back(std::move(result.body));
+    }
+    const double ms = stopwatch.elapsed_ms();
+
+    if (reference.empty()) {
+      reference = answers;
+      t1_ms = ms;
+    }
+    const bool identical = answers == reference;
+    all_identical = all_identical && identical;
+    std::printf("%8zu %12.1f %12.0f %9.2fx %10s\n", threads, ms,
+                queries.size() / (ms / 1e3), t1_ms / ms,
+                identical ? "identical" : "DIVERGED");
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("(%u hardware thread(s) available; speedup saturates there)\n\n",
+              hw);
+  if (!all_identical) {
+    std::printf("FAIL: answers diverged across thread counts\n");
+    std::exit(1);
+  }
+}
+
+void bench_live_commit(int k) {
+  const topo::Snapshot base = topo::make_fattree(k);
+  service::DnaService service(base, {}, {.num_threads = 2});
+  // The service is live: a resident writer engine holds the verified head.
+  service.query("reach " + base.topology.node_name(0) + " 172.31.1.1");
+
+  std::printf("live commit, fat-tree k=%d (set one link cost):\n", k);
+  std::printf("%16s %12s\n", "mode", "best ms");
+  bench::print_rule(30);
+
+  constexpr int kTrials = 3;
+  double best_diff = 1e30, best_mono = 1e30;
+  int cost = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto diff =
+        service.commit(core::ChangePlan::link_cost(0, cost++),
+                       core::Mode::kDifferential);
+    best_diff = std::min(best_diff, diff.seconds * 1e3);
+    const auto mono =
+        service.commit(core::ChangePlan::link_cost(0, cost++),
+                       core::Mode::kMonolithic);
+    best_mono = std::min(best_mono, mono.seconds * 1e3);
+  }
+  std::printf("%16s %12.2f\n", "differential", best_diff);
+  std::printf("%16s %12.2f\n", "monolithic", best_mono);
+  std::printf("differential is %.1fx faster\n\n", best_mono / best_diff);
+  if (best_diff >= best_mono) {
+    std::printf(
+        "FAIL: differential commit not strictly faster than monolithic\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 4;
+  const size_t num_queries =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 224;
+  bench_throughput(k, num_queries);
+  bench_live_commit(k);
+  return 0;
+}

@@ -34,6 +34,13 @@ NetworkDiff DnaEngine::advance(topo::Snapshot target, Mode mode) {
                                    : advance_differential(std::move(target));
 }
 
+NetworkDiff DnaEngine::preview(topo::Snapshot target, Mode mode) {
+  topo::Snapshot base = cp_->snapshot();
+  NetworkDiff diff = advance(std::move(target), mode);
+  advance(std::move(base), mode);
+  return diff;
+}
+
 NetworkDiff DnaEngine::advance_monolithic(topo::Snapshot target) {
   Stopwatch total;
   NetworkDiff diff;

@@ -41,6 +41,15 @@ class DnaEngine {
   /// advances the engine to `target`.
   NetworkDiff advance(topo::Snapshot target, Mode mode);
 
+  /// Computes the semantic diff to `target` without keeping it: advances to
+  /// `target`, captures the forward diff, and advances back to the original
+  /// snapshot. Afterwards the engine's semantic state is exactly what a
+  /// fresh engine built from the original snapshot would hold — the
+  /// what-if primitive the scenario runner and the query service share.
+  /// If the forward advance throws, the engine may be left mid-change;
+  /// callers must discard it (the runner rebuilds its worker clone).
+  NetworkDiff preview(topo::Snapshot target, Mode mode);
+
   void add_invariant(Invariant invariant) {
     invariants_.push_back(std::move(invariant));
   }

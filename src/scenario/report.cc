@@ -38,6 +38,66 @@ void rank(ScenarioReport& report) {
   }
 }
 
+ScenarioResult summarize_diff(const core::NetworkDiff& diff) {
+  ScenarioResult result;
+  result.fib_changes = diff.fib_delta.total_changes();
+  result.reach_lost = diff.reach_delta.lost.size();
+  result.reach_gained = diff.reach_delta.gained.size();
+  result.loops_gained = diff.reach_delta.loops_gained.size();
+  result.blackholes_gained = diff.reach_delta.blackholes_gained.size();
+  for (const core::InvariantFlip& flip : diff.invariant_flips) {
+    if (flip.before_holds && !flip.after_holds) {
+      ++result.invariants_broken;
+      result.broken_invariants.push_back(flip.description);
+    } else if (!flip.before_holds && flip.after_holds) {
+      ++result.invariants_fixed;
+    }
+  }
+  result.semantically_empty = diff.semantically_empty();
+  result.affected_ecs = diff.affected_ecs;
+  result.total_ecs = diff.total_ecs;
+  return result;
+}
+
+void append_json(util::JsonWriter& json, const ScenarioResult& result) {
+  json.begin_object();
+  json.key("name").value(result.name);
+  json.key("ok").value(result.ok);
+  if (!result.ok) json.key("error").value(result.error);
+  json.key("invariants_broken").value(result.invariants_broken);
+  json.key("invariants_fixed").value(result.invariants_fixed);
+  json.key("broken_invariants").begin_array();
+  for (const std::string& description : result.broken_invariants) {
+    json.value(description);
+  }
+  json.end_array();
+  json.key("reach_lost").value(result.reach_lost);
+  json.key("reach_gained").value(result.reach_gained);
+  json.key("loops_gained").value(result.loops_gained);
+  json.key("blackholes_gained").value(result.blackholes_gained);
+  json.key("fib_changes").value(result.fib_changes);
+  json.key("semantically_empty").value(result.semantically_empty);
+  json.end_object();
+}
+
+std::string to_json(const ScenarioReport& report) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("scenarios").value(report.results.size());
+  json.key("evaluated").value(report.results.size() - report.failures);
+  json.key("failures").value(report.failures);
+  json.key("results").begin_array();
+  for (const ScenarioResult& result : report.results) {
+    append_json(json, result);
+  }
+  json.end_array();
+  json.key("ranking").begin_array();
+  for (const size_t index : report.ranking) json.value(index);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
 std::string ScenarioReport::str(size_t top_k) const {
   std::ostringstream out;
   const size_t evaluated = results.size() - failures;

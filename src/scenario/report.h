@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/netdiff.h"
+#include "util/json.h"
 
 namespace dna::scenario {
 
@@ -68,5 +69,23 @@ struct ScenarioReport {
 
 /// Fills report.ranking and report.failures from report.results.
 void rank(ScenarioReport& report);
+
+/// Distills a computed diff into a result's verdict fields (blast-radius
+/// counts, invariant flips, EC diagnostics). Identification fields (index,
+/// name, timing, diff retention) are left to the caller. The single
+/// extraction point both what-if surfaces — the batch runner and the query
+/// service — share, so their verdicts cannot drift apart.
+ScenarioResult summarize_diff(const core::NetworkDiff& diff);
+
+/// Appends one result's deterministic verdict fields as a JSON object.
+/// The single serialization point for scenario verdicts: the sweep report
+/// (whatif --json) and the query service's what-if responses both call it,
+/// so the two wire formats cannot drift apart.
+void append_json(util::JsonWriter& json, const ScenarioResult& result);
+
+/// Machine-readable report: the same deterministic fields as str() —
+/// results in input order plus the ranking — byte-identical for any
+/// thread count.
+std::string to_json(const ScenarioReport& report);
 
 }  // namespace dna::scenario

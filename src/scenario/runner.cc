@@ -13,36 +13,15 @@ namespace {
 ScenarioResult evaluate(core::DnaEngine& engine, const topo::Snapshot& base,
                         const ScenarioSpec& spec, const RunnerOptions& options,
                         size_t index) {
-  ScenarioResult result;
+  // preview() evaluates the candidate and rewinds to base, so the next
+  // scenario this engine takes starts from the same semantic state a fresh
+  // engine would.
+  core::NetworkDiff diff = engine.preview(spec.plan.apply(base), options.mode);
+  ScenarioResult result = summarize_diff(diff);
   result.index = index;
   result.name = spec.name;
-
-  topo::Snapshot target = spec.plan.apply(base);
-  Stopwatch stopwatch;
-  core::NetworkDiff diff = engine.advance(std::move(target), options.mode);
-  result.seconds = stopwatch.elapsed_seconds();
-
-  result.fib_changes = diff.fib_delta.total_changes();
-  result.reach_lost = diff.reach_delta.lost.size();
-  result.reach_gained = diff.reach_delta.gained.size();
-  result.loops_gained = diff.reach_delta.loops_gained.size();
-  result.blackholes_gained = diff.reach_delta.blackholes_gained.size();
-  for (const core::InvariantFlip& flip : diff.invariant_flips) {
-    if (flip.before_holds && !flip.after_holds) {
-      ++result.invariants_broken;
-      result.broken_invariants.push_back(flip.description);
-    } else if (!flip.before_holds && flip.after_holds) {
-      ++result.invariants_fixed;
-    }
-  }
-  result.semantically_empty = diff.semantically_empty();
-  result.affected_ecs = diff.affected_ecs;
-  result.total_ecs = diff.total_ecs;
+  result.seconds = diff.seconds_total;
   if (options.keep_diffs) result.diff = std::move(diff);
-
-  // Rewind to base so the next scenario this engine takes starts from the
-  // same semantic state a fresh engine would.
-  engine.advance(base, options.mode);
   return result;
 }
 
@@ -88,6 +67,17 @@ ScenarioReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
       failed.name = specs[index].name;
       failed.ok = false;
       failed.error = e.what();
+    } catch (...) {
+      // A non-std exception from a user-supplied plan functor must also
+      // fail only its own scenario — letting it escape would reach the
+      // pool and abort the whole batch from wait_idle().
+      engine.reset();
+      ScenarioResult& failed = report.results[index];
+      failed = ScenarioResult{};
+      failed.index = index;
+      failed.name = specs[index].name;
+      failed.ok = false;
+      failed.error = "scenario evaluation failed";
     }
     report.results[index].worker = worker;
   });

@@ -1,0 +1,73 @@
+#include "service/protocol.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::service {
+
+std::string encode_frame(std::string_view payload) {
+  DNA_CHECK_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame += payload;
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_ += bytes; }
+
+std::optional<std::string> FrameDecoder::next() {
+  // kMaxFramePayload (1 MiB) needs 7 decimal digits; a longer length line
+  // is malformed outright. Bounding the digit count here also keeps the
+  // accumulation below from ever overflowing size_t.
+  constexpr size_t kMaxLengthDigits = 7;
+  const size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    // Even the length line is incomplete; bound how long it may grow.
+    if (buffer_.size() > kMaxLengthDigits) {
+      throw Error("malformed frame length");
+    }
+    return std::nullopt;
+  }
+  if (newline == 0 || newline > kMaxLengthDigits) {
+    throw Error("malformed frame length");
+  }
+  size_t length = 0;
+  for (size_t i = 0; i < newline; ++i) {
+    const char c = buffer_[i];
+    if (c < '0' || c > '9') throw Error("malformed frame length");
+    length = length * 10 + static_cast<size_t>(c - '0');
+  }
+  if (length > kMaxFramePayload) throw Error("oversized frame");
+  if (buffer_.size() < newline + 1 + length) return std::nullopt;
+  std::string payload = buffer_.substr(newline + 1, length);
+  buffer_.erase(0, newline + 1 + length);
+  return payload;
+}
+
+std::string encode_response(const QueryResult& result) {
+  std::string payload = result.ok ? "ok " : "err ";
+  payload += std::to_string(result.version);
+  payload += '\n';
+  payload += result.body;
+  return payload;
+}
+
+QueryResult decode_response(const std::string& payload) {
+  const size_t newline = payload.find('\n');
+  const std::string status_line =
+      newline == std::string::npos ? payload : payload.substr(0, newline);
+  const std::vector<std::string> tokens = split_ws(status_line);
+  if (tokens.size() != 2 || (tokens[0] != "ok" && tokens[0] != "err")) {
+    throw Error("malformed response status: " + status_line);
+  }
+  const long long version = parse_int(tokens[1]);
+  if (version < 0) throw Error("malformed response version: " + status_line);
+
+  QueryResult result;
+  result.ok = tokens[0] == "ok";
+  result.version = static_cast<uint64_t>(version);
+  result.body = newline == std::string::npos ? "" : payload.substr(newline + 1);
+  return result;
+}
+
+}  // namespace dna::service

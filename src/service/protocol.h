@@ -1,0 +1,53 @@
+// The service's wire format: length-prefixed text frames.
+//
+//   frame    := length '\n' payload
+//   length   := ASCII decimal byte count of payload (max 1 MiB)
+//
+// A request payload is one query/command line (see query.h and session.h);
+// a response payload is a status line followed by the body:
+//
+//   response := ("ok " | "err ") version '\n' body
+//
+// Framing is transport-independent: the same bytes flow over the in-memory
+// loopback channel and a unix-domain socket. The decoder is incremental —
+// feed it whatever chunk sizes the transport produces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/query.h"
+
+namespace dna::service {
+
+/// Maximum payload size the decoder will accept. A peer announcing more is
+/// a protocol violation, not a large request.
+inline constexpr size_t kMaxFramePayload = 1 << 20;
+
+/// Wraps a payload in a frame.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame parser. Throws dna::Error on malformed input (junk in
+/// the length line, oversized frame); a session treats that as fatal.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+
+  /// The next complete payload, or nullopt until more bytes arrive.
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (diagnostics/tests).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Renders a query result as a response payload.
+std::string encode_response(const QueryResult& result);
+
+/// Parses a response payload. Throws dna::Error on a malformed status line.
+QueryResult decode_response(const std::string& payload);
+
+}  // namespace dna::service

@@ -1,0 +1,264 @@
+#include "service/query.h"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "core/paths.h"
+#include "dataplane/properties.h"
+#include "scenario/report.h"
+#include "topo/textio.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::service {
+
+namespace {
+
+Ipv4Addr parse_addr(const std::string& text) {
+  auto addr = Ipv4Addr::parse(text);
+  if (!addr) throw Error("bad address: " + text);
+  return *addr;
+}
+
+Ipv4Prefix parse_prefix(const std::string& text) {
+  auto prefix = Ipv4Prefix::parse(text);
+  if (!prefix) throw Error("bad prefix: " + text);
+  return *prefix;
+}
+
+/// Strict non-negative integer parse for link indices and costs. Rejects
+/// values that do not fit an int — truncating one would silently commit a
+/// different change than the one requested.
+int parse_count(const std::string& text) {
+  const long long value = parse_int(text);
+  if (value < 0 || value > std::numeric_limits<int>::max()) {
+    throw Error("bad number: " + text);
+  }
+  return static_cast<int>(value);
+}
+
+core::Invariant parse_invariant(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) throw Error("check needs an invariant kind");
+  core::Invariant invariant;
+  const std::string& kind = tokens[0];
+  // Each arm consumes its named operands; a trailing prefix is optional and
+  // defaults to all traffic (0.0.0.0/0).
+  auto want = [&](size_t required, size_t with_prefix) {
+    if (tokens.size() != required && tokens.size() != with_prefix) {
+      throw Error("bad check " + kind + " arity");
+    }
+  };
+  if (kind == "reachable" || kind == "isolated") {
+    want(3, 4);
+    invariant.kind = kind == "reachable" ? core::Invariant::Kind::kReachable
+                                         : core::Invariant::Kind::kIsolated;
+    invariant.src = tokens[1];
+    invariant.dst = tokens[2];
+    if (tokens.size() == 4) invariant.traffic = parse_prefix(tokens[3]);
+  } else if (kind == "loopfree") {
+    want(1, 2);
+    invariant.kind = core::Invariant::Kind::kLoopFree;
+    if (tokens.size() == 2) invariant.traffic = parse_prefix(tokens[1]);
+  } else if (kind == "blackholefree") {
+    want(2, 3);
+    invariant.kind = core::Invariant::Kind::kBlackholeFree;
+    invariant.src = tokens[1];
+    if (tokens.size() == 3) invariant.traffic = parse_prefix(tokens[2]);
+  } else if (kind == "waypoint") {
+    want(4, 5);
+    invariant.kind = core::Invariant::Kind::kWaypoint;
+    invariant.src = tokens[1];
+    invariant.dst = tokens[2];
+    invariant.waypoint = tokens[3];
+    if (tokens.size() == 5) invariant.traffic = parse_prefix(tokens[4]);
+  } else {
+    throw Error("unknown invariant kind: " + kind);
+  }
+  return invariant;
+}
+
+}  // namespace
+
+core::ChangePlan parse_change_plan(const std::string& text) {
+  core::ChangePlan plan(std::string(trim(text)));
+  size_t steps = 0;
+  for (const std::string& step_text : split(text, ';')) {
+    const std::vector<std::string> tokens = split_ws(step_text);
+    if (tokens.empty()) continue;
+    const std::string& op = tokens[0];
+    auto want = [&](size_t arity) {
+      if (tokens.size() != arity + 1) {
+        throw Error("bad change step arity: " + std::string(trim(step_text)));
+      }
+    };
+    core::ChangePlan step("");
+    if (op == "fail_link") {
+      want(1);
+      step = core::ChangePlan::link_failure(parse_count(tokens[1]));
+    } else if (op == "recover_link") {
+      want(1);
+      step = core::ChangePlan::link_recovery(parse_count(tokens[1]));
+    } else if (op == "link_cost") {
+      want(2);
+      step = core::ChangePlan::link_cost(parse_count(tokens[1]),
+                                         parse_count(tokens[2]));
+    } else if (op == "acl_block") {
+      want(2);
+      step = core::ChangePlan::acl_block(tokens[1], parse_prefix(tokens[2]));
+    } else if (op == "announce") {
+      want(2);
+      step = core::ChangePlan::announce(tokens[1], parse_prefix(tokens[2]));
+    } else if (op == "withdraw") {
+      want(2);
+      step = core::ChangePlan::withdraw(tokens[1], parse_prefix(tokens[2]));
+    } else if (op == "static_route") {
+      want(3);
+      step = core::ChangePlan::static_route(tokens[1], parse_prefix(tokens[2]),
+                                            parse_addr(tokens[3]));
+    } else {
+      throw Error("unknown change step: " + op);
+    }
+    plan.add([step](topo::Snapshot snapshot) {
+      return step.apply(std::move(snapshot));
+    });
+    ++steps;
+  }
+  if (steps == 0) throw Error("empty change plan");
+  return plan;
+}
+
+Query parse_query(const std::string& line) {
+  const std::vector<std::string> tokens = split_ws(line);
+  if (tokens.empty()) throw Error("empty query");
+  Query query;
+  query.text = std::string(trim(line));
+  const std::string& verb = tokens[0];
+  if (verb == "version" && tokens.size() == 1) {
+    query.kind = QueryKind::kVersion;
+  } else if (verb == "hash" && tokens.size() == 1) {
+    query.kind = QueryKind::kHash;
+  } else if (verb == "reach" && tokens.size() == 3) {
+    query.kind = QueryKind::kReach;
+    query.src = tokens[1];
+    query.dst = parse_addr(tokens[2]);
+  } else if (verb == "paths" && tokens.size() == 3) {
+    query.kind = QueryKind::kPaths;
+    query.src = tokens[1];
+    query.dst = parse_addr(tokens[2]);
+  } else if (verb == "check") {
+    query.kind = QueryKind::kCheck;
+    query.invariant = parse_invariant(
+        std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+  } else if (verb == "whatif") {
+    query.kind = QueryKind::kWhatIf;
+    const size_t at = line.find("whatif");
+    query.plan = parse_change_plan(line.substr(at + 6));
+  } else {
+    throw Error("bad query: " + query.text);
+  }
+  return query;
+}
+
+uint64_t snapshot_digest(const topo::Snapshot& snapshot) {
+  // FNV-1a over the canonical text form: stable across platforms and
+  // standard-library implementations, unlike std::hash.
+  const topo::SnapshotText text = topo::print_snapshot(snapshot);
+  uint64_t digest = 1469598103934665603ULL;
+  for (const std::string* part : {&text.topology, &text.configs}) {
+    for (const char c : *part) {
+      digest ^= static_cast<unsigned char>(c);
+      digest *= 1099511628211ULL;
+    }
+  }
+  return digest;
+}
+
+QueryResult eval_query(const Query& query, const Version& version,
+                       core::DnaEngine& engine) {
+  QueryResult result;
+  result.version = version.id;
+  std::ostringstream body;
+  // True while `engine` may be mid-advance: a failure then cannot be
+  // absorbed here — it must reach the dispatcher, which discards the
+  // replica. Failures with the flag false leave the engine untouched.
+  bool engine_dirty = false;
+  try {
+    switch (query.kind) {
+      case QueryKind::kVersion: {
+        body << "version " << version.id << " change \""
+             << version.change_description << "\" fib_changes "
+             << version.fib_changes << " reach_changes "
+             << version.reach_changes;
+        break;
+      }
+      case QueryKind::kHash: {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          snapshot_digest(*version.snapshot)));
+        body << "hash " << hex;
+        break;
+      }
+      case QueryKind::kReach: {
+        const topo::Snapshot& snapshot = engine.snapshot();
+        const topo::NodeId src = snapshot.topology.node_id(query.src);
+        const topo::NodeId owner = topo::find_address_owner(snapshot, query.dst);
+        if (owner == topo::kNoNode) {
+          body << "reachable false (no node owns " << query.dst.str() << ")";
+        } else {
+          const bool reachable = dp::any_reach(engine.verifier(), src, owner,
+                                               Ipv4Prefix(query.dst, 32));
+          body << "reachable " << (reachable ? "true" : "false") << " owner "
+               << snapshot.topology.node_name(owner);
+        }
+        break;
+      }
+      case QueryKind::kPaths: {
+        const topo::Snapshot& snapshot = engine.snapshot();
+        const topo::NodeId src = snapshot.topology.node_id(query.src);
+        const auto paths =
+            core::forwarding_paths(engine.verifier(), snapshot, src, query.dst);
+        if (paths.empty()) {
+          body << "no forwarding paths";
+        } else {
+          for (size_t i = 0; i < paths.size(); ++i) {
+            if (i) body << "\n";
+            body << paths[i].str(snapshot.topology);
+          }
+        }
+        break;
+      }
+      case QueryKind::kCheck: {
+        const bool holds =
+            core::eval_invariant(query.invariant, engine.snapshot(),
+                                 engine.verifier());
+        body << "holds " << (holds ? "true" : "false") << " | "
+             << query.invariant.describe();
+        break;
+      }
+      case QueryKind::kWhatIf: {
+        topo::Snapshot target = query.plan.apply(engine.snapshot());
+        engine_dirty = true;
+        core::NetworkDiff diff =
+            engine.preview(std::move(target), core::Mode::kDifferential);
+        engine_dirty = false;
+        scenario::ScenarioResult scenario = scenario::summarize_diff(diff);
+        scenario.name = query.plan.description();
+        util::JsonWriter json;
+        scenario::append_json(json, scenario);
+        body << json.str();
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    if (engine_dirty) throw;
+    result.ok = false;
+    result.body = e.what();
+    return result;
+  }
+  result.body = body.str();
+  return result;
+}
+
+}  // namespace dna::service

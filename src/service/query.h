@@ -1,0 +1,74 @@
+// The query language of the long-lived service.
+//
+// Reader queries are single text lines, parsed once at the front door and
+// evaluated against one immutable Version on a worker's engine clone:
+//
+//   version                              current version id + provenance
+//   hash                                 deterministic snapshot digest
+//   reach <src-node> <dst-ip>            is dst-ip delivered from src?
+//   paths <src-node> <dst-ip>            concrete forwarding paths
+//   check <invariant...>                 evaluate one invariant, e.g.
+//       check reachable r0 r3 172.31.1.0/24
+//       check isolated r0 r5 10.0.0.0/8
+//       check loopfree [prefix]
+//       check blackholefree r0 [prefix]
+//       check waypoint r0 r5 fw0 0.0.0.0/0
+//   whatif <change...>                   blast radius of a candidate change
+//                                        (evaluated, never committed)
+//
+// Change mini-language (whatif above, and the session layer's `commit`):
+// steps joined by ';', each one of
+//
+//   fail_link <id> | recover_link <id> | link_cost <id> <cost>
+//   acl_block <node> <dst-prefix> | announce <node> <prefix>
+//   withdraw <node> <prefix> | static_route <node> <prefix> <next-hop>
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/change.h"
+#include "core/engine.h"
+#include "core/invariants.h"
+#include "service/version.h"
+
+namespace dna::service {
+
+enum class QueryKind { kVersion, kHash, kReach, kPaths, kCheck, kWhatIf };
+
+struct Query {
+  QueryKind kind = QueryKind::kVersion;
+  std::string text;  // the original request line
+
+  std::string src;            // reach / paths
+  Ipv4Addr dst;               // reach / paths
+  core::Invariant invariant;  // check
+  core::ChangePlan plan{""};  // whatif
+};
+
+/// Parses one request line. Throws dna::Error with a caller-facing message
+/// on malformed input.
+Query parse_query(const std::string& line);
+
+/// Parses the change mini-language above into an applicable plan.
+/// Throws dna::Error on malformed input.
+core::ChangePlan parse_change_plan(const std::string& text);
+
+/// A deterministic digest of a snapshot's canonical text form. Two equal
+/// snapshots hash equal on every platform — the torn-read detector used by
+/// the concurrency tests and the `hash` query.
+uint64_t snapshot_digest(const topo::Snapshot& snapshot);
+
+struct QueryResult {
+  bool ok = true;
+  uint64_t version = 0;  // version the query was evaluated against
+  std::string body;      // rendered answer (or error detail when !ok)
+};
+
+/// Evaluates one parsed query against `version`. `engine` must already be
+/// advanced to *version.snapshot (the service's dispatcher guarantees it);
+/// it is only mutated by kWhatIf, which previews and rewinds.
+QueryResult eval_query(const Query& query, const Version& version,
+                       core::DnaEngine& engine);
+
+}  // namespace dna::service

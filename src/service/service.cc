@@ -1,0 +1,259 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace dna::service {
+
+DnaService::DnaService(topo::Snapshot base,
+                       std::vector<core::Invariant> invariants,
+                       ServiceOptions options)
+    : options_(options),
+      invariants_(std::move(invariants)),
+      store_(std::move(base)),
+      pool_(options.num_threads),
+      workers_(pool_.num_workers()) {
+  writer_ = make_engine(*store_.head()->snapshot);
+  dispatcher_ = std::thread(&DnaService::dispatcher_loop, this);
+}
+
+DnaService::~DnaService() { shutdown(); }
+
+std::unique_ptr<core::DnaEngine> DnaService::make_engine(
+    const topo::Snapshot& snapshot) const {
+  auto engine = std::make_unique<core::DnaEngine>(snapshot);
+  for (const core::Invariant& invariant : invariants_) {
+    engine->add_invariant(invariant);
+  }
+  return engine;
+}
+
+std::future<QueryResult> DnaService::submit(const std::string& query_line) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+
+  Query query;
+  try {
+    query = parse_query(query_line);
+  } catch (const std::exception& e) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = e.what();
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.queries_total;
+      ++metrics_.queries_failed;
+    }
+    promise.set_value(std::move(failed));
+    return future;
+  }
+
+  // Capture the head *before* taking the queue lock: a commit racing this
+  // submit may publish in between, which only means the query was serviced
+  // against the version that was current when it arrived — exactly the
+  // read-your-submission-time semantics a versioned store promises.
+  VersionHandle version = store_.head();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      QueryResult failed;
+      failed.ok = false;
+      failed.body = "service is shutting down";
+      promise.set_value(std::move(failed));
+      return future;
+    }
+    queue_.push_back(
+        Pending{std::move(query), std::move(version), std::move(promise)});
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    metrics_.max_queue_depth =
+        std::max(metrics_.max_queue_depth, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+QueryResult DnaService::query(const std::string& query_line) {
+  return submit(query_line).get();
+}
+
+CommitResult DnaService::commit(const core::ChangePlan& plan) {
+  return commit(plan, options_.commit_mode);
+}
+
+CommitResult DnaService::commit(const core::ChangePlan& plan,
+                                core::Mode mode) {
+  std::lock_guard<std::mutex> lock(commit_mutex_);
+  Stopwatch stopwatch;
+  core::NetworkDiff diff;
+  try {
+    diff = writer_->advance(plan.apply(writer_->snapshot()), mode);
+  } catch (...) {
+    // The writer may be mid-advance; rebuild it at the (unchanged) head so
+    // the next commit starts clean.
+    writer_ = make_engine(*store_.head()->snapshot);
+    throw;
+  }
+
+  Version provenance;
+  provenance.change_description = plan.description();
+  provenance.fib_changes = diff.fib_delta.total_changes();
+  provenance.reach_changes =
+      diff.reach_delta.lost.size() + diff.reach_delta.gained.size();
+  provenance.semantically_empty = diff.semantically_empty();
+  provenance.commit_seconds = stopwatch.elapsed_seconds();
+  VersionHandle version = store_.publish(writer_->snapshot(), provenance);
+
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.commits;
+    metrics_.commit_seconds_total += provenance.commit_seconds;
+    metrics_.commit_seconds_max =
+        std::max(metrics_.commit_seconds_max, provenance.commit_seconds);
+  }
+
+  CommitResult result;
+  result.version = version->id;
+  result.description = version->change_description;
+  result.fib_changes = version->fib_changes;
+  result.reach_changes = version->reach_changes;
+  result.semantically_empty = version->semantically_empty;
+  result.seconds = version->commit_seconds;
+  return result;
+}
+
+core::DnaEngine& DnaService::engine_at(size_t worker,
+                                       const Version& version) {
+  WorkerState& state = workers_[worker];
+  if (!state.engine) {
+    // First query this worker serves: pay the base verification here, in
+    // parallel with the other workers' first queries.
+    state.engine = make_engine(*version.snapshot);
+    state.version_id = version.id;
+  } else if (state.version_id != version.id) {
+    // Catch up differentially from whatever this replica last served.
+    state.engine->advance(*version.snapshot, core::Mode::kDifferential);
+    state.version_id = version.id;
+  }
+  return *state.engine;
+}
+
+void DnaService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      // Coalesce every pending query that targets the lowest version id
+      // still queued, so each batch needs at most one engine advance per
+      // worker and replicas move (almost always) forward. Submitters
+      // capture the head outside the queue lock, so entries are not
+      // strictly ordered by version — taking the minimum, not the front,
+      // keeps a freshly-enqueued newer version from forcing a backward
+      // advance ahead of older pending work.
+      uint64_t version_id = queue_.front().version->id;
+      for (const Pending& pending : queue_) {
+        version_id = std::min(version_id, pending.version->id);
+      }
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->version->id == version_id) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    const VersionHandle version = batch.front().version;
+    std::vector<QueryResult> results(batch.size());
+    pool_.parallel_for(batch.size(), [&](size_t worker, size_t index) {
+      QueryResult& result = results[index];
+      try {
+        core::DnaEngine& engine = engine_at(worker, *version);
+        result = eval_query(batch[index].query, *version, engine);
+      } catch (const std::exception& e) {
+        // The replica may be mid-advance (engine_at or a what-if preview
+        // threw): drop it so the worker rebuilds a clean one, and fail
+        // only this query.
+        workers_[worker].engine.reset();
+        result.ok = false;
+        result.version = version->id;
+        result.body = e.what();
+      } catch (...) {
+        workers_[worker].engine.reset();
+        result.ok = false;
+        result.version = version->id;
+        result.body = "query evaluation failed";
+      }
+    });
+
+    // Account the batch before resolving its futures, so a caller that
+    // waits on a query and then reads metrics() always sees it counted.
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.batches;
+      metrics_.max_batch = std::max(metrics_.max_batch, batch.size());
+      metrics_.queries_total += batch.size();
+      for (const QueryResult& result : results) {
+        if (!result.ok) ++metrics_.queries_failed;
+      }
+      metrics_.queries_per_version[version->id] += batch.size();
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+ServiceMetrics DnaService::metrics() const {
+  ServiceMetrics copy;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    copy = metrics_;
+  }
+  copy.versions_published = store_.versions_published();
+  copy.versions_retired = store_.versions_retired();
+  copy.versions_live = store_.versions_live();
+  return copy;
+}
+
+void DnaService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(shutdown_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::string ServiceMetrics::str() const {
+  std::ostringstream out;
+  out << "service metrics:\n";
+  out << "  queries: " << queries_total << " total, " << queries_failed
+      << " failed\n";
+  out << "  batches: " << batches << " (max batch " << max_batch
+      << ", max queue depth " << max_queue_depth << ")\n";
+  out << "  commits: " << commits;
+  if (commits > 0) {
+    out << " (mean " << commit_seconds_total / commits * 1e3 << " ms, max "
+        << commit_seconds_max * 1e3 << " ms)";
+  }
+  out << "\n";
+  out << "  versions: " << versions_published << " published, "
+      << versions_retired << " retired, " << versions_live << " live\n";
+  out << "  queries per version:";
+  for (const auto& [version, count] : queries_per_version) {
+    out << " v" << version << ":" << count;
+  }
+  if (queries_per_version.empty()) out << " (none dispatched)";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace dna::service

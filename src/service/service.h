@@ -1,0 +1,171 @@
+// DnaService: a long-lived, concurrent query service over the DNA engine.
+//
+//   DnaService service(base_snapshot, invariants);
+//   auto verdict = service.query("reach r0 172.31.1.1");   // readers...
+//   service.commit(core::ChangePlan::link_failure(2));      // ...and writers
+//
+// The serving model, mirroring the paper's differential thesis:
+//
+//  * Writers are serialized. A commit advances the resident writer engine
+//    differentially (cost ∝ impact of the change, not network size) and
+//    publishes an immutable Version through the SnapshotStore. Publication
+//    never blocks readers: in-flight queries keep their version handle.
+//
+//  * Readers never block writers. submit() captures the head version and
+//    enqueues; a dispatcher coalesces every pending query that targets the
+//    same version into one batch and fans it out over the shared
+//    util::ThreadPool. Each worker owns a DnaEngine replica that it
+//    advances differentially from whatever version it last served — the
+//    base verification is paid once per worker, then replicas ride the
+//    same delta stream the writer does.
+//
+// Thread safety: every public method is safe to call from any thread.
+// Determinism: a query's answer is a pure function of (query, version) —
+// which worker evaluates it and in what batch is invisible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/invariants.h"
+#include "service/query.h"
+#include "service/version.h"
+#include "util/threadpool.h"
+
+namespace dna::service {
+
+struct ServiceOptions {
+  /// Query worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Mode used by commit(); kDifferential is the point of the paper,
+  /// kMonolithic is kept for cross-checking and benchmarking.
+  core::Mode commit_mode = core::Mode::kDifferential;
+};
+
+/// What a commit did: the published version and its blast radius.
+struct CommitResult {
+  uint64_t version = 0;
+  std::string description;
+  size_t fib_changes = 0;
+  size_t reach_changes = 0;
+  bool semantically_empty = true;
+  double seconds = 0;
+};
+
+/// Counters accumulated over the service's lifetime; printed on shutdown.
+struct ServiceMetrics {
+  size_t queries_total = 0;
+  size_t queries_failed = 0;
+  size_t batches = 0;
+  size_t max_batch = 0;
+  size_t max_queue_depth = 0;
+  size_t commits = 0;
+  double commit_seconds_total = 0;
+  double commit_seconds_max = 0;
+  size_t versions_published = 0;
+  size_t versions_retired = 0;
+  size_t versions_live = 0;
+  /// Queries dispatched per version id (how load spread over history).
+  std::map<uint64_t, size_t> queries_per_version;
+
+  std::string str() const;
+};
+
+class DnaService {
+ public:
+  /// Publishes `base` as version 1 and verifies it once (the writer
+  /// engine's base verification). Invariants apply to every version.
+  DnaService(topo::Snapshot base, std::vector<core::Invariant> invariants,
+             ServiceOptions options = {});
+
+  /// Drains and stops (see shutdown()).
+  ~DnaService();
+
+  DnaService(const DnaService&) = delete;
+  DnaService& operator=(const DnaService&) = delete;
+
+  // ---- reader API ----------------------------------------------------------
+
+  /// Parses and enqueues one query line against the current head version.
+  /// Never throws: parse failures resolve the future immediately with
+  /// ok=false. The future is resolved by a dispatcher batch.
+  std::future<QueryResult> submit(const std::string& query_line);
+
+  /// submit() + wait. Safe to call from many threads concurrently; queries
+  /// arriving while a batch is in flight coalesce into the next batch.
+  QueryResult query(const std::string& query_line);
+
+  // ---- writer API ----------------------------------------------------------
+
+  /// Applies `plan` to the head snapshot, advances the writer engine, and
+  /// publishes the result as a new version. Serialized with other commits;
+  /// concurrent readers keep serving their captured versions. Throws
+  /// dna::Error when the plan fails to apply (no version is published and
+  /// the head is unchanged).
+  CommitResult commit(const core::ChangePlan& plan);
+  CommitResult commit(const core::ChangePlan& plan, core::Mode mode);
+
+  // ---- introspection -------------------------------------------------------
+
+  VersionHandle head() const { return store_.head(); }
+  const std::vector<core::Invariant>& invariants() const {
+    return invariants_;
+  }
+  size_t num_workers() const { return pool_.num_workers(); }
+  ServiceMetrics metrics() const;
+
+  /// Stops accepting queries, drains the pending queue (every outstanding
+  /// future resolves), and joins the dispatcher. Idempotent; called by the
+  /// destructor.
+  void shutdown();
+
+ private:
+  struct Pending {
+    Query query;
+    VersionHandle version;
+    std::promise<QueryResult> promise;
+  };
+  struct WorkerState {
+    std::unique_ptr<core::DnaEngine> engine;
+    uint64_t version_id = 0;
+  };
+
+  void dispatcher_loop();
+  /// A fresh engine verified at `snapshot` with the service invariants
+  /// registered — how every replica (writer or reader) is born.
+  std::unique_ptr<core::DnaEngine> make_engine(
+      const topo::Snapshot& snapshot) const;
+  /// The worker's engine replica, advanced (differentially) to `version`.
+  core::DnaEngine& engine_at(size_t worker, const Version& version);
+
+  ServiceOptions options_;
+  std::vector<core::Invariant> invariants_;
+  SnapshotStore store_;
+  util::ThreadPool pool_;
+  std::vector<WorkerState> workers_;  // indexed by pool worker id
+
+  std::mutex commit_mutex_;  // serializes writers
+  std::unique_ptr<core::DnaEngine> writer_;  // resident engine at head
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex metrics_mutex_;
+  ServiceMetrics metrics_;
+
+  std::mutex shutdown_mutex_;  // makes shutdown() safe to race
+  std::thread dispatcher_;  // last member: starts after everything above
+};
+
+}  // namespace dna::service

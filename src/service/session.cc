@@ -1,0 +1,89 @@
+#include "service/session.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dna::service {
+
+QueryResult ServerSession::handle(const std::string& request) {
+  const std::string line(trim(request));
+  try {
+    if (line == "metrics") {
+      QueryResult result;
+      result.version = service_.head()->id;
+      result.body = service_.metrics().str();
+      return result;
+    }
+    if (line == "shutdown") {
+      shutdown_requested_ = true;
+      QueryResult result;
+      result.version = service_.head()->id;
+      result.body = "shutting down";
+      return result;
+    }
+    if (starts_with(line, "commit ") || line == "commit") {
+      const CommitResult commit =
+          service_.commit(parse_change_plan(line.substr(6)));
+      QueryResult result;
+      result.version = commit.version;
+      std::ostringstream body;
+      body << "committed version " << commit.version << " \""
+           << commit.description << "\" fib_changes " << commit.fib_changes
+           << " reach_changes " << commit.reach_changes
+           << (commit.semantically_empty ? " (no semantic effect)" : "");
+      result.body = body.str();
+      return result;
+    }
+  } catch (const std::exception& e) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = e.what();
+    return failed;
+  }
+  return service_.query(line);
+}
+
+void ServerSession::run() {
+  char buffer[4096];
+  try {
+    for (;;) {
+      const size_t count = transport_.recv(buffer, sizeof(buffer));
+      if (count == 0) break;  // peer closed
+      decoder_.feed(std::string_view(buffer, count));
+      while (auto request = decoder_.next()) {
+        QueryResult result = handle(*request);
+        std::string payload = encode_response(result);
+        if (payload.size() > kMaxFramePayload) {
+          // Degrade to an error for this request rather than letting the
+          // frame check below kill the whole session.
+          result.ok = false;
+          result.body = "response too large (" +
+                        std::to_string(payload.size()) + " bytes)";
+          payload = encode_response(result);
+        }
+        transport_.send(encode_frame(payload));
+        if (shutdown_requested_) return;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Protocol violation or transport failure: drop the session, keep the
+    // service (and other sessions) alive.
+    DNA_WARN("session terminated: " << e.what());
+  }
+}
+
+QueryResult ServiceClient::request(const std::string& line) {
+  transport_.send(encode_frame(line));
+  char buffer[4096];
+  for (;;) {
+    if (auto payload = decoder_.next()) return decode_response(*payload);
+    const size_t count = transport_.recv(buffer, sizeof(buffer));
+    if (count == 0) throw Error("connection closed before response");
+    decoder_.feed(std::string_view(buffer, count));
+  }
+}
+
+}  // namespace dna::service

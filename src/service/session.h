@@ -1,0 +1,62 @@
+// Request/response sessions over a Transport.
+//
+// ServerSession pumps one connection: framed request lines in, framed
+// responses out. Reader queries go through DnaService::query() (and so
+// batch with every other session's queries); three session-level commands
+// extend the query language:
+//
+//   commit <change...>   apply the change plan and publish a new version
+//   metrics              the service's counters so far
+//   shutdown             acknowledge, then ask the host to stop serving
+//
+// ServiceClient is the matching caller: one request() per line, blocking
+// until the response frame arrives.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.h"
+#include "service/service.h"
+#include "service/transport.h"
+
+namespace dna::service {
+
+class ServerSession {
+ public:
+  ServerSession(DnaService& service, Transport& transport)
+      : service_(service), transport_(transport) {}
+
+  /// Serves until the peer closes, a protocol violation occurs, or a
+  /// `shutdown` request is answered. Never throws.
+  void run();
+
+  /// True once the peer asked the whole server (not just this session) to
+  /// stop; the host checks this after run() returns.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+ private:
+  QueryResult handle(const std::string& request);
+
+  DnaService& service_;
+  Transport& transport_;
+  FrameDecoder decoder_;
+  bool shutdown_requested_ = false;
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(Transport& transport) : transport_(transport) {}
+
+  /// Sends one request line and blocks for its response. Throws dna::Error
+  /// if the connection drops or the response is malformed.
+  QueryResult request(const std::string& line);
+
+  /// Ends the conversation politely (half-close).
+  void close() { transport_.close_send(); }
+
+ private:
+  Transport& transport_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace dna::service

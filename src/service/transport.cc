@@ -1,0 +1,216 @@
+#include "service/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace dna::service {
+
+// ---- loopback --------------------------------------------------------------
+
+/// One direction of the loopback pair: a bounded-by-nothing byte buffer
+/// with blocking reads and a closed flag.
+class LoopbackChannel::ByteQueue {
+ public:
+  void write(std::string_view bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) throw Error("loopback peer closed");
+      data_.append(bytes);
+    }
+    cv_.notify_all();
+  }
+
+  size_t read(char* buffer, size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !data_.empty() || closed_; });
+    if (data_.empty()) return 0;  // closed and drained
+    const size_t count = std::min(max, data_.size());
+    std::memcpy(buffer, data_.data(), count);
+    data_.erase(0, count);
+    return count;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string data_;
+  bool closed_ = false;
+};
+
+class LoopbackChannel::Endpoint : public Transport {
+ public:
+  Endpoint(std::shared_ptr<ByteQueue> out, std::shared_ptr<ByteQueue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  void send(std::string_view bytes) override { out_->write(bytes); }
+  size_t recv(char* buffer, size_t max) override {
+    return in_->read(buffer, max);
+  }
+  void close_send() override { out_->close(); }
+  void abort() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<ByteQueue> out_;
+  std::shared_ptr<ByteQueue> in_;
+};
+
+LoopbackChannel::LoopbackChannel()
+    : to_server_(std::make_shared<ByteQueue>()),
+      to_client_(std::make_shared<ByteQueue>()) {
+  client_ = std::make_unique<Endpoint>(to_server_, to_client_);
+  server_ = std::make_unique<Endpoint>(to_client_, to_server_);
+}
+
+LoopbackChannel::~LoopbackChannel() {
+  // Unblock any reader still parked on either direction.
+  to_server_->close();
+  to_client_->close();
+}
+
+// ---- unix-domain sockets ---------------------------------------------------
+
+#ifndef _WIN32
+
+namespace {
+
+/// A Transport over a connected socket fd; owns and closes it.
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(std::string_view bytes) override {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error("socket send failed: " + std::string(strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  size_t recv(char* buffer, size_t max) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer, max, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      throw Error("socket recv failed: " + std::string(strerror(errno)));
+    }
+  }
+
+  void close_send() override { ::shutdown(fd_, SHUT_WR); }
+  void abort() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("socket() failed: " + std::string(strerror(errno)));
+  ::unlink(path.c_str());  // replace a stale socket from a previous run
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("bind(" + path + ") failed: " + detail);
+  }
+  if (::listen(fd_, 64) < 0) {
+    const std::string detail = strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("listen(" + path + ") failed: " + detail);
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> UnixListener::accept() {
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<FdTransport>(client);
+    if (errno == EINTR) continue;
+    return nullptr;  // listener shut down (or broken): stop serving
+  }
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a thread parked in accept(); the fd itself stays
+    // valid until destruction so no racing accept() touches a stale fd.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+std::unique_ptr<Transport> connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket() failed: " + std::string(strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = strerror(errno);
+    ::close(fd);
+    throw Error("connect(" + path + ") failed: " + detail);
+  }
+  return std::make_unique<FdTransport>(fd);
+}
+
+#else  // _WIN32: the cross-process transport is POSIX-only; loopback remains.
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  throw Error("unix-domain sockets are not available on this platform");
+}
+UnixListener::~UnixListener() = default;
+std::unique_ptr<Transport> UnixListener::accept() { return nullptr; }
+void UnixListener::close() {}
+std::unique_ptr<Transport> connect_unix(const std::string&) {
+  throw Error("unix-domain sockets are not available on this platform");
+}
+
+#endif
+
+}  // namespace dna::service

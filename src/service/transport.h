@@ -1,0 +1,88 @@
+// Byte-stream transports for the query service.
+//
+// A Transport is a blocking, bidirectional byte stream; the session layer
+// (session.h) runs the same framed protocol over any of them:
+//
+//  * LoopbackChannel — an in-memory duplex pair. Zero-dependency, used by
+//    tests, benches, and in-process embedding; also the reference
+//    implementation the socket transport must be indistinguishable from.
+//
+//  * UnixListener / connect_unix — unix-domain stream sockets, the
+//    cross-process path behind `dna_cli serve` / `dna_cli query`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace dna::service {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all of `bytes` (blocking). Throws dna::Error if the peer is
+  /// gone.
+  virtual void send(std::string_view bytes) = 0;
+
+  /// Blocking read of up to `max` bytes into `buffer`; returns the count,
+  /// or 0 once the peer has closed its sending side and the stream is
+  /// drained.
+  virtual size_t recv(char* buffer, size_t max) = 0;
+
+  /// Signals end-of-stream to the peer. Receiving still works.
+  virtual void close_send() = 0;
+
+  /// Tears the stream down in both directions: a blocked recv() (on either
+  /// side) unblocks and reports end-of-stream. Safe to call from a thread
+  /// other than the one pumping the transport — how a server evicts idle
+  /// sessions at shutdown.
+  virtual void abort() = 0;
+};
+
+/// An in-memory duplex channel: two endpoints, each seeing the bytes the
+/// other sends. Both endpoints must outlive any thread using them; the
+/// channel owns both.
+class LoopbackChannel {
+ public:
+  LoopbackChannel();
+  ~LoopbackChannel();
+
+  Transport& client() { return *client_; }
+  Transport& server() { return *server_; }
+
+ private:
+  class ByteQueue;
+  class Endpoint;
+  std::shared_ptr<ByteQueue> to_server_;
+  std::shared_ptr<ByteQueue> to_client_;
+  std::unique_ptr<Transport> client_;
+  std::unique_ptr<Transport> server_;
+};
+
+/// A listening unix-domain socket. accept() blocks until a client connects
+/// or close() is called (from any thread), after which it returns nullptr.
+class UnixListener {
+ public:
+  /// Binds and listens on `path`, replacing a stale socket file if one
+  /// exists. Throws dna::Error on failure.
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  std::unique_ptr<Transport> accept();
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connects to a serving UnixListener. Throws dna::Error on failure.
+std::unique_ptr<Transport> connect_unix(const std::string& path);
+
+}  // namespace dna::service

@@ -1,0 +1,56 @@
+#include "service/version.h"
+
+#include <utility>
+
+namespace dna::service {
+
+SnapshotStore::SnapshotStore(topo::Snapshot base)
+    : retired_(std::make_shared<std::atomic<size_t>>(0)) {
+  base.validate();
+  Version provenance;
+  provenance.change_description = "base";
+  head_ = make_version(next_id_++, std::move(base), provenance);
+}
+
+VersionHandle SnapshotStore::head() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_;
+}
+
+VersionHandle SnapshotStore::publish(topo::Snapshot next,
+                                     const Version& provenance) {
+  // Id allocation and the head swap share one critical section so racing
+  // publishers cannot install heads out of order (the head id must never
+  // regress). Everything inside is cheap — the snapshot is moved, not
+  // copied — so readers copying head() are barely delayed.
+  std::lock_guard<std::mutex> lock(mutex_);
+  VersionHandle version =
+      make_version(next_id_++, std::move(next), provenance);
+  head_ = version;
+  return version;
+}
+
+VersionHandle SnapshotStore::make_version(uint64_t id, topo::Snapshot snapshot,
+                                          const Version& provenance) {
+  auto version = new Version();
+  version->id = id;
+  version->snapshot =
+      std::make_shared<const topo::Snapshot>(std::move(snapshot));
+  version->change_description = provenance.change_description;
+  version->fib_changes = provenance.fib_changes;
+  version->reach_changes = provenance.reach_changes;
+  version->semantically_empty = provenance.semantically_empty;
+  version->commit_seconds = provenance.commit_seconds;
+  published_.fetch_add(1);
+  // The deleter runs when the last handle drops — that moment *is* the
+  // retirement of the version, wherever it happens (reader thread, store
+  // destructor, ...). The counter is co-owned so late retirements after the
+  // store itself is gone stay safe.
+  std::shared_ptr<std::atomic<size_t>> retired = retired_;
+  return VersionHandle(version, [retired](const Version* v) {
+    retired->fetch_add(1);
+    delete v;
+  });
+}
+
+}  // namespace dna::service

@@ -1,0 +1,80 @@
+// Versioned snapshot publication for the long-lived query service.
+//
+// Every committed change produces a new immutable Version: a monotonically
+// increasing id, the snapshot it pins, and the commit's blast-radius
+// summary. Publication is epoch-style via shared_ptr: the store holds the
+// only long-lived strong reference (the head), readers copy the head handle
+// at query-submission time and keep the whole version alive for exactly as
+// long as they are using it. Publishing a new head therefore never blocks
+// readers, and a superseded version is retired (destroyed) at the instant
+// the last reader drops its handle — never earlier, never by the writer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "topo/snapshot.h"
+
+namespace dna::service {
+
+/// An immutable published network model. The snapshot never changes after
+/// publication; queries against a Version are referentially transparent.
+struct Version {
+  uint64_t id = 0;
+  std::shared_ptr<const topo::Snapshot> snapshot;
+
+  // Provenance of this version (how the head got here from id - 1).
+  std::string change_description;  // "base" for the initial version
+  size_t fib_changes = 0;
+  size_t reach_changes = 0;  // reach facts gained + lost
+  bool semantically_empty = true;
+  double commit_seconds = 0;  // wall time of the commit that produced it
+};
+
+/// A reader's lease on a version. Holding one keeps the version (and its
+/// snapshot) alive; dropping the last one retires it.
+using VersionHandle = std::shared_ptr<const Version>;
+
+class SnapshotStore {
+ public:
+  /// Publishes `base` as version 1 ("base").
+  explicit SnapshotStore(topo::Snapshot base);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The current head. O(1): a mutex-guarded shared_ptr copy.
+  VersionHandle head() const;
+  uint64_t head_id() const { return head()->id; }
+
+  /// Publishes `next` as the new head and returns its handle. The previous
+  /// head is released (it survives only through reader handles). Metadata
+  /// fields beyond id/snapshot are taken from `provenance` (its id and
+  /// snapshot members are ignored).
+  VersionHandle publish(topo::Snapshot next, const Version& provenance);
+
+  // ---- retirement accounting (for service metrics) ------------------------
+  size_t versions_published() const { return published_.load(); }
+  size_t versions_retired() const { return retired_->load(); }
+  /// Published versions whose storage is still pinned by some handle
+  /// (including the head the store itself pins).
+  size_t versions_live() const {
+    return published_.load() - retired_->load();
+  }
+
+ private:
+  VersionHandle make_version(uint64_t id, topo::Snapshot snapshot,
+                             const Version& provenance);
+
+  mutable std::mutex mutex_;
+  VersionHandle head_;
+  uint64_t next_id_ = 1;
+  std::atomic<size_t> published_{0};
+  /// Owned by shared_ptr so version deleters can outlive the store.
+  std::shared_ptr<std::atomic<size_t>> retired_;
+};
+
+}  // namespace dna::service

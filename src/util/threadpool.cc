@@ -6,10 +6,8 @@
 namespace dna::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 1;
-  }
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = 1;  // a pool must be able to run tasks
   queues_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -21,9 +19,13 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait_idle();
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (failure_) {
+      DNA_ERROR("ThreadPool destroyed with an uncollected task failure");
+      failure_ = nullptr;
+    }
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -51,6 +53,12 @@ void ThreadPool::submit(Task task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(wake_mutex_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (failure_) {
+    std::exception_ptr failure = nullptr;
+    std::swap(failure, failure_);
+    lock.unlock();
+    std::rethrow_exception(failure);
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -59,6 +67,12 @@ void ThreadPool::parallel_for(
     submit([&fn, index](size_t worker) { fn(worker, index); });
   }
   wait_idle();
+}
+
+void ThreadPool::record_failure(std::exception_ptr failure) {
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  // First failure wins; the ones it races are already logged above.
+  if (!failure_) failure_ = std::move(failure);
 }
 
 ThreadPool::Task ThreadPool::take_task(size_t worker) {
@@ -116,9 +130,11 @@ void ThreadPool::worker_loop(size_t worker) {
       DNA_ERROR("uncaught exception in ThreadPool task (worker " << worker
                                                                  << "): "
                                                                  << e.what());
+      record_failure(std::current_exception());
     } catch (...) {
       DNA_ERROR("uncaught non-standard exception in ThreadPool task (worker "
                 << worker << ")");
+      record_failure(std::current_exception());
     }
     {
       std::lock_guard<std::mutex> lock(wake_mutex_);

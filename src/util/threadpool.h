@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,9 +28,15 @@ class ThreadPool {
   using Task = std::function<void(size_t worker)>;
 
   /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency).
+  /// The pool always ends up with at least one worker: a request that
+  /// resolves to zero (explicit or because hardware_concurrency() reports
+  /// unknown) is clamped to 1 rather than constructing a pool that can
+  /// never run anything.
   explicit ThreadPool(size_t num_threads = 0);
 
-  /// Waits for all submitted tasks, then joins the workers.
+  /// Waits for all submitted tasks, then joins the workers. A pending task
+  /// failure that no wait_idle() call collected is logged and dropped
+  /// (destructors must not throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,16 +45,18 @@ class ThreadPool {
   size_t num_workers() const { return workers_.size(); }
 
   /// Enqueues one task. Safe to call from any thread, including from inside
-  /// a running task. Tasks should handle their own failures: an exception
-  /// escaping a task is logged at error level and swallowed so the pool
-  /// (and its pending-task accounting) survives.
+  /// a running task. An exception escaping a task does not kill the worker:
+  /// the first one is captured and rethrown to the next wait_idle() caller;
+  /// later ones (until that rethrow) are logged and dropped.
   void submit(Task task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception that escaped a task since the previous
+  /// wait_idle(), if any. The pool stays usable after the rethrow.
   void wait_idle();
 
   /// Submits `count` tasks fn(worker, index) for index in [0, count) and
-  /// waits for all of them.
+  /// waits for all of them; rethrows like wait_idle().
   void parallel_for(size_t count,
                     const std::function<void(size_t worker, size_t index)>& fn);
 
@@ -61,6 +70,8 @@ class ThreadPool {
   /// Pops the front of `worker`'s own queue, or steals from the back of
   /// another worker's. Returns an empty function when everything is dry.
   Task take_task(size_t worker);
+  /// Keeps the first failure for wait_idle() to rethrow; logs the rest.
+  void record_failure(std::exception_ptr failure);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -70,6 +81,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // signalled when pending_ hits zero
   size_t pending_ = 0;               // submitted but not yet finished
   size_t next_queue_ = 0;            // round-robin submission cursor
+  std::exception_ptr failure_;       // first uncollected task failure
   bool stop_ = false;
 };
 

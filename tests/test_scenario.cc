@@ -67,6 +67,47 @@ TEST(ThreadPool, SingleWorkerStillDrains) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, ZeroThreadConstructionClampsToAtLeastOneWorker) {
+  // 0 = hardware concurrency, which may itself report 0; either way the
+  // pool must come up able to run tasks.
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](size_t, size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToTheWaiter) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([&](size_t) { ++completed; });
+  pool.submit([](size_t) { throw Error("task failed"); });
+  pool.submit([&](size_t) { ++completed; });
+  // The failing task must not kill its worker or the healthy tasks, and
+  // the waiter must see the failure.
+  EXPECT_THROW(pool.wait_idle(), Error);
+  EXPECT_EQ(completed.load(), 2);
+
+  // The failure was collected: the pool is reusable and idle again.
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](size_t, size_t) { ++after; });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, FirstOfManyFailuresWins) {
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([](size_t) { throw Error("boom"); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  pool.wait_idle();  // collected: a second wait is clean
+}
+
 // ---------------------------------------------------------------------------
 // Sweep generators
 // ---------------------------------------------------------------------------

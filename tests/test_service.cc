@@ -1,0 +1,456 @@
+// The service layer's contract: versions are immutable and retire exactly
+// when the last reader lets go; every query is answered against one
+// fully-committed version (no torn reads, however many writers race);
+// the framed protocol round-trips through any chunking; and the loopback
+// transport end-to-end path behaves like direct DnaService calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/change.h"
+#include "core/paths.h"
+#include "dataplane/properties.h"
+#include "service/protocol.h"
+#include "service/query.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "service/transport.h"
+#include "service/version.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace dna::service {
+namespace {
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()},
+          {core::Invariant::Kind::kReachable, "r0", "r3", "",
+           Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)}};
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotStore, PublishesMonotonicVersions) {
+  SnapshotStore store(topo::make_ring(4));
+  EXPECT_EQ(store.head()->id, 1u);
+  EXPECT_EQ(store.head()->change_description, "base");
+
+  Version provenance;
+  provenance.change_description = "tweak";
+  VersionHandle v2 = store.publish(*store.head()->snapshot, provenance);
+  EXPECT_EQ(v2->id, 2u);
+  EXPECT_EQ(store.head()->id, 2u);
+  EXPECT_EQ(store.head()->change_description, "tweak");
+  EXPECT_EQ(store.versions_published(), 2u);
+}
+
+TEST(SnapshotStore, RetiresOnlyWhenLastHandleDrops) {
+  SnapshotStore store(topo::make_ring(4));
+  VersionHandle reader = store.head();  // a reader leases version 1
+
+  Version provenance;
+  store.publish(*store.head()->snapshot, provenance);  // supersede it
+  EXPECT_EQ(store.versions_published(), 2u);
+  EXPECT_EQ(store.versions_retired(), 0u) << "reader still holds v1";
+  EXPECT_EQ(store.versions_live(), 2u);
+
+  EXPECT_EQ(reader->id, 1u);  // the lease still sees its version
+  reader.reset();             // last reader lets go -> retirement
+  EXPECT_EQ(store.versions_retired(), 1u);
+  EXPECT_EQ(store.versions_live(), 1u);
+}
+
+TEST(SnapshotStore, VersionsOutliveTheStore) {
+  VersionHandle survivor;
+  {
+    SnapshotStore store(topo::make_ring(4));
+    survivor = store.head();
+  }
+  EXPECT_EQ(survivor->id, 1u);
+  EXPECT_EQ(survivor->snapshot->topology.num_nodes(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripsThroughAnyChunking) {
+  const std::string payloads[] = {"", "x", "reach r0 172.31.1.1",
+                                  std::string(1000, 'a') + "\n\nmulti line"};
+  std::string stream;
+  for (const std::string& payload : payloads) {
+    stream += encode_frame(payload);
+  }
+  for (size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameDecoder decoder;
+    std::vector<std::string> decoded;
+    for (size_t at = 0; at < stream.size(); at += chunk) {
+      decoder.feed(std::string_view(stream).substr(at, chunk));
+      while (auto payload = decoder.next()) decoded.push_back(*payload);
+    }
+    ASSERT_EQ(decoded.size(), 4u) << "chunk size " << chunk;
+    for (size_t i = 0; i < 4; ++i) EXPECT_EQ(decoded[i], payloads[i]);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(Protocol, RejectsMalformedAndOversizedFrames) {
+  {
+    FrameDecoder decoder;
+    decoder.feed("12a\npayload");
+    EXPECT_THROW(decoder.next(), Error);
+  }
+  {
+    FrameDecoder decoder;
+    decoder.feed(std::to_string(kMaxFramePayload + 1) + "\n");
+    EXPECT_THROW(decoder.next(), Error);
+  }
+  {
+    FrameDecoder decoder;
+    decoder.feed(std::string(30, '1'));  // length line never terminates
+    EXPECT_THROW(decoder.next(), Error);
+  }
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  QueryResult result;
+  result.ok = false;
+  result.version = 42;
+  result.body = "line one\nline two";
+  const QueryResult back = decode_response(encode_response(result));
+  EXPECT_EQ(back.ok, false);
+  EXPECT_EQ(back.version, 42u);
+  EXPECT_EQ(back.body, result.body);
+  EXPECT_THROW(decode_response("what 3\nbody"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Query language
+// ---------------------------------------------------------------------------
+
+TEST(QueryLanguage, ParsesEveryKind) {
+  EXPECT_EQ(parse_query("version").kind, QueryKind::kVersion);
+  EXPECT_EQ(parse_query("hash").kind, QueryKind::kHash);
+  const Query reach = parse_query("reach r0 172.31.1.9");
+  EXPECT_EQ(reach.kind, QueryKind::kReach);
+  EXPECT_EQ(reach.src, "r0");
+  EXPECT_EQ(reach.dst, Ipv4Addr(172, 31, 1, 9));
+  EXPECT_EQ(parse_query("paths r2 10.0.0.1").kind, QueryKind::kPaths);
+  const Query check = parse_query("check waypoint r0 r3 r1 10.0.0.0/8");
+  EXPECT_EQ(check.invariant.kind, core::Invariant::Kind::kWaypoint);
+  EXPECT_EQ(check.invariant.waypoint, "r1");
+  const Query whatif = parse_query("whatif fail_link 2; link_cost 1 50");
+  EXPECT_EQ(whatif.kind, QueryKind::kWhatIf);
+  EXPECT_EQ(whatif.plan.size(), 2u);
+
+  EXPECT_THROW(parse_query(""), Error);
+  EXPECT_THROW(parse_query("reach r0"), Error);
+  EXPECT_THROW(parse_query("reach r0 not-an-ip"), Error);
+  EXPECT_THROW(parse_query("check bogus r0"), Error);
+  EXPECT_THROW(parse_query("whatif"), Error);
+  EXPECT_THROW(parse_query("whatif explode_link 2"), Error);
+  EXPECT_THROW(parse_query("frobnicate"), Error);
+}
+
+TEST(QueryLanguage, ChangePlanAppliesLikeTheNativePlan) {
+  const topo::Snapshot base = topo::make_ring(5);
+  const topo::Snapshot parsed =
+      parse_change_plan("fail_link 1; link_cost 2 77").apply(base);
+  topo::Snapshot native = core::ChangePlan::link_cost(2, 77).apply(
+      core::ChangePlan::link_failure(1).apply(base));
+  EXPECT_EQ(parsed, native);
+}
+
+TEST(QueryLanguage, SnapshotDigestDetectsAnyDifference) {
+  const topo::Snapshot a = topo::make_ring(5);
+  EXPECT_EQ(snapshot_digest(a), snapshot_digest(topo::make_ring(5)));
+  const topo::Snapshot b = core::ChangePlan::link_cost(0, 99).apply(a);
+  EXPECT_NE(snapshot_digest(a), snapshot_digest(b));
+}
+
+// ---------------------------------------------------------------------------
+// DnaService
+// ---------------------------------------------------------------------------
+
+TEST(DnaService, AnswersMatchADirectEngine) {
+  const topo::Snapshot base = topo::make_ring(6);
+  DnaService service(base, ring_invariants(), {.num_threads = 2});
+
+  QueryResult reach = service.query("reach r0 172.31.1.1");
+  EXPECT_TRUE(reach.ok) << reach.body;
+  EXPECT_EQ(reach.version, 1u);
+  EXPECT_EQ(reach.body, "reachable true owner r3");
+
+  QueryResult check = service.query("check reachable r0 r3 172.31.1.0/24");
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.body.find("holds true"), 0u) << check.body;
+
+  QueryResult paths = service.query("paths r0 172.31.1.1");
+  core::DnaEngine engine(base);
+  const auto expected = core::forwarding_paths(
+      engine.verifier(), engine.snapshot(), 0, Ipv4Addr(172, 31, 1, 1));
+  size_t found = 0;
+  for (const auto& path : expected) {
+    if (paths.body.find(path.str(base.topology)) != std::string::npos) {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, expected.size()) << paths.body;
+
+  QueryResult bad = service.query("reach nonexistent 10.0.0.1");
+  EXPECT_FALSE(bad.ok);
+  QueryResult malformed = service.query("gibberish");
+  EXPECT_FALSE(malformed.ok);
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.queries_total, 5u);
+  EXPECT_EQ(metrics.queries_failed, 2u);
+  EXPECT_EQ(metrics.versions_published, 1u);
+}
+
+TEST(DnaService, CommitPublishesAndQueriesFollowTheHead) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+
+  // A ring survives one link failure: still reachable, at a new version.
+  const CommitResult commit =
+      service.commit(core::ChangePlan::link_failure(1));
+  EXPECT_EQ(commit.version, 2u);
+  EXPECT_FALSE(commit.semantically_empty);
+
+  const QueryResult reach = service.query("reach r0 172.31.1.1");
+  EXPECT_TRUE(reach.ok);
+  EXPECT_EQ(reach.version, 2u);
+  EXPECT_EQ(reach.body, "reachable true owner r3");
+
+  // whatif never commits.
+  const QueryResult whatif = service.query("whatif fail_link 0");
+  EXPECT_TRUE(whatif.ok) << whatif.body;
+  EXPECT_EQ(service.head()->id, 2u);
+  EXPECT_NE(whatif.body.find("\"ok\":true"), std::string::npos);
+
+  // A what-if whose plan cannot apply fails alone; the worker replica
+  // survives and the next query still answers.
+  const QueryResult bad_whatif = service.query("whatif fail_link 999999");
+  EXPECT_FALSE(bad_whatif.ok);
+  EXPECT_TRUE(service.query("reach r0 172.31.1.1").ok);
+
+  // A failing commit publishes nothing and leaves the service healthy.
+  core::ChangePlan bad("throws on apply");
+  bad.add([](topo::Snapshot) -> topo::Snapshot {
+    throw Error("deliberate failure");
+  });
+  EXPECT_THROW(service.commit(bad), Error);
+  EXPECT_EQ(service.head()->id, 2u);
+  EXPECT_TRUE(service.query("reach r0 172.31.1.1").ok);
+  EXPECT_EQ(service.metrics().commits, 1u);
+}
+
+TEST(DnaService, SubmitAfterShutdownFailsCleanly) {
+  DnaService service(topo::make_line(3), {}, {.num_threads = 1});
+  service.shutdown();
+  QueryResult late = service.query("version");
+  EXPECT_FALSE(late.ok);
+  EXPECT_NE(late.body.find("shutting down"), std::string::npos);
+}
+
+// The headline concurrency property: N writers race M readers, and every
+// reader-observed (version, digest) pair must equal the digest a serial
+// replay of the commit log produces for that version — a torn or
+// half-committed snapshot would hash differently.
+TEST(DnaService, WritersRacingReadersProduceNoTornReads) {
+  const topo::Snapshot base = topo::make_ring(6);
+  DnaService service(base, ring_invariants(), {.num_threads = 2});
+
+  constexpr int kWriters = 3;
+  constexpr int kCommitsPerWriter = 5;
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 25;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  // Writers: each flips its own link's cost through a private sequence.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&service, &go, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        service.commit(
+            core::ChangePlan::link_cost(w, 10 + (w + 1) * 10 + i));
+      }
+    });
+  }
+  // Readers: interleave hash and reach queries while versions churn.
+  std::vector<std::vector<QueryResult>> observed(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&service, &go, &observed, r] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        observed[r].push_back(
+            service.query(i % 2 == 0 ? "hash" : "reach r0 172.31.1.1"));
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const uint64_t last = service.head()->id;
+  ASSERT_EQ(last, 1u + kWriters * kCommitsPerWriter);
+
+  uint64_t max_seen = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    uint64_t previous = 0;
+    for (const QueryResult& result : observed[r]) {
+      ASSERT_TRUE(result.ok) << result.body;
+      // Versions a single client observes never go backwards.
+      EXPECT_GE(result.version, previous);
+      previous = result.version;
+      max_seen = std::max(max_seen, result.version);
+      // Reachability must hold at every version: only link costs changed,
+      // so a false answer can only come from a torn snapshot.
+      if (result.body.find("reachable") == 0) {
+        EXPECT_EQ(result.body, "reachable true owner r3") << result.body;
+      }
+    }
+  }
+  EXPECT_LE(max_seen, last);
+
+  // No version may ever have been observed with two different digests, and
+  // the final head digest must match a from-scratch application of the
+  // final state (queried after quiescence, so it is deterministic).
+  std::map<uint64_t, std::string> digest_at;
+  for (const auto& reader : observed) {
+    for (const QueryResult& result : reader) {
+      if (result.body.find("hash ") != 0) continue;
+      auto [it, inserted] = digest_at.emplace(result.version, result.body);
+      EXPECT_EQ(it->second, result.body)
+          << "version " << result.version << " observed with two digests";
+    }
+  }
+  const QueryResult head_hash = service.query("hash");
+  EXPECT_EQ(head_hash.version, last);
+  char expected_hex[32];
+  std::snprintf(expected_hex, sizeof(expected_hex), "hash %016llx",
+                static_cast<unsigned long long>(
+                    snapshot_digest(*service.head()->snapshot)));
+  EXPECT_EQ(head_hash.body, expected_hex);
+
+  // Version accounting stayed consistent under the race.
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.versions_published, last);
+  EXPECT_EQ(metrics.commits, size_t{kWriters * kCommitsPerWriter});
+  EXPECT_EQ(metrics.queries_total,
+            size_t{kReaders * kQueriesPerReader} + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Session, LoopbackEndToEnd) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+
+  ServiceClient client(channel.client());
+  const QueryResult version = client.request("version");
+  EXPECT_TRUE(version.ok);
+  EXPECT_EQ(version.version, 1u);
+  EXPECT_EQ(version.body.find("version 1"), 0u) << version.body;
+
+  const QueryResult commit = client.request("commit link_cost 0 42");
+  EXPECT_TRUE(commit.ok);
+  EXPECT_EQ(commit.version, 2u);
+  EXPECT_EQ(commit.body.find("committed version 2"), 0u) << commit.body;
+
+  const QueryResult reach = client.request("reach r0 172.31.1.1");
+  EXPECT_TRUE(reach.ok);
+  EXPECT_EQ(reach.version, 2u);
+
+  const QueryResult bad = client.request("commit fail_link 999999");
+  EXPECT_FALSE(bad.ok);
+
+  const QueryResult metrics = client.request("metrics");
+  EXPECT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("service metrics"), std::string::npos);
+
+  client.close();
+  server.join();
+  EXPECT_FALSE(session.shutdown_requested());
+}
+
+TEST(Session, ManyClientsOneService) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+  constexpr int kClients = 4;
+  constexpr int kRequests = 10;
+
+  std::vector<std::unique_ptr<LoopbackChannel>> channels;
+  std::vector<std::unique_ptr<ServerSession>> sessions;
+  std::vector<std::thread> servers;
+  for (int c = 0; c < kClients; ++c) {
+    channels.push_back(std::make_unique<LoopbackChannel>());
+    sessions.push_back(
+        std::make_unique<ServerSession>(service, channels[c]->server()));
+    servers.emplace_back([&session = *sessions[c]] { session.run(); });
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&channel = *channels[c], &failures] {
+      ServiceClient client(channel.client());
+      for (int i = 0; i < kRequests; ++i) {
+        const QueryResult result = client.request("reach r0 172.31.1.1");
+        if (!result.ok || result.body != "reachable true owner r3") {
+          failures.fetch_add(1);
+        }
+      }
+      client.close();
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (std::thread& thread : servers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.metrics().queries_total, size_t{kClients * kRequests});
+}
+
+TEST(Session, AbortEvictsAnIdleSession) {
+  // A server shutting down must be able to unblock a session whose client
+  // is connected but silent (the serve loop aborts before joining).
+  DnaService service(topo::make_line(3), {}, {.num_threads = 1});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+
+  ServiceClient client(channel.client());
+  EXPECT_TRUE(client.request("version").ok);  // session is live...
+  channel.server().abort();                   // ...evict it anyway
+  server.join();
+  EXPECT_FALSE(session.shutdown_requested());
+}
+
+TEST(Session, ShutdownRequestStopsTheSession) {
+  DnaService service(topo::make_line(3), {}, {.num_threads = 1});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+
+  ServiceClient client(channel.client());
+  const QueryResult result = client.request("shutdown");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.body, "shutting down");
+  server.join();
+  EXPECT_TRUE(session.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace dna::service

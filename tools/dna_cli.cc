@@ -21,19 +21,36 @@
 //         --sweep=random:N[:SEED]  N seeded random changes
 //         --threads=N          worker threads (default: hardware)
 //         --top=K              rows to print (default 10, 0 = all)
+//         --json               machine-readable report on stdout
 //         --monolithic         evaluate scenarios monolithically
 //         --host-invariants    add reachability invariants between all
 //                              host-network (172.31/16) owners
 //
+//   dna_cli serve (--gen=<spec> | <topo-file> <config-file>)
+//                 --socket=PATH [--threads=N] [--host-invariants]
+//       Run the long-lived query service (src/service/) on a unix-domain
+//       socket. Clients commit changes and query any number of times; the
+//       server prints its metrics after a client sends `shutdown`.
+//
+//   dna_cli query --socket=PATH <request> [<request> ...]
+//       Send request lines to a running server, one response per line
+//       printed to stdout. See src/service/query.h for the language, e.g.:
+//         dna_cli query --socket=/tmp/dna.sock version \
+//             "reach r0 172.31.1.1" "commit fail_link 2" "whatif fail_link 3"
+//
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "core/engine.h"
 #include "core/paths.h"
 #include "core/report.h"
 #include "scenario/runner.h"
+#include "service/session.h"
+#include "service/transport.h"
 #include "topo/generators.h"
 #include "topo/textio.h"
 #include "util/strings.h"
@@ -161,11 +178,35 @@ topo::Snapshot generate_snapshot(const std::string& spec) {
   throw Error("unknown --gen kind: " + kind);
 }
 
+/// Base snapshot from --gen=<spec> or a <topo> <cfg> file pair.
+topo::Snapshot load_base(const std::string& gen,
+                         const std::vector<std::string>& files,
+                         const std::string& command) {
+  if (!gen.empty()) return generate_snapshot(gen);
+  if (files.size() == 2) {
+    return topo::load_snapshot(read_file(files[0]), read_file(files[1]));
+  }
+  throw Error(command + " needs --gen=<spec> or <topo> <cfg>");
+}
+
+/// The standard intent set: loop freedom, plus host-to-host reachability
+/// when requested.
+std::vector<core::Invariant> standard_invariants(const topo::Snapshot& base,
+                                                 bool want_host_invariants) {
+  std::vector<core::Invariant> invariants = {
+      {core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()}};
+  if (want_host_invariants) {
+    auto more = scenario::host_reachability_invariants(base);
+    invariants.insert(invariants.end(), more.begin(), more.end());
+  }
+  return invariants;
+}
+
 int cmd_whatif(const std::vector<std::string>& args) {
   std::string gen, sweep = "links";
   std::vector<std::string> files;
   size_t threads = 0, top_k = 10;
-  bool monolithic = false, want_host_invariants = false;
+  bool monolithic = false, want_host_invariants = false, json = false;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto value_of = [&](const std::string& flag) {
@@ -183,6 +224,8 @@ int cmd_whatif(const std::vector<std::string>& args) {
       const int value = as_int(value_of("--top="));
       if (value < 0) throw Error("--top must be >= 0");
       top_k = static_cast<size_t>(value);
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--monolithic") {
       monolithic = true;
     } else if (arg == "--host-invariants") {
@@ -194,21 +237,9 @@ int cmd_whatif(const std::vector<std::string>& args) {
     }
   }
 
-  topo::Snapshot base;
-  if (!gen.empty()) {
-    base = generate_snapshot(gen);
-  } else if (files.size() == 2) {
-    base = topo::load_snapshot(read_file(files[0]), read_file(files[1]));
-  } else {
-    throw Error("whatif needs --gen=<spec> or <topo> <cfg>");
-  }
-
-  std::vector<core::Invariant> invariants = {
-      {core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()}};
-  if (want_host_invariants) {
-    auto more = scenario::host_reachability_invariants(base);
-    invariants.insert(invariants.end(), more.begin(), more.end());
-  }
+  topo::Snapshot base = load_base(gen, files, "whatif");
+  std::vector<core::Invariant> invariants =
+      standard_invariants(base, want_host_invariants);
 
   std::vector<scenario::ScenarioSpec> specs;
   if (sweep == "links") {
@@ -230,9 +261,11 @@ int cmd_whatif(const std::vector<std::string>& args) {
     throw Error("unknown sweep: " + sweep);
   }
 
-  std::cout << "base: " << base.topology.num_nodes() << " nodes, "
-            << base.topology.num_links() << " links | " << specs.size()
-            << " scenario(s), " << invariants.size() << " invariant(s)\n";
+  if (!json) {
+    std::cout << "base: " << base.topology.num_nodes() << " nodes, "
+              << base.topology.num_links() << " links | " << specs.size()
+              << " scenario(s), " << invariants.size() << " invariant(s)\n";
+  }
 
   scenario::ScenarioRunner runner(std::move(base), std::move(invariants));
   scenario::RunnerOptions options;
@@ -240,10 +273,130 @@ int cmd_whatif(const std::vector<std::string>& args) {
   options.mode = monolithic ? core::Mode::kMonolithic : core::Mode::kDifferential;
   scenario::ScenarioReport report = runner.run(specs, options);
 
-  std::cout << report.str(top_k)
-            << "evaluated on " << report.threads << " thread(s) in "
-            << report.seconds_total << " s\n";
+  if (json) {
+    // Machine-readable: exactly one JSON document on stdout, nothing else.
+    std::cout << scenario::to_json(report) << "\n";
+  } else {
+    std::cout << report.str(top_k)
+              << "evaluated on " << report.threads << " thread(s) in "
+              << report.seconds_total << " s\n";
+  }
   return report.failures == 0 ? 0 : 1;
+}
+
+// ---- serve / query --------------------------------------------------------
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string gen, socket_path;
+  std::vector<std::string> files;
+  size_t threads = 0;
+  bool want_host_invariants = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--gen=")) {
+      gen = arg.substr(6);
+    } else if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--threads=")) {
+      const int value = as_int(arg.substr(10));
+      if (value < 0) throw Error("--threads must be >= 0");
+      threads = static_cast<size_t>(value);
+    } else if (arg == "--host-invariants") {
+      want_host_invariants = true;
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown serve flag: " + arg);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (socket_path.empty()) throw Error("serve needs --socket=PATH");
+
+  topo::Snapshot base = load_base(gen, files, "serve");
+  std::vector<core::Invariant> invariants =
+      standard_invariants(base, want_host_invariants);
+
+  std::cout << "base: " << base.topology.num_nodes() << " nodes, "
+            << base.topology.num_links() << " links, " << invariants.size()
+            << " invariant(s)\n";
+  service::DnaService dna_service(std::move(base), std::move(invariants),
+                                  {.num_threads = threads});
+  service::UnixListener listener(socket_path);
+  std::cout << "serving on " << socket_path << " with "
+            << dna_service.num_workers() << " worker(s)\n"
+            << std::flush;
+
+  // One thread per connection; any session may request shutdown, which
+  // closes the listener and pops the accept loop. Finished sessions are
+  // reaped on every accept so a long-lived server does not accumulate
+  // dead threads; sessions still connected at shutdown are evicted
+  // (transport abort) so join() cannot hang on an idle client.
+  struct Connection {
+    std::unique_ptr<service::Transport> transport;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections;
+  auto reap = [&connections](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (all || (*it)->done.load()) {
+        (*it)->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (auto transport = listener.accept()) {
+    reap(/*all=*/false);
+    auto connection = std::make_unique<Connection>();
+    connection->transport = std::move(transport);
+    Connection* raw = connection.get();
+    connection->thread = std::thread([&dna_service, &listener, raw] {
+      service::ServerSession session(dna_service, *raw->transport);
+      session.run();
+      if (session.shutdown_requested()) listener.close();
+      raw->done.store(true);
+    });
+    connections.push_back(std::move(connection));
+  }
+  for (const auto& connection : connections) connection->transport->abort();
+  reap(/*all=*/true);
+  dna_service.shutdown();
+  std::cout << dna_service.metrics().str();
+  return 0;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  std::string socket_path;
+  std::vector<std::string> requests;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown query flag: " + arg);
+    } else {
+      requests.push_back(arg);
+    }
+  }
+  if (socket_path.empty()) throw Error("query needs --socket=PATH");
+  if (requests.empty()) throw Error("query needs at least one request");
+
+  auto transport = service::connect_unix(socket_path);
+  service::ServiceClient client(*transport);
+  bool all_ok = true;
+  for (const std::string& request : requests) {
+    const service::QueryResult result = client.request(request);
+    if (result.ok) {
+      std::cout << "[v" << result.version << "] " << result.body << "\n";
+    } else {
+      all_ok = false;
+      std::cout << "[v" << result.version << "] error: " << result.body
+                << "\n";
+    }
+  }
+  client.close();
+  return all_ok ? 0 : 1;
 }
 
 int usage() {
@@ -254,7 +407,11 @@ int usage() {
          " [--monolithic]\n"
       << "  dna_cli paths <topo> <cfg> <src-node> <dst-ip>\n"
       << "  dna_cli whatif (--gen=<spec> | <topo> <cfg>) [--sweep=...]"
-         " [--threads=N] [--top=K] [--monolithic] [--host-invariants]\n";
+         " [--threads=N] [--top=K] [--json] [--monolithic]"
+         " [--host-invariants]\n"
+      << "  dna_cli serve (--gen=<spec> | <topo> <cfg>) --socket=PATH"
+         " [--threads=N] [--host-invariants]\n"
+      << "  dna_cli query --socket=PATH <request> [<request> ...]\n";
   return 2;
 }
 
@@ -275,6 +432,12 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "whatif") {
       return cmd_whatif(args);
+    }
+    if (!args.empty() && args[0] == "serve") {
+      return cmd_serve(args);
+    }
+    if (!args.empty() && args[0] == "query") {
+      return cmd_query(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
