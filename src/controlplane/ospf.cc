@@ -28,6 +28,16 @@ OspfModel::Inputs OspfModel::derive_inputs(const topo::Snapshot& snapshot) {
   const topo::Topology& topology = snapshot.topology;
   in.graph.resize(topology.num_nodes());
 
+  // One eligibility pass collects the surviving links and per-node degrees,
+  // then the adjacency vectors are sized exactly and filled — no regrowth.
+  struct EligibleLink {
+    uint32_t li;
+    int cost_a;
+    int cost_b;
+  };
+  std::vector<EligibleLink> eligible;
+  eligible.reserve(topology.num_links());
+  std::vector<uint32_t> degree(topology.num_nodes(), 0);
   for (uint32_t li = 0; li < topology.num_links(); ++li) {
     const topo::Link& link = topology.link(li);
     if (!link.up) continue;
@@ -38,8 +48,18 @@ OspfModel::Inputs OspfModel::derive_inputs(const topo::Snapshot& snapshot) {
     if (!ia || !ib) continue;
     if (!runs_ospf(cfg_a, *ia) || !runs_ospf(cfg_b, *ib)) continue;
     if (ia->ospf_passive || ib->ospf_passive) continue;
-    in.graph.add_arc(link.a, link.b, clamp_cost(ia->ospf_cost), li);
-    in.graph.add_arc(link.b, link.a, clamp_cost(ib->ospf_cost), li);
+    eligible.push_back({li, clamp_cost(ia->ospf_cost),
+                        clamp_cost(ib->ospf_cost)});
+    ++degree[link.a];
+    ++degree[link.b];
+  }
+  // Symmetric arcs: every eligible link adds one out- and one in-arc at both
+  // endpoints, so one degree count serves both adjacency directions.
+  in.graph.reserve_degrees(degree, degree);
+  for (const EligibleLink& el : eligible) {
+    const topo::Link& link = topology.link(el.li);
+    in.graph.add_arc(link.a, link.b, el.cost_a, el.li);
+    in.graph.add_arc(link.b, link.a, el.cost_b, el.li);
   }
 
   // Advertisers: (node, cost) per prefix, min cost per node, sorted by node.

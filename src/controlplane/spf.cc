@@ -7,7 +7,12 @@ namespace dna::cp {
 std::vector<int> dijkstra(const WeightedDigraph& graph, topo::NodeId source) {
   std::vector<int> dist(graph.num_nodes(), kInfDist);
   using Item = std::pair<int, topo::NodeId>;  // (distance, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  // Pre-size the heap storage: every node enters at least once and decrease-
+  // key is emulated by re-push, so num_nodes is the common high-water mark.
+  std::vector<Item> heap_storage;
+  heap_storage.reserve(graph.num_nodes() + 1);
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap(
+      std::greater<>{}, std::move(heap_storage));
   dist[source] = 0;
   heap.push({0, source});
   while (!heap.empty()) {

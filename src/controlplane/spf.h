@@ -40,6 +40,18 @@ struct WeightedDigraph {
     in[to].push_back({from, weight, link});
   }
 
+  /// Pre-sizes every adjacency vector from per-node degree counts so a bulk
+  /// build (degree-count pass, then add_arc fills) never regrows a vector.
+  void reserve_degrees(const std::vector<uint32_t>& out_degree,
+                       const std::vector<uint32_t>& in_degree) {
+    for (size_t n = 0; n < out.size() && n < out_degree.size(); ++n) {
+      out[n].reserve(out_degree[n]);
+    }
+    for (size_t n = 0; n < in.size() && n < in_degree.size(); ++n) {
+      in[n].reserve(in_degree[n]);
+    }
+  }
+
   bool operator==(const WeightedDigraph&) const = default;
 };
 

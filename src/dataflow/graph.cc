@@ -15,6 +15,9 @@ NodeId Graph::add_node(std::unique_ptr<Node> node,
     DNA_CHECK_MSG(src < id, "dataflow graphs must be built bottom-up");
     successors_[src].push_back({id, static_cast<int>(port)});
   }
+  if (dynamic_cast<OutputNode*>(node.get()) != nullptr) {
+    output_ids_.push_back(id);
+  }
   nodes_.push_back(std::move(node));
   successors_.emplace_back();
   pending_.emplace_back(nodes_.back()->arity());
@@ -79,7 +82,7 @@ NodeId Graph::add_output(std::string name, NodeId src) {
   return add_node(std::make_unique<OutputNode>(std::move(name)), {src});
 }
 
-void Graph::push(NodeId input, DeltaVec deltas) {
+void Graph::push(NodeId input, const DeltaVec& deltas) {
   DNA_CHECK(input < nodes_.size());
   DNA_CHECK_MSG(dynamic_cast<InputNode*>(nodes_[input].get()) != nullptr,
                 "push() target must be an input node");
@@ -95,17 +98,48 @@ void Graph::step() {
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     Node& node = *nodes_[id];
     for (int port = 0; port < node.arity(); ++port) {
-      DeltaVec batch = consolidate(pending_[id][static_cast<size_t>(port)]);
-      pending_[id][static_cast<size_t>(port)].clear();
-      if (batch.empty()) continue;
-      node.on_input(port, batch);
+      DeltaVec& batch = pending_[id][static_cast<size_t>(port)];
+      // Consolidate the queue in place and hand it to the node directly —
+      // no per-epoch copy, and the queue keeps its capacity once cleared.
+      consolidate_in_place(batch);
+      if (!batch.empty()) node.on_input(port, batch);
+      batch.clear();
     }
-    DeltaVec out = node.take_output();
+    DeltaVec& out = node.take_output();
     if (out.empty()) continue;
-    for (const EdgeTarget& target : successors_[id]) {
-      DeltaVec& queue = pending_[target.node][static_cast<size_t>(target.port)];
-      queue.insert(queue.end(), out.begin(), out.end());
+    const std::vector<EdgeTarget>& targets = successors_[id];
+    if (targets.size() == 1) {
+      // Sole successor: swap buffers instead of copying. The node's output
+      // vector inherits the (cleared) queue's capacity for the next epoch.
+      DeltaVec& queue =
+          pending_[targets[0].node][static_cast<size_t>(targets[0].port)];
+      if (queue.empty()) {
+        std::swap(queue, out);
+      } else {
+        queue.insert(queue.end(), std::make_move_iterator(out.begin()),
+                     std::make_move_iterator(out.end()));
+      }
+    } else {
+      // Copy to all but the last target, move into the last: one deep copy
+      // fewer per fan-out per epoch.
+      for (size_t t = 0; t + 1 < targets.size(); ++t) {
+        DeltaVec& queue =
+            pending_[targets[t].node][static_cast<size_t>(targets[t].port)];
+        queue.insert(queue.end(), out.begin(), out.end());
+      }
+      if (!targets.empty()) {
+        const EdgeTarget& last = targets.back();
+        DeltaVec& queue =
+            pending_[last.node][static_cast<size_t>(last.port)];
+        if (queue.empty()) {
+          std::swap(queue, out);
+        } else {
+          queue.insert(queue.end(), std::make_move_iterator(out.begin()),
+                       std::make_move_iterator(out.end()));
+        }
+      }
     }
+    node.clear_output();
   }
 }
 
@@ -117,11 +151,14 @@ const OutputNode& Graph::output(NodeId id) const {
 }
 
 void Graph::clear_output_deltas() {
-  for (auto& node : nodes_) {
-    if (auto* out = dynamic_cast<OutputNode*>(node.get())) {
-      out->clear_last_deltas();
-    }
+  for (NodeId id : output_ids_) {
+    static_cast<OutputNode*>(nodes_[id].get())->clear_last_deltas();
   }
+}
+
+size_t Graph::state_size(NodeId id) const {
+  DNA_CHECK(id < nodes_.size());
+  return nodes_[id]->state_size();
 }
 
 }  // namespace dna::dataflow

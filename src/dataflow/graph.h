@@ -41,9 +41,12 @@ class Graph {
   NodeId add_output(std::string name, NodeId src);
 
   /// Queues external deltas for an input node; applied by the next step().
-  void push(NodeId input, DeltaVec deltas);
+  void push(NodeId input, const DeltaVec& deltas);
 
   /// Runs one epoch: drains queued input and propagates through the DAG.
+  /// Every buffer touched (pending queues, node output vectors) is recycled
+  /// across epochs, so steady-state epochs perform no heap allocation for
+  /// inline-arity rows.
   void step();
 
   const OutputNode& output(NodeId id) const;
@@ -52,6 +55,9 @@ class Graph {
   void clear_output_deltas();
 
   size_t node_count() const { return nodes_.size(); }
+
+  /// Resident state rows of one node (see Node::state_size).
+  size_t state_size(NodeId id) const;
 
  private:
   struct EdgeTarget {
@@ -64,7 +70,9 @@ class Graph {
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::vector<EdgeTarget>> successors_;  // by source node
+  std::vector<NodeId> output_ids_;  // cached: nodes that are OutputNodes
   // Pending deltas per node per port, filled by push() and by propagation.
+  // Queues are cleared, never destroyed, so capacity persists across epochs.
   std::vector<std::vector<DeltaVec>> pending_;
 };
 

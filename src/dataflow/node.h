@@ -32,6 +32,11 @@ class Node {
   /// Number of input ports this node accepts.
   virtual int arity() const { return 1; }
 
+  /// Resident rows of indexed state (join sides, reduce groups, distinct
+  /// counts); 0 for stateless nodes. Exposed so tests can assert that state
+  /// drains back to baseline under insert/retract churn.
+  virtual size_t state_size() const { return 0; }
+
   const std::string& name() const { return name_; }
 
  protected:
@@ -47,11 +52,14 @@ class Node {
  private:
   friend class Graph;
 
-  DeltaVec take_output() {
-    DeltaVec out = consolidate(output_);
-    output_.clear();
-    return out;
+  /// Consolidates the epoch's output in place and hands the graph a view of
+  /// it. The graph fans the batch out to successors and then calls
+  /// clear_output(), so the buffer's capacity is recycled across epochs.
+  DeltaVec& take_output() {
+    consolidate_in_place(output_);
+    return output_;
   }
+  void clear_output() { output_.clear(); }
 
   std::string name_;
   DeltaVec output_;

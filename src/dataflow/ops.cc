@@ -37,18 +37,55 @@ void UnionNode::on_input(int port, const DeltaVec& deltas) {
 
 void DistinctNode::on_input(int port, const DeltaVec& deltas) {
   DNA_CHECK(port == 0);
-  emit(apply_to_multiset(state_, deltas));
+  // Inlined apply_to_multiset: sign changes go straight to emit() instead of
+  // through a temporary DeltaVec, keeping the epoch allocation-free.
+  for (const Delta& d : deltas) {
+    if (d.mult == 0) continue;
+    auto [it, inserted] = state_.try_emplace(d.row, 0);
+    const int64_t before = it->second;
+    it->second += d.mult;
+    const int64_t after = it->second;
+    if (after == 0) state_.erase(it);
+    if (before == 0 && after != 0) {
+      emit(d.row, +1);
+    } else if (before != 0 && after == 0) {
+      emit(d.row, -1);
+    }
+  }
 }
 
-void JoinNode::update_side(Side& side, const Row& key, const Row& row,
-                           int64_t mult) {
-  Multiset& rows = side[key];
-  auto [it, inserted] = rows.try_emplace(row, 0);
-  it->second += mult;
-  if (it->second == 0) {
-    rows.erase(it);
-    if (rows.empty()) side.erase(key);
+const SideIndex::Run* SideIndex::find(const Row& row,
+                                      const std::vector<int>& key_columns,
+                                      size_t key_hash) const {
+  auto it = keys_.find_hashed(key_hash, [&](const Row& key) {
+    return equals_projected(row, key_columns, key);
+  });
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+void SideIndex::update(const Row& row, const std::vector<int>& key_columns,
+                       int64_t mult, size_t key_hash) {
+  auto [it, inserted] = keys_.try_emplace_hashed(
+      key_hash,
+      [&](const Row& key) { return equals_projected(row, key_columns, key); },
+      [&] { return project(row, key_columns); });
+  Run& run = it->second;
+  for (Delta& entry : run) {
+    if (entry.row == row) {
+      entry.mult += mult;
+      if (entry.mult == 0) {
+        // Order within a run carries no meaning (every consumer's output is
+        // re-consolidated), so swap-remove keeps the erase O(1).
+        entry = std::move(run.back());
+        run.pop_back();
+        --num_rows_;
+        if (run.empty()) keys_.erase(it);
+      }
+      return;
+    }
   }
+  run.push_back({row, mult});
+  ++num_rows_;
 }
 
 void JoinNode::on_input(int port, const DeltaVec& deltas) {
@@ -56,27 +93,27 @@ void JoinNode::on_input(int port, const DeltaVec& deltas) {
     // dL joined against the right state as of the epoch start (the graph
     // delivers port 0 before port 1, so right_ is still pre-epoch here).
     for (const Delta& d : deltas) {
-      Row key = project(d.row, left_key_);
-      auto it = right_.find(key);
-      if (it != right_.end()) {
-        for (const auto& [rrow, rmult] : it->second) {
-          emit(combine_(d.row, rrow), d.mult * rmult);
+      // Both sides project by the same key values, so one hash serves the
+      // probe of the other side and the update of our own.
+      const size_t h = hash_projected(d.row, left_key_);
+      if (const SideIndex::Run* run = right_.find(d.row, left_key_, h)) {
+        for (const Delta& r : *run) {
+          emit(combine_(d.row, r.row), d.mult * r.mult);
         }
       }
-      update_side(left_, key, d.row, d.mult);
+      left_.update(d.row, left_key_, d.mult, h);
     }
   } else {
     DNA_CHECK(port == 1);
     // dR joined against the updated left state (L_new).
     for (const Delta& d : deltas) {
-      Row key = project(d.row, right_key_);
-      auto it = left_.find(key);
-      if (it != left_.end()) {
-        for (const auto& [lrow, lmult] : it->second) {
-          emit(combine_(lrow, d.row), lmult * d.mult);
+      const size_t h = hash_projected(d.row, right_key_);
+      if (const SideIndex::Run* run = left_.find(d.row, right_key_, h)) {
+        for (const Delta& l : *run) {
+          emit(combine_(l.row, d.row), l.mult * d.mult);
         }
       }
-      update_side(right_, key, d.row, d.mult);
+      right_.update(d.row, right_key_, d.mult, h);
     }
   }
 }
@@ -84,23 +121,25 @@ void JoinNode::on_input(int port, const DeltaVec& deltas) {
 void AntiJoinNode::on_input(int port, const DeltaVec& deltas) {
   if (port == 0) {
     for (const Delta& d : deltas) {
-      Row key = project(d.row, left_key_);
-      // Emit only if the key currently has no right match.
-      auto rit = right_.find(key);
-      if (rit == right_.end() || rit->second == 0) emit(d.row, d.mult);
-      Multiset& rows = left_[key];
-      auto [it, inserted] = rows.try_emplace(d.row, 0);
-      it->second += d.mult;
-      if (it->second == 0) {
-        rows.erase(it);
-        if (rows.empty()) left_.erase(key);
-      }
+      // Emit only if the key currently has no right match. Zero-count right
+      // keys are eagerly erased on port 1, so presence in the map means a
+      // positive count.
+      const size_t h = hash_projected(d.row, left_key_);
+      auto rit = right_.find_hashed(h, [&](const Row& key) {
+        return equals_projected(d.row, left_key_, key);
+      });
+      if (rit == right_.end()) emit(d.row, d.mult);
+      left_.update(d.row, left_key_, d.mult, h);
     }
   } else {
     DNA_CHECK(port == 1);
     for (const Delta& d : deltas) {
-      Row key = project(d.row, right_key_);
-      auto [it, inserted] = right_.try_emplace(key, 0);
+      const size_t h = hash_projected(d.row, right_key_);
+      auto eq = [&](const Row& key) {
+        return equals_projected(d.row, right_key_, key);
+      };
+      auto [it, inserted] = right_.try_emplace_hashed(
+          h, eq, [&] { return project(d.row, right_key_); }, 0);
       const int64_t before = it->second;
       it->second += d.mult;
       const int64_t after = it->second;
@@ -109,11 +148,11 @@ void AntiJoinNode::on_input(int port, const DeltaVec& deltas) {
       const bool was_present = before > 0;
       const bool now_present = after > 0;
       if (was_present == now_present) continue;
-      auto lit = left_.find(key);
-      if (lit == left_.end()) continue;
+      const SideIndex::Run* run = left_.find(d.row, right_key_);
+      if (run == nullptr) continue;
       // Key flipped: retract (or re-emit) every current left row under it.
       const int64_t sign = now_present ? -1 : +1;
-      for (const auto& [lrow, lmult] : lit->second) emit(lrow, sign * lmult);
+      for (const Delta& l : *run) emit(l.row, sign * l.mult);
     }
   }
 }
@@ -121,29 +160,30 @@ void AntiJoinNode::on_input(int port, const DeltaVec& deltas) {
 void ReduceNode::on_input(int port, const DeltaVec& deltas) {
   DNA_CHECK(port == 0);
   // Collect affected groups, apply deltas, then recompute each group once.
-  std::vector<Row> touched;
+  touched_.clear();
   for (const Delta& d : deltas) {
-    Row key = project(d.row, key_);
-    Multiset& group = groups_[key];
-    auto [it, inserted] = group.try_emplace(d.row, 0);
-    if (it->second == 0 && !inserted) {
-      // unreachable: zero entries are erased eagerly
-    }
+    auto [git, inserted] = groups_.try_emplace_hashed(
+        hash_projected(d.row, key_),
+        [&](const Row& key) { return equals_projected(d.row, key_, key); },
+        [&] { return project(d.row, key_); });
+    touched_.push_back(git->first);
+    Multiset& group = git->second;
+    auto [it, fresh] = group.try_emplace(d.row, 0);
     it->second += d.mult;
     DNA_CHECK_MSG(it->second >= 0, "reduce group multiplicity went negative");
     if (it->second == 0) group.erase(it);
-    touched.push_back(std::move(key));
   }
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
 
-  for (const Row& key : touched) {
+  for (const Row& key : touched_) {
     auto git = groups_.find(key);
     std::optional<Row> next;
     if (git != groups_.end() && !git->second.empty()) {
       Row agg = agg_(git->second);
       Row out = key;
-      out.insert(out.end(), agg.begin(), agg.end());
+      out.append(agg.begin(), agg.end());
       next = std::move(out);
     } else if (git != groups_.end()) {
       groups_.erase(git);

@@ -7,10 +7,10 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "dataflow/node.h"
+#include "util/flat_map.h"
 
 namespace dna::dataflow {
 
@@ -76,9 +76,49 @@ class DistinctNode final : public Node {
   void on_input(int port, const DeltaVec& deltas) override;
 
   const Multiset& state() const { return state_; }
+  size_t state_size() const override { return state_.size(); }
 
  private:
   Multiset state_;  // row -> net input multiplicity (> 0)
+};
+
+/// Key-indexed rows for one join input: a flat map from key row to a run of
+/// (row, multiplicity) entries sharing that key. The map stores the key's
+/// hash alongside it, so probes by projected columns (hash_projected /
+/// equals_projected) never materialize a key row; runs are contiguous, so
+/// matching a delta against the other side is a linear scan instead of a
+/// second hash table walk. Runs with small fan-out (the common case for
+/// network relations) stay in one cache line.
+class SideIndex {
+ public:
+  using Run = std::vector<Delta>;  // rows under one key; mults never zero
+
+  /// The run stored under the projection of `row` by `key_columns`, or
+  /// nullptr if the key is absent. `key_hash` must be
+  /// hash_projected(row, key_columns); the overload computes it.
+  const Run* find(const Row& row, const std::vector<int>& key_columns,
+                  size_t key_hash) const;
+  const Run* find(const Row& row, const std::vector<int>& key_columns) const {
+    return find(row, key_columns, hash_projected(row, key_columns));
+  }
+
+  /// Adds `mult` copies of `row` under its projected key, creating the key
+  /// on first use and erasing it again when its run drains empty (long-lived
+  /// sessions must not accumulate dead keys). `key_hash` as in find(): the
+  /// operators probe and update with one hash computation per delta.
+  void update(const Row& row, const std::vector<int>& key_columns,
+              int64_t mult, size_t key_hash);
+  void update(const Row& row, const std::vector<int>& key_columns,
+              int64_t mult) {
+    update(row, key_columns, mult, hash_projected(row, key_columns));
+  }
+
+  size_t num_keys() const { return keys_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  util::FlatMap<Row, Run, RowHash> keys_;
+  size_t num_rows_ = 0;
 };
 
 /// Binary equi-join. Port 0 is the left input, port 1 the right. Keys are
@@ -101,18 +141,16 @@ class JoinNode final : public Node {
 
   void on_input(int port, const DeltaVec& deltas) override;
   int arity() const override { return 2; }
+  size_t state_size() const override {
+    return left_.num_rows() + right_.num_rows();
+  }
 
  private:
-  using Side = std::unordered_map<Row, Multiset, RowHash>;  // key -> rows
-
-  static void update_side(Side& side, const Row& key, const Row& row,
-                          int64_t mult);
-
   std::vector<int> left_key_;
   std::vector<int> right_key_;
   Combine combine_;
-  Side left_;
-  Side right_;
+  SideIndex left_;
+  SideIndex right_;
 };
 
 /// Anti-join (negation): emits left rows whose key has no match on the right.
@@ -127,12 +165,15 @@ class AntiJoinNode final : public Node {
 
   void on_input(int port, const DeltaVec& deltas) override;
   int arity() const override { return 2; }
+  size_t state_size() const override {
+    return left_.num_rows() + right_.size();
+  }
 
  private:
   std::vector<int> left_key_;
   std::vector<int> right_key_;
-  std::unordered_map<Row, Multiset, RowHash> left_;   // key -> rows
-  std::unordered_map<Row, int64_t, RowHash> right_;   // key -> net count
+  SideIndex left_;                                  // key -> left rows
+  util::FlatMap<Row, int64_t, RowHash> right_;      // key -> net count
 };
 
 /// Group-and-aggregate. Groups input rows by a key projection and emits one
@@ -149,12 +190,16 @@ class ReduceNode final : public Node {
       : Node(std::move(name)), key_(std::move(key)), agg_(std::move(agg)) {}
 
   void on_input(int port, const DeltaVec& deltas) override;
+  size_t state_size() const override {
+    return groups_.size() + last_output_.size();
+  }
 
  private:
   std::vector<int> key_;
   Aggregate agg_;
-  std::unordered_map<Row, Multiset, RowHash> groups_;   // key -> rows
-  std::unordered_map<Row, Row, RowHash> last_output_;   // key -> agg row
+  util::FlatMap<Row, Multiset, RowHash> groups_;      // key -> rows
+  util::FlatMap<Row, Row, RowHash> last_output_;      // key -> agg row
+  std::vector<Row> touched_;                          // epoch scratch
 };
 
 /// Common aggregates for ReduceNode.
@@ -172,6 +217,7 @@ class OutputNode final : public Node {
 
   /// The full collection as of the last completed epoch.
   const Multiset& state() const { return state_; }
+  size_t state_size() const override { return state_.size(); }
 
   /// Deltas applied during the last epoch (consolidated); reset by the
   /// graph at the start of every step().

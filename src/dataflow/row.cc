@@ -2,24 +2,82 @@
 
 namespace dna::dataflow {
 
-DeltaVec consolidate(const DeltaVec& deltas) {
-  Multiset sums;
-  for (const Delta& d : deltas) {
-    if (d.mult == 0) continue;
-    auto [it, inserted] = sums.try_emplace(d.row, d.mult);
-    if (!inserted) {
-      it->second += d.mult;
-      if (it->second == 0) sums.erase(it);
-    }
+void consolidate_in_place(DeltaVec& deltas) {
+  const size_t n = deltas.size();
+  if (n == 0) return;
+  if (n == 1) {
+    if (deltas[0].mult == 0) deltas.clear();
+    return;
   }
-  DeltaVec out;
-  out.reserve(sums.size());
-  for (auto& [row, mult] : sums) out.push_back({row, mult});
+
+  // Sort-based consolidation, but over lightweight (hash, index) pairs so
+  // the sort never moves a 50-byte Delta — equal rows have equal hashes and
+  // end up adjacent, then each hash run is merged with at most a handful of
+  // row comparisons. No temporary hash map, no per-delta allocation: both
+  // scratch buffers are thread-local and keep their capacity across epochs.
+  static thread_local std::vector<std::pair<uint64_t, uint32_t>> order;
+  static thread_local DeltaVec merged;
+  // Bound the high-water mark: a one-off bulk epoch (initial snapshot load)
+  // must not pin megabytes on every pool thread forever. Capacity under the
+  // threshold is never released, so steady-state epochs stay allocation-free.
+  constexpr size_t kShrinkThreshold = 1 << 16;
+  order.clear();
+  merged.clear();
+  if (order.capacity() > kShrinkThreshold && n < order.capacity() / 8) {
+    order.shrink_to_fit();
+    merged.shrink_to_fit();
+  }
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    order.push_back({RowHash{}(deltas[i].row), static_cast<uint32_t>(i)});
+  }
+  // Sorting by (hash, index) keeps the result canonical: any batch
+  // describing the same multiset consolidates to the same row order
+  // (modulo 64-bit hash collisions, where first-encounter order decides).
+  std::sort(order.begin(), order.end());
+
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && order[j].first == order[i].first) ++j;
+    // order[i..j): one hash run — almost always a single distinct row.
+    const size_t group_start = merged.size();
+    for (size_t k = i; k < j; ++k) {
+      Delta& d = deltas[order[k].second];
+      bool folded = false;
+      for (size_t g = group_start; g < merged.size(); ++g) {
+        if (merged[g].row == d.row) {
+          merged[g].mult += d.mult;
+          folded = true;
+          break;
+        }
+      }
+      if (!folded && d.mult != 0) merged.push_back(std::move(d));
+    }
+    // Drop groups that cancelled to zero (swap-remove stays within the run).
+    size_t g = group_start;
+    while (g < merged.size()) {
+      if (merged[g].mult == 0) {
+        merged[g] = std::move(merged.back());
+        merged.pop_back();
+      } else {
+        ++g;
+      }
+    }
+    i = j;
+  }
+  std::swap(deltas, merged);
+}
+
+DeltaVec consolidate(const DeltaVec& deltas) {
+  DeltaVec out = deltas;
+  consolidate_in_place(out);
   return out;
 }
 
 DeltaVec apply_to_multiset(Multiset& state, const DeltaVec& deltas) {
   DeltaVec sign_changes;
+  sign_changes.reserve(deltas.size());
   for (const Delta& d : deltas) {
     if (d.mult == 0) continue;
     auto [it, inserted] = state.try_emplace(d.row, 0);

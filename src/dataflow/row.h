@@ -4,18 +4,189 @@
 // symbols by callers (see util/interner.h) so rows stay flat and hashing is
 // cheap. A Delta pairs a row with a signed multiplicity: +k inserts, -k
 // retracts. Collections are multisets represented as consolidated deltas.
+//
+// Rows up to arity 4 live entirely inline in SmallRow (no heap traffic per
+// delta); wider rows spill to a heap buffer. The network relations this
+// engine hosts (edges, reachability triples, aggregates) are arity 2-3, so
+// the spill path is the exception, not the rule.
 #pragma once
 
+#include <algorithm>
+#include <compare>
 #include <cstdint>
-#include <unordered_map>
+#include <cstring>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/hash.h"
 
 namespace dna::dataflow {
 
 using Value = int64_t;
-using Row = std::vector<Value>;
+
+/// A tuple of Values with inline storage for arity <= kInlineCapacity.
+/// API-compatible with the std::vector<Value> it replaced for everything the
+/// engine and the datalog layer do: push_back/reserve/indexing/iteration,
+/// lexicographic ordering, equality.
+class SmallRow {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  SmallRow() noexcept : size_(0), heap_cap_(0) {}
+
+  SmallRow(std::initializer_list<Value> values) : SmallRow() {
+    assign(values.begin(), values.size());
+  }
+
+  /// Implicit bridge from vector-shaped callers (row builders, test data).
+  SmallRow(const std::vector<Value>& values) : SmallRow() {
+    assign(values.data(), values.size());
+  }
+
+  SmallRow(const SmallRow& other) : SmallRow() {
+    assign(other.data(), other.size_);
+  }
+
+  SmallRow(SmallRow&& other) noexcept : size_(other.size_),
+                                        heap_cap_(other.heap_cap_) {
+    if (heap_cap_ != 0) {
+      heap_ = other.heap_;
+    } else {
+      std::copy(other.inline_, other.inline_ + size_, inline_);
+    }
+    other.size_ = 0;
+    other.heap_cap_ = 0;
+  }
+
+  SmallRow& operator=(const SmallRow& other) {
+    if (this != &other) {
+      size_ = 0;  // contents are dead; reuse whatever storage we hold
+      if (other.size_ > capacity()) grow(other.size_);
+      std::copy(other.data(), other.data() + other.size_, data());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  SmallRow& operator=(SmallRow&& other) noexcept {
+    if (this != &other) {
+      release();
+      size_ = other.size_;
+      heap_cap_ = other.heap_cap_;
+      if (heap_cap_ != 0) {
+        heap_ = other.heap_;
+      } else {
+        std::copy(other.inline_, other.inline_ + size_, inline_);
+      }
+      other.size_ = 0;
+      other.heap_cap_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallRow() { release(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const {
+    return heap_cap_ != 0 ? heap_cap_ : kInlineCapacity;
+  }
+  bool is_inline() const { return heap_cap_ == 0; }
+
+  Value* data() { return heap_cap_ != 0 ? heap_ : inline_; }
+  const Value* data() const { return heap_cap_ != 0 ? heap_ : inline_; }
+
+  Value& operator[](size_t i) { return data()[i]; }
+  Value operator[](size_t i) const { return data()[i]; }
+  Value& front() { return data()[0]; }
+  Value front() const { return data()[0]; }
+  Value& back() { return data()[size_ - 1]; }
+  Value back() const { return data()[size_ - 1]; }
+
+  Value* begin() { return data(); }
+  Value* end() { return data() + size_; }
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity()) grow(n);
+  }
+
+  void push_back(Value v) {
+    if (size_ == capacity()) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Value-initializes (zero) any newly exposed elements, like std::vector.
+  void resize(size_t n) {
+    if (n > capacity()) grow(n);
+    if (n > size_) std::fill(data() + size_, data() + n, Value{0});
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  template <class It>
+  void append(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  /// std::vector-compatible tail insert. Only end() is supported; inserting
+  /// mid-row would silently reorder columns, so it is checked.
+  template <class It>
+  void insert(const Value* pos, It first, It last) {
+    DNA_CHECK_MSG(pos == end(), "SmallRow::insert supports only end()");
+    append(first, last);
+  }
+
+  friend bool operator==(const SmallRow& a, const SmallRow& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(Value)) == 0;
+  }
+
+  friend std::strong_ordering operator<=>(const SmallRow& a,
+                                          const SmallRow& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+
+ private:
+  void assign(const Value* src, size_t n) {
+    if (n > capacity()) grow(n);
+    std::copy(src, src + n, data());
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  void grow(size_t needed) {
+    size_t new_cap = capacity() * 2;
+    if (new_cap < needed) new_cap = needed;
+    Value* buf = new Value[new_cap];
+    std::copy(data(), data() + size_, buf);
+    release();
+    heap_ = buf;
+    heap_cap_ = static_cast<uint32_t>(new_cap);
+  }
+
+  void release() {
+    if (heap_cap_ != 0) {
+      delete[] heap_;
+      heap_cap_ = 0;
+    }
+  }
+
+  uint32_t size_;
+  uint32_t heap_cap_;  // 0 => inline storage in use
+  union {
+    Value inline_[kInlineCapacity];
+    Value* heap_;
+  };
+};
+
+using Row = SmallRow;
 
 struct RowHash {
   size_t operator()(const Row& row) const noexcept {
@@ -24,6 +195,26 @@ struct RowHash {
     return h;
   }
 };
+
+/// Hash of `project(row, columns)` computed in place — identical to
+/// RowHash{}(project(row, columns)) without materializing the key row.
+inline size_t hash_projected(const Row& row, const std::vector<int>& columns) {
+  size_t h = hash_u64(columns.size());
+  for (int c : columns) {
+    h = hash_combine(h, hash_u64(static_cast<uint64_t>(row[static_cast<size_t>(c)])));
+  }
+  return h;
+}
+
+/// True iff project(row, columns) == key, compared in place.
+inline bool equals_projected(const Row& row, const std::vector<int>& columns,
+                             const Row& key) {
+  if (key.size() != columns.size()) return false;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (row[static_cast<size_t>(columns[i])] != key[i]) return false;
+  }
+  return true;
+}
 
 /// A signed change to a multiset: `mult > 0` inserts copies, `< 0` retracts.
 struct Delta {
@@ -36,9 +227,18 @@ struct Delta {
 using DeltaVec = std::vector<Delta>;
 
 /// A consolidated multiset: row -> multiplicity (never zero).
-using Multiset = std::unordered_map<Row, int64_t, RowHash>;
+using Multiset = util::FlatMap<Row, int64_t, RowHash>;
 
-/// Sums multiplicities per row and drops rows whose net multiplicity is zero.
+/// Sums multiplicities per row in place and drops rows whose net
+/// multiplicity is zero. Orders the result by row hash, so it is canonical:
+/// any two delta batches describing the same change consolidate to the same
+/// sequence (modulo 64-bit hash collisions). Allocation-free in steady
+/// state: scratch is thread-local and rows with arity <= 4 never touch the
+/// heap.
+void consolidate_in_place(DeltaVec& deltas);
+
+/// Copying wrapper around consolidate_in_place for callers that need to keep
+/// the input batch.
 DeltaVec consolidate(const DeltaVec& deltas);
 
 /// Applies `deltas` to `state`, erasing entries that reach zero.

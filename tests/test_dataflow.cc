@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "dataflow/graph.h"
 #include "util/rng.h"
@@ -18,6 +20,65 @@ Multiset to_multiset(const DeltaVec& deltas) {
     if (m[d.row] == 0) m.erase(d.row);
   }
   return m;
+}
+
+TEST(SmallRow, InlineAndSpilledStorage) {
+  Row inline_row{1, 2, 3, 4};
+  EXPECT_TRUE(inline_row.is_inline());
+  EXPECT_EQ(inline_row.size(), 4u);
+
+  Row spilled{1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(spilled.is_inline());
+  EXPECT_EQ(spilled.size(), 6u);
+  EXPECT_EQ(spilled[5], 6);
+
+  // push_back across the spill boundary preserves contents.
+  Row grown;
+  for (int64_t i = 0; i < 10; ++i) {
+    grown.push_back(i);
+    EXPECT_EQ(grown.back(), i);
+  }
+  EXPECT_FALSE(grown.is_inline());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(grown[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallRow, CopyMoveAndCompareMatchVectorSemantics) {
+  Row a{5, 6, 7};
+  Row b = a;  // copy
+  EXPECT_EQ(a, b);
+  Row c = std::move(b);
+  EXPECT_EQ(a, c);
+
+  // Lexicographic ordering, shorter prefix first — like std::vector.
+  EXPECT_LT((Row{1, 2}), (Row{1, 3}));
+  EXPECT_LT((Row{1, 2}), (Row{1, 2, 0}));
+  EXPECT_LT((Row{}), (Row{0}));
+  EXPECT_LT((Row{-1}), (Row{0}));
+
+  // Spilled vs inline rows with equal contents compare equal and hash equal.
+  Row wide_a{1, 2, 3, 4, 5};
+  Row wide_b;
+  wide_b.reserve(32);
+  for (int64_t v : {1, 2, 3, 4, 5}) wide_b.push_back(v);
+  EXPECT_EQ(wide_a, wide_b);
+  EXPECT_EQ(RowHash{}(wide_a), RowHash{}(wide_b));
+
+  // Assignment into a spilled row from an inline one and back.
+  wide_a = a;
+  EXPECT_EQ(wide_a, a);
+  a = Row{9, 9, 9, 9, 9, 9, 9};
+  EXPECT_EQ(a.size(), 7u);
+}
+
+TEST(SmallRow, ProjectedHashAndEqualityMatchMaterializedKey) {
+  Row row{10, 20, 30, 40, 50};
+  std::vector<int> cols{3, 1};
+  Row key = project(row, cols);
+  EXPECT_EQ(key, (Row{40, 20}));
+  EXPECT_EQ(hash_projected(row, cols), RowHash{}(key));
+  EXPECT_TRUE(equals_projected(row, cols, key));
+  EXPECT_FALSE(equals_projected(row, cols, Row{40, 21}));
+  EXPECT_FALSE(equals_projected(row, cols, Row{40}));
 }
 
 TEST(Row, ConsolidateSumsAndDropsZeros) {
@@ -241,6 +302,211 @@ TEST(GraphProperty, PipelineMatchesRecomputeUnderChurn) {
 
     ASSERT_EQ(g.output(out).state(), ref.expected_counts())
         << "diverged at step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Old-vs-new equivalence: the flat representation must consolidate random
+// delta batches to exactly the multiset the seed's std::unordered_map-based
+// consolidate produced, for inline-arity rows and spilled rows alike.
+// ---------------------------------------------------------------------------
+
+using LegacyRow = std::vector<int64_t>;
+
+struct LegacyRowHash {
+  size_t operator()(const LegacyRow& row) const noexcept {
+    size_t h = hash_u64(row.size());
+    for (int64_t v : row) {
+      h = hash_combine(h, hash_u64(static_cast<uint64_t>(v)));
+    }
+    return h;
+  }
+};
+
+// The pre-change consolidate, verbatim modulo types.
+std::unordered_map<LegacyRow, int64_t, LegacyRowHash> legacy_consolidate(
+    const std::vector<std::pair<LegacyRow, int64_t>>& deltas) {
+  std::unordered_map<LegacyRow, int64_t, LegacyRowHash> sums;
+  for (const auto& [row, mult] : deltas) {
+    if (mult == 0) continue;
+    auto [it, inserted] = sums.try_emplace(row, mult);
+    if (!inserted) {
+      it->second += mult;
+      if (it->second == 0) sums.erase(it);
+    }
+  }
+  return sums;
+}
+
+TEST(RowProperty, ConsolidateMatchesLegacyRepresentation) {
+  Rng rng(0xC0DE);
+  for (int round = 0; round < 50; ++round) {
+    // Mixed batch: arities 1..7 (spill boundary is 4), small value range so
+    // rows repeat and multiplicities cancel.
+    const size_t arity = 1 + rng.below(7);
+    DeltaVec batch;
+    std::vector<std::pair<LegacyRow, int64_t>> legacy_batch;
+    const size_t n = 1 + rng.below(200);
+    for (size_t i = 0; i < n; ++i) {
+      LegacyRow legacy_row;
+      Row row;
+      for (size_t c = 0; c < arity; ++c) {
+        const int64_t v = static_cast<int64_t>(rng.below(4));
+        legacy_row.push_back(v);
+        row.push_back(v);
+      }
+      const int64_t mult = rng.chance(0.5) ? +1 : -1;
+      batch.push_back({std::move(row), mult});
+      legacy_batch.push_back({std::move(legacy_row), mult});
+    }
+
+    auto legacy = legacy_consolidate(legacy_batch);
+    DeltaVec flat = consolidate(batch);
+
+    ASSERT_EQ(flat.size(), legacy.size()) << "round " << round;
+    for (const Delta& d : flat) {
+      LegacyRow as_legacy(d.row.begin(), d.row.end());
+      auto it = legacy.find(as_legacy);
+      ASSERT_NE(it, legacy.end()) << "round " << round;
+      EXPECT_EQ(it->second, d.mult) << "round " << round;
+    }
+    // Canonical: a reshuffled batch consolidates to the identical sequence.
+    DeltaVec shuffled = batch;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    DeltaVec flat2 = consolidate(shuffled);
+    ASSERT_EQ(flat.size(), flat2.size()) << "round " << round;
+    for (size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_TRUE(flat[i] == flat2[i]) << "round " << round << " pos " << i;
+    }
+  }
+}
+
+// The full pipeline property again, but with rows wide enough to spill to
+// heap storage — the join carries arity-6 rows, the reduce emits arity 5.
+TEST(GraphProperty, SpilledRowsPipelineMatchesRecomputeUnderChurn) {
+  Graph g;
+  auto edges = g.add_input("edges");    // (k, a, b, c, d) — arity 5, spilled
+  auto labels = g.add_input("labels");  // (k, l)
+  auto joined = g.add_join(
+      "join", edges, {0}, labels, {0}, [](const Row& e, const Row& l) {
+        return Row{e[1], e[2], e[3], e[4], l[1], e[1] + l[1]};  // arity 6
+      });
+  auto dis = g.add_distinct("distinct", joined);
+  auto counts = g.add_reduce("count", dis, {0, 1, 2, 3}, agg_count());
+  auto out = g.add_output("out", counts);
+
+  std::map<Row, int64_t> ref_edges, ref_labels;
+  auto expected = [&]() {
+    std::map<Row, int64_t> distinct;
+    for (const auto& [e, em] : ref_edges) {
+      for (const auto& [l, lm] : ref_labels) {
+        if (e[0] == l[0] && em > 0 && lm > 0) {
+          distinct[{e[1], e[2], e[3], e[4], l[1], e[1] + l[1]}] = 1;
+        }
+      }
+    }
+    std::map<Row, int64_t> counts_by_key;
+    for (const auto& [row, one] : distinct) {
+      (void)one;
+      counts_by_key[{row[0], row[1], row[2], row[3]}] += 1;
+    }
+    Multiset want;
+    for (const auto& [key, c] : counts_by_key) {
+      Row r = key;
+      r.push_back(c);
+      want[r] = 1;
+    }
+    return want;
+  };
+
+  Rng rng(0x51DE);
+  for (int step = 0; step < 200; ++step) {
+    const bool is_edge = rng.chance(0.5);
+    Row row;
+    if (is_edge) {
+      row = Row{static_cast<int64_t>(rng.below(4)),
+                static_cast<int64_t>(rng.below(3)),
+                static_cast<int64_t>(rng.below(3)),
+                static_cast<int64_t>(rng.below(2)),
+                static_cast<int64_t>(rng.below(2))};
+    } else {
+      row = Row{static_cast<int64_t>(rng.below(4)),
+                static_cast<int64_t>(rng.below(3))};
+    }
+    auto& side = is_edge ? ref_edges : ref_labels;
+    std::map<Row, int64_t>::iterator sit = side.find(row);
+    int64_t mult = (sit != side.end() && rng.chance(0.4)) ? -1 : +1;
+    side[row] += mult;
+    if (side[row] == 0) side.erase(row);
+    g.push(is_edge ? edges : labels, {{row, mult}});
+    g.step();
+
+    ASSERT_EQ(g.output(out).state(), expected()) << "diverged at step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: operator state must drain back to baseline under
+// insert+retract churn — a long-lived service session must not accumulate
+// dead keys in join sides, reduce groups, or distinct counts.
+// ---------------------------------------------------------------------------
+
+TEST(GraphState, DrainsToBaselineUnderChurn) {
+  Graph g;
+  auto left = g.add_input("left");
+  auto right = g.add_input("right");
+  auto joined = g.add_join(
+      "join", left, {0}, right, {0},
+      [](const Row& l, const Row& r) { return Row{l[0], l[1], r[1]}; });
+  auto dis = g.add_distinct("distinct", joined);
+  auto sums = g.add_reduce("sum", dis, {0}, agg_sum(2));
+  auto anti = g.add_antijoin("anti", joined, {0}, right, {0});
+  auto out = g.add_output("out", sums);
+  auto out2 = g.add_output("out2", anti);
+
+  // Baseline: a little resident state.
+  g.push(left, {{{1, 10}, +1}});
+  g.push(right, {{{1, 20}, +1}});
+  g.step();
+  const size_t base_join = g.state_size(joined);
+  const size_t base_dis = g.state_size(dis);
+  const size_t base_sum = g.state_size(sums);
+  const size_t base_anti = g.state_size(anti);
+  const size_t base_out = g.state_size(out);
+  const size_t base_out2 = g.state_size(out2);
+  EXPECT_GT(base_join, 0u);
+
+  // Churn: insert a batch of fresh keys and rows, then retract them all.
+  Rng rng(0xD2A1);
+  for (int round = 0; round < 5; ++round) {
+    DeltaVec added_left, added_right;
+    for (int i = 0; i < 200; ++i) {
+      const int64_t k = 100 + static_cast<int64_t>(rng.below(50));
+      if (rng.chance(0.5)) {
+        added_left.push_back({{k, static_cast<int64_t>(rng.below(8))}, +1});
+      } else {
+        added_right.push_back({{k, static_cast<int64_t>(rng.below(8))}, +1});
+      }
+    }
+    DeltaVec retract_left = added_left, retract_right = added_right;
+    for (Delta& d : retract_left) d.mult = -1;
+    for (Delta& d : retract_right) d.mult = -1;
+
+    g.push(left, added_left);
+    g.push(right, added_right);
+    g.step();
+    g.push(left, retract_left);
+    g.push(right, retract_right);
+    g.step();
+
+    ASSERT_EQ(g.state_size(joined), base_join) << "round " << round;
+    ASSERT_EQ(g.state_size(dis), base_dis) << "round " << round;
+    ASSERT_EQ(g.state_size(sums), base_sum) << "round " << round;
+    ASSERT_EQ(g.state_size(anti), base_anti) << "round " << round;
+    ASSERT_EQ(g.state_size(out), base_out) << "round " << round;
+    ASSERT_EQ(g.state_size(out2), base_out2) << "round " << round;
   }
 }
 

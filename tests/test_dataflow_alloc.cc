@@ -1,0 +1,111 @@
+// Allocation discipline of the dataflow hot path: once warm, an epoch moving
+// inline-arity (<= 4 column) rows through a map -> filter -> join chain must
+// perform ZERO heap allocations — delta buffers, operator state, and output
+// records are all recycled.
+//
+// This file instruments global operator new/delete; it must stay its own
+// test binary so the counters see only this test's activity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "dataflow/graph.h"
+
+namespace {
+
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void* count_and_alloc(size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return count_and_alloc(size); }
+void* operator new[](size_t size) { return count_and_alloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dna::dataflow {
+namespace {
+
+TEST(DataflowAlloc, SteadyStateEpochsAreAllocationFree) {
+  Graph g;
+  auto left = g.add_input("left");
+  auto right = g.add_input("right");
+  auto mapped = g.add_map(
+      "map", left, [](const Row& r) { return Row{r[0], r[1] + 1}; });
+  auto filtered =
+      g.add_filter("filter", mapped, [](const Row& r) { return r[0] >= 0; });
+  auto joined = g.add_join(
+      "join", filtered, {0}, right, {0},
+      [](const Row& l, const Row& r) { return Row{l[0], l[1], r[1]}; });
+  auto out = g.add_output("out", joined);
+  (void)out;
+
+  // Resident state: 8 keys with one row per side, so churn below reuses
+  // existing runs instead of creating and destroying keys.
+  DeltaVec batch;
+  for (int64_t k = 0; k < 8; ++k) {
+    batch.push_back({{k, 100 + k}, +1});
+  }
+  g.push(right, batch);
+  batch.clear();
+  for (int64_t k = 0; k < 8; ++k) {
+    batch.push_back({{k, 500}, +1});
+  }
+  g.push(left, batch);
+  g.step();
+
+  // Warm-up churn: lets every buffer (pending queues, emit vectors, join
+  // runs, output records) reach its steady-state capacity.
+  auto churn_epoch = [&](int64_t k, int64_t mult) {
+    batch.clear();
+    batch.push_back({{k, 900 + k}, mult});
+    g.push(left, batch);
+    g.step();
+  };
+  for (int round = 0; round < 4; ++round) {
+    for (int64_t k = 0; k < 8; ++k) {
+      churn_epoch(k, +1);
+      churn_epoch(k, -1);
+    }
+  }
+
+  // Measured run: identical churn, now counted.
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int round = 0; round < 4; ++round) {
+    for (int64_t k = 0; k < 8; ++k) {
+      churn_epoch(k, +1);
+      churn_epoch(k, -1);
+    }
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "the warm map->filter->join hot path must not touch the allocator";
+}
+
+}  // namespace
+}  // namespace dna::dataflow

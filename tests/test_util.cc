@@ -1,7 +1,11 @@
 // Unit tests for the foundation utilities.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <unordered_map>
+
 #include "util/bitset.h"
+#include "util/flat_map.h"
 #include "util/interner.h"
 #include "util/ip.h"
 #include "util/rng.h"
@@ -189,6 +193,132 @@ TEST(Bitset, EqualityAndHash) {
   EXPECT_EQ(a.hash(), b.hash());
   b.set(4);
   EXPECT_NE(a, b);
+}
+
+TEST(FlatMap, InsertFindEraseBasics) {
+  util::FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+
+  m[1] = "one";
+  auto [it, inserted] = m.try_emplace(2, "two");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, "two");
+  auto [it2, inserted2] = m.try_emplace(2, "TWO");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "two");
+
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), "one");
+  EXPECT_EQ(m.count(3), 0u);
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.erase(1), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(2));
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  util::FlatMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m[i] = i * 10;
+  size_t seen = 0;
+  int64_t sum = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(v, k * 10);
+    ++seen;
+    sum += k;
+  }
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+// All keys collide into the same probe chain: exercises robin-hood
+// displacement on insert and backward-shift on erase.
+struct ConstantHash {
+  size_t operator()(int) const { return 42; }
+};
+
+TEST(FlatMap, SurvivesForcedHashCollisions) {
+  util::FlatMap<int, int, ConstantHash> m;
+  for (int i = 0; i < 12; ++i) m[i] = i;
+  EXPECT_EQ(m.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(m.at(i), i);
+
+  // Erase from the middle of the chain; the tail must shift back.
+  for (int i = 3; i < 9; ++i) EXPECT_EQ(m.erase(i), 1u);
+  EXPECT_EQ(m.size(), 6u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(m.at(i), i);
+  for (int i = 9; i < 12; ++i) EXPECT_EQ(m.at(i), i);
+  for (int i = 3; i < 9; ++i) EXPECT_EQ(m.find(i), m.end());
+
+  // Reinsert into the holes.
+  for (int i = 3; i < 9; ++i) m[i] = 100 + i;
+  for (int i = 3; i < 9; ++i) EXPECT_EQ(m.at(i), 100 + i);
+  EXPECT_EQ(m.size(), 12u);
+}
+
+TEST(FlatMap, HashedProbesMatchPlainOnes) {
+  util::FlatMap<int, int> m;
+  m[7] = 70;
+  const size_t h = std::hash<int>{}(7);
+  auto it = m.find_hashed(h, [](int k) { return k == 7; });
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->second, 70);
+
+  auto [it2, inserted] = m.try_emplace_hashed(
+      std::hash<int>{}(8), [](int k) { return k == 8; }, [] { return 8; }, 80);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(m.at(8), 80);
+  EXPECT_EQ(m.erase_hashed(h, [](int k) { return k == 7; }), 1u);
+  EXPECT_EQ(m.find(7), m.end());
+}
+
+TEST(FlatMap, EqualityIsOrderIndependent) {
+  util::FlatMap<int, int> a, b;
+  for (int i = 0; i < 50; ++i) a[i] = i;
+  for (int i = 49; i >= 0; --i) b[i] = i;
+  EXPECT_EQ(a, b);
+  b[50] = 50;
+  EXPECT_NE(a, b);
+  b.erase(50);
+  EXPECT_EQ(a, b);
+  b[0] = 999;
+  EXPECT_NE(a, b);
+}
+
+// Randomized churn against std::unordered_map as the oracle, with a weak
+// hash so probe chains overlap constantly.
+struct LowBitsHash {
+  size_t operator()(int k) const { return static_cast<size_t>(k) & 3; }
+};
+
+TEST(FlatMapProperty, ChurnMatchesUnorderedMap) {
+  util::FlatMap<int, int, LowBitsHash> flat;
+  std::unordered_map<int, int> ref;
+  Rng rng(0xF1A7);
+  for (int step = 0; step < 20000; ++step) {
+    const int key = static_cast<int>(rng.below(200));
+    const int op = static_cast<int>(rng.below(3));
+    if (op == 0) {
+      flat[key] = step;
+      ref[key] = step;
+    } else if (op == 1) {
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    } else {
+      auto fit = flat.find(key);
+      auto rit = ref.find(key);
+      ASSERT_EQ(fit == flat.end(), rit == ref.end());
+      if (rit != ref.end()) EXPECT_EQ(fit->second, rit->second);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full sweep at the end: identical contents.
+  for (const auto& [k, v] : ref) EXPECT_EQ(flat.at(k), v);
+  size_t n = 0;
+  for (const auto& kv : flat) {
+    EXPECT_EQ(ref.at(kv.first), kv.second);
+    ++n;
+  }
+  EXPECT_EQ(n, ref.size());
 }
 
 }  // namespace
