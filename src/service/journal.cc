@@ -1,0 +1,342 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "topo/textio.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::service {
+
+namespace {
+
+constexpr char kSegmentMagic[] = "DNAJSEG1";
+constexpr size_t kMagicSize = 8;
+constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
+/// Ceiling on a single record (a snapshot of a very large model); a length
+/// field beyond this is treated as corruption, not an allocation request.
+constexpr size_t kMaxRecordPayload = size_t{1} << 28;  // 256 MiB
+
+void put_u32(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t get_u32(const char* bytes) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[3])) << 24;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read journal segment " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Strict u64 parse for record headers (parse_int caps at long long).
+uint64_t parse_u64(const std::string& text) {
+  if (text.empty()) throw Error("bad journal number: " + text);
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw Error("bad journal number: " + text);
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw Error("bad journal number: " + text);
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+// ---- payload / frame codecs ------------------------------------------------
+
+std::string encode_commit_record(uint64_t version,
+                                 const std::string& change_text) {
+  if (change_text.find('\n') != std::string::npos) {
+    throw Error("change text must be a single line");
+  }
+  std::string payload = "commit " + std::to_string(version);
+  payload += '\n';
+  payload += change_text;
+  return payload;
+}
+
+std::string encode_snapshot_record(uint64_t version,
+                                   const topo::Snapshot& snapshot) {
+  const topo::SnapshotText text = topo::print_snapshot(snapshot);
+  std::string payload = "snapshot " + std::to_string(version) + " " +
+                        std::to_string(text.topology.size());
+  payload += '\n';
+  payload += text.topology;
+  payload += text.configs;
+  return payload;
+}
+
+JournalRecord decode_record(const std::string& payload) {
+  const size_t newline = payload.find('\n');
+  if (newline == std::string::npos) throw Error("journal record: no header");
+  const std::vector<std::string> tokens =
+      split_ws(payload.substr(0, newline));
+  JournalRecord record;
+  if (tokens.size() == 2 && tokens[0] == "commit") {
+    record.kind = JournalRecord::Kind::kCommit;
+    record.version = parse_u64(tokens[1]);
+    record.change_text = payload.substr(newline + 1);
+    return record;
+  }
+  if (tokens.size() == 3 && tokens[0] == "snapshot") {
+    record.kind = JournalRecord::Kind::kSnapshot;
+    record.version = parse_u64(tokens[1]);
+    const uint64_t topology_len = parse_u64(tokens[2]);
+    const std::string body = payload.substr(newline + 1);
+    if (topology_len > body.size()) {
+      throw Error("journal snapshot record: bad topology length");
+    }
+    record.snapshot = topo::load_snapshot(body.substr(0, topology_len),
+                                          body.substr(topology_len));
+    return record;
+  }
+  throw Error("journal record: unknown header");
+}
+
+std::string encode_record_frame(std::string_view payload) {
+  DNA_CHECK_MSG(payload.size() <= kMaxRecordPayload,
+                "journal record too large");
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  put_u32(frame, static_cast<uint32_t>(payload.size()));
+  put_u32(frame, util::crc32(payload));
+  frame += payload;
+  return frame;
+}
+
+// ---- Journal ---------------------------------------------------------------
+
+Journal::Journal(std::string dir, FsyncPolicy fsync_policy)
+    : dir_(std::move(dir)), fsync_(fsync_policy) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw_errno("cannot create journal directory " + dir_);
+  }
+  scan();
+  open_tail_for_append();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Journal::segment_path(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "journal-%08llu.dnaj",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + name;
+}
+
+void Journal::scan() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!starts_with(name, "journal-") || !name.ends_with(".dnaj")) continue;
+    const long long seq = parse_int(name.substr(8, name.size() - 8 - 5));
+    if (seq <= 0) continue;
+    segments_.push_back(static_cast<uint64_t>(seq));
+  }
+  if (ec) throw Error("cannot list journal directory " + dir_);
+  std::sort(segments_.begin(), segments_.end());
+
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const bool last = i + 1 == segments_.size();
+    const std::string path = segment_path(segments_[i]);
+    const std::string bytes = read_whole_file(path);
+    const size_t valid = scan_segment(path, bytes, last);
+    if (last) tail_valid_bytes_ = valid;
+  }
+}
+
+size_t Journal::scan_segment(const std::string& path,
+                             const std::string& bytes, bool last) {
+  // Reject (or, for the tail, truncate away) everything after the first
+  // byte that fails validation: appends are strictly sequential, so a
+  // record can only be damaged by the crash that cut the file short —
+  // nothing after it was ever acknowledged.
+  auto bad = [&](size_t valid_prefix, const char* why) -> size_t {
+    if (!last) {
+      throw Error("journal corrupted (" + std::string(why) + ") in " + path +
+                  " with later segments present");
+    }
+    torn_tail_ = true;
+    (void)why;
+    return valid_prefix;
+  };
+
+  if (bytes.size() < kMagicSize ||
+      std::memcmp(bytes.data(), kSegmentMagic, kMagicSize) != 0) {
+    // A short or half-written header: nothing in this segment is usable.
+    // (A full header with *wrong* bytes in a non-tail segment throws.)
+    return bad(0, "bad segment header");
+  }
+
+  size_t offset = kMagicSize;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kFrameHeader) {
+      return bad(offset, "partial record header");
+    }
+    const size_t length = get_u32(bytes.data() + offset);
+    const uint32_t expected_crc = get_u32(bytes.data() + offset + 4);
+    if (length > kMaxRecordPayload) {
+      return bad(offset, "implausible record length");
+    }
+    if (bytes.size() - offset - kFrameHeader < length) {
+      return bad(offset, "partial record payload");
+    }
+    const std::string payload =
+        bytes.substr(offset + kFrameHeader, length);
+    if (util::crc32(payload) != expected_crc) {
+      return bad(offset, "checksum mismatch");
+    }
+    JournalRecord record;
+    try {
+      record = decode_record(payload);
+    } catch (const std::exception&) {
+      return bad(offset, "undecodable record");
+    }
+    if (record.kind == JournalRecord::Kind::kSnapshot) {
+      // A compaction head: everything before it is superseded history.
+      recovered_.clear();
+    }
+    recovered_.push_back(std::move(record));
+    offset += kFrameHeader + length;
+  }
+  return offset;
+}
+
+void Journal::open_tail_for_append() {
+  if (segments_.empty()) {
+    const uint64_t seq = 1;
+    const std::string path = segment_path(seq);
+    fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd_ < 0) throw_errno("cannot create journal segment " + path);
+    append_frame(std::string_view(kSegmentMagic, kMagicSize));
+    sync_dir();
+    segments_.push_back(seq);
+    return;
+  }
+  const std::string path = segment_path(segments_.back());
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) throw_errno("cannot open journal segment " + path);
+  // Drop any torn tail so new appends continue from the clean prefix. A
+  // segment whose very header was torn holds nothing valid: restart it
+  // from scratch rather than appending after garbage bytes.
+  const size_t keep = tail_valid_bytes_ >= kMagicSize ? tail_valid_bytes_ : 0;
+  if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+    throw_errno("cannot truncate journal segment " + path);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    throw_errno("cannot seek journal segment " + path);
+  }
+  if (keep == 0) {
+    append_frame(std::string_view(kSegmentMagic, kMagicSize));
+  }
+}
+
+void Journal::append_frame(std::string_view frame) {
+  DNA_CHECK(fd_ >= 0);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("journal append failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  sync_fd(fd_);
+}
+
+void Journal::append_commit(uint64_t version,
+                            const std::string& change_text) {
+  append_frame(encode_record_frame(encode_commit_record(version, change_text)));
+}
+
+void Journal::compact(uint64_t version, const topo::Snapshot& head) {
+  const uint64_t seq = segments_.empty() ? 1 : segments_.back() + 1;
+  const std::string path = segment_path(seq);
+  const std::string tmp = path + ".tmp";
+
+  std::string bytes(kSegmentMagic, kMagicSize);
+  bytes += encode_record_frame(encode_snapshot_record(version, head));
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw_errno("cannot create journal segment " + tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("journal compaction write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  sync_fd(fd);
+  ::close(fd);
+  // Publish the new head segment atomically, then retire the history. A
+  // crash between the two steps leaves old segments plus the snapshot
+  // segment — the scan's "snapshot record supersedes what precedes it"
+  // rule makes that window recoverable.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("cannot publish journal segment " + path);
+  }
+  sync_dir();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  for (const uint64_t old : segments_) ::unlink(segment_path(old).c_str());
+  sync_dir();
+  segments_.assign(1, seq);
+  tail_valid_bytes_ = bytes.size();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) throw_errno("cannot reopen journal segment " + path);
+  release_recovered();  // the scan's records no longer describe the disk
+}
+
+void Journal::sync_fd(int fd) const {
+  if (fsync_ == FsyncPolicy::kNever) return;
+  if (::fsync(fd) != 0) throw_errno("journal fsync failed");
+}
+
+void Journal::sync_dir() const {
+  if (fsync_ == FsyncPolicy::kNever) return;
+  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("cannot open journal directory " + dir_);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("journal directory fsync failed");
+}
+
+}  // namespace dna::service

@@ -1,0 +1,141 @@
+// Durable write-ahead commit journal for the query service.
+//
+// The paper's thesis makes persistence cheap: a published version is a pure
+// function of (base model, sequence of change plans), and change plans are
+// already textual via the wire mini-language (query.h). So durability is a
+// log of those texts, and recovery is replaying them differentially — the
+// exact commits the live service ran, at the exact version ids it assigned.
+//
+// On-disk layout: a directory of segment files, `journal-<seq>.dnaj`, each
+//
+//   segment := "DNAJSEG1" record*
+//   record  := u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//
+// A payload is one of
+//
+//   commit <version> '\n' <change mini-language text>
+//   snapshot <version> <topology_len> '\n' <topology text> <config text>
+//
+// A snapshot record is a compaction head: it pins the whole model at
+// <version>, and everything before it is dead history. compact() writes one
+// into a fresh segment and deletes the older segments; the rename-then-
+// unlink order keeps every instant crash-consistent.
+//
+// Recovery semantics (the crash-injection tests in tests/test_journal.cc
+// enforce these):
+//  * Records are only trusted when the length is plausible, the payload is
+//    complete, and the CRC matches. The first bad record in the *last*
+//    segment is a torn tail — the journal recovers the clean prefix before
+//    it and truncates the garbage so appends continue from a valid file.
+//  * A bad record with more journal after it (a non-tail segment) is real
+//    corruption, not a crash artifact; the constructor throws rather than
+//    silently dropping acknowledged commits.
+//
+// Durability: append_commit() returns only after the bytes are written —
+// and, under FsyncPolicy::kAlways, fsync'd — so a caller that acknowledges
+// a commit after appending can never lose it to a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/snapshot.h"
+
+namespace dna::service {
+
+/// Whether journal appends reach stable storage before they return.
+/// kAlways is the durable default; kNever trades crash durability (not
+/// consistency — recovery still sees a clean prefix) for commit latency.
+enum class FsyncPolicy { kAlways, kNever };
+
+/// One replayable journal entry.
+struct JournalRecord {
+  enum class Kind { kSnapshot, kCommit };
+  Kind kind = Kind::kCommit;
+  uint64_t version = 0;
+  std::string change_text;  // kCommit: the change mini-language line
+  topo::Snapshot snapshot;  // kSnapshot: the full model at `version`
+};
+
+// ---- payload / frame codecs (exposed for the fault-injection tests) -------
+
+/// Renders a commit payload. `change_text` must be newline-free (the wire
+/// mini-language is one line); throws dna::Error otherwise.
+std::string encode_commit_record(uint64_t version,
+                                 const std::string& change_text);
+
+/// Renders a snapshot payload via topo::print_snapshot.
+std::string encode_snapshot_record(uint64_t version,
+                                   const topo::Snapshot& snapshot);
+
+/// Parses a payload back into a record. Throws dna::Error on malformed
+/// input (recovery treats that the same as a checksum mismatch).
+JournalRecord decode_record(const std::string& payload);
+
+/// Wraps a payload in the length+crc frame written to segment files.
+std::string encode_record_frame(std::string_view payload);
+
+class Journal {
+ public:
+  /// Opens (creating the directory if missing) and scans every segment.
+  /// After construction recovered() holds the replayable clean prefix, in
+  /// order, starting from the newest snapshot record if any. Throws
+  /// dna::Error on an unreadable directory or mid-journal corruption.
+  Journal(std::string dir, FsyncPolicy fsync_policy);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// The records the opening scan recovered, in replay order. Valid until
+  /// release_recovered() or compact(); a recovered snapshot record holds a
+  /// full model copy, so consumers free it once replay is done.
+  const std::vector<JournalRecord>& recovered() const { return recovered_; }
+
+  /// Drops the recovered records (the scan's one-shot output, dead weight
+  /// once replayed). compact() does this implicitly — the records no
+  /// longer describe what is on disk after it.
+  void release_recovered() { recovered_.clear(); recovered_.shrink_to_fit(); }
+
+  /// True when the scan found (and truncated) a torn tail — the signature
+  /// of a crash mid-append.
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+  /// Appends one commit record; once this returns the record is durable
+  /// under the configured fsync policy. Throws dna::Error on I/O failure.
+  void append_commit(uint64_t version, const std::string& change_text);
+
+  /// Snapshots `head` at `version` into a fresh segment and deletes all
+  /// older segments. Called after startup replay (where it truncates the
+  /// replayed history) and harmless on a fresh journal (where it seeds the
+  /// base model, making the journal self-contained).
+  void compact(uint64_t version, const topo::Snapshot& head);
+
+  const std::string& dir() const { return dir_; }
+  size_t segment_count() const { return segments_.size(); }
+
+ private:
+  void scan();
+  /// Scans one segment's bytes; appends valid records to recovered_ and
+  /// returns the byte count of the valid prefix. `last` selects torn-tail
+  /// (stop) versus corruption (throw) handling for a bad record.
+  size_t scan_segment(const std::string& path, const std::string& bytes,
+                      bool last);
+  void open_tail_for_append();
+  std::string segment_path(uint64_t seq) const;
+  void append_frame(std::string_view frame);
+  void sync_fd(int fd) const;
+  void sync_dir() const;
+
+  std::string dir_;
+  FsyncPolicy fsync_;
+  std::vector<uint64_t> segments_;  // on-disk segment seqs, ascending
+  std::vector<JournalRecord> recovered_;
+  bool torn_tail_ = false;
+  size_t tail_valid_bytes_ = 0;  // clean prefix of the last segment
+  int fd_ = -1;                  // tail segment, open for append
+};
+
+}  // namespace dna::service

@@ -128,6 +128,54 @@ core::ChangePlan parse_change_plan(const std::string& text) {
   return plan;
 }
 
+std::string random_change_text(const topo::Snapshot& base, Rng& rng,
+                               size_t max_steps) {
+  const size_t num_links = base.topology.num_links();
+  const size_t num_nodes = base.topology.num_nodes();
+  DNA_CHECK(num_links > 0 && num_nodes > 0 && max_steps > 0);
+  auto link = [&] { return std::to_string(rng.below(num_links)); };
+  auto node = [&] {
+    return base.topology.node_name(
+        static_cast<topo::NodeId>(rng.below(num_nodes)));
+  };
+  // Drawn from a small pool so announce/withdraw pairs and repeated ACLs
+  // collide often enough to exercise cancellation and no-op commits.
+  auto prefix = [&] {
+    return "203.0." + std::to_string(100 + rng.below(8)) + ".0/24";
+  };
+  std::vector<std::string> steps;
+  const size_t count = 1 + rng.below(max_steps);
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.below(7)) {
+      case 0:
+        steps.push_back("fail_link " + link());
+        break;
+      case 1:
+        steps.push_back("recover_link " + link());
+        break;
+      case 2:
+        steps.push_back("link_cost " + link() + " " +
+                        std::to_string(1 + rng.below(100)));
+        break;
+      case 3:
+        steps.push_back("acl_block " + node() + " " + prefix());
+        break;
+      case 4:
+        steps.push_back("announce " + node() + " " + prefix());
+        break;
+      case 5:
+        steps.push_back("withdraw " + node() + " " + prefix());
+        break;
+      default:
+        steps.push_back("static_route " + node() + " " + prefix() + " 10." +
+                        std::to_string(rng.below(256)) + "." +
+                        std::to_string(rng.below(256)) + ".1");
+        break;
+    }
+  }
+  return join(steps, "; ");
+}
+
 Query parse_query(const std::string& line) {
   const std::vector<std::string> tokens = split_ws(line);
   if (tokens.empty()) throw Error("empty query");

@@ -31,6 +31,7 @@
 #include "core/engine.h"
 #include "core/invariants.h"
 #include "service/version.h"
+#include "util/rng.h"
 
 namespace dna::service {
 
@@ -51,8 +52,17 @@ struct Query {
 Query parse_query(const std::string& line);
 
 /// Parses the change mini-language above into an applicable plan.
-/// Throws dna::Error on malformed input.
+/// Throws dna::Error on malformed input. The returned plan's description()
+/// is the trimmed input text — parse(description()) reproduces the plan,
+/// the invariant journal replay rests on.
 core::ChangePlan parse_change_plan(const std::string& text);
+
+/// A seeded random change-plan line (1..max_steps steps) valid for `base`:
+/// every emitted text parses, applies to `base` without throwing, and
+/// round-trips through parse_change_plan unchanged. The workload generator
+/// for the journal/replay property tests and the service benches.
+std::string random_change_text(const topo::Snapshot& base, Rng& rng,
+                               size_t max_steps = 3);
 
 /// A deterministic digest of a snapshot's canonical text form. Two equal
 /// snapshots hash equal on every platform — the torn-read detector used by

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "util/error.h"
 #include "util/timer.h"
 
 namespace dna::service {
@@ -12,13 +14,76 @@ namespace dna::service {
 DnaService::DnaService(topo::Snapshot base,
                        std::vector<core::Invariant> invariants,
                        ServiceOptions options)
-    : options_(options),
+    : options_(std::move(options)),
       invariants_(std::move(invariants)),
-      store_(std::move(base)),
-      pool_(options.num_threads),
+      journal_(options_.journal_dir.empty()
+                   ? nullptr
+                   : std::make_unique<Journal>(options_.journal_dir,
+                                               options_.journal_fsync)),
+      store_(journaled_base(journal_.get(), std::move(base)),
+             journaled_base_id(journal_.get())),
+      pool_(options_.num_threads),
       workers_(pool_.num_workers()) {
   writer_ = make_engine(*store_.head()->snapshot);
+  if (journal_) {
+    replay_journal();
+    // Fold the replayed history (or, on a fresh journal, the base model)
+    // into one snapshot segment: recovery cost stays proportional to the
+    // commits since the last restart, not the service's lifetime. A
+    // journal that is already exactly one clean snapshot segment has
+    // nothing to fold — skip the full-model rewrite that restart would
+    // otherwise pay every time.
+    const bool already_compact =
+        recovered_commits_ == 0 && !journal_->recovered_torn_tail() &&
+        journal_->recovered().size() == 1 && journal_->segment_count() == 1;
+    if (already_compact) {
+      journal_->release_recovered();  // compact() would have; free the copy
+    } else {
+      journal_->compact(store_.head_id(), *store_.head()->snapshot);
+    }
+  }
   dispatcher_ = std::thread(&DnaService::dispatcher_loop, this);
+}
+
+topo::Snapshot DnaService::journaled_base(const Journal* journal,
+                                          topo::Snapshot base) {
+  if (journal && !journal->recovered().empty() &&
+      journal->recovered().front().kind == JournalRecord::Kind::kSnapshot) {
+    // The journal's snapshot record *is* the durable state; the caller's
+    // base only seeds a journal that has never held one.
+    return journal->recovered().front().snapshot;
+  }
+  return base;
+}
+
+uint64_t DnaService::journaled_base_id(const Journal* journal) {
+  if (journal && !journal->recovered().empty() &&
+      journal->recovered().front().kind == JournalRecord::Kind::kSnapshot) {
+    return journal->recovered().front().version;
+  }
+  return 1;
+}
+
+void DnaService::replay_journal() {
+  for (const JournalRecord& record : journal_->recovered()) {
+    if (record.kind != JournalRecord::Kind::kCommit) continue;
+    const core::ChangePlan plan = parse_change_plan(record.change_text);
+    if (store_.next_id() != record.version) {
+      throw Error("journal replay id mismatch: expected version " +
+                  std::to_string(record.version) + ", store is at " +
+                  std::to_string(store_.next_id()));
+    }
+    const core::NetworkDiff diff = writer_->advance(
+        plan.apply(writer_->snapshot()), options_.commit_mode);
+    Version provenance;
+    provenance.change_description = plan.description();
+    provenance.fib_changes = diff.fib_delta.total_changes();
+    provenance.reach_changes =
+        diff.reach_delta.lost.size() + diff.reach_delta.gained.size();
+    provenance.semantically_empty = diff.semantically_empty();
+    store_.publish(writer_->snapshot(), provenance);
+    ++recovered_commits_;
+  }
 }
 
 DnaService::~DnaService() { shutdown(); }
@@ -58,12 +123,37 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
   // read-your-submission-time semantics a versioned store promises.
   VersionHandle version = store_.head();
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    // Backpressure: at the configured bound, give the dispatcher one
+    // deadline's worth of time to drain, then shed rather than letting the
+    // queue (and every submitter's latency) grow without limit.
+    if (options_.max_queue_depth > 0 && !stopping_ &&
+        queue_.size() >= options_.max_queue_depth) {
+      space_cv_.wait_for(lock, options_.submit_deadline, [this] {
+        return stopping_ || queue_.size() < options_.max_queue_depth;
+      });
+    }
     if (stopping_) {
       QueryResult failed;
       failed.ok = false;
       failed.body = "service is shutting down";
       promise.set_value(std::move(failed));
+      return future;
+    }
+    if (options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
+      QueryResult shed;
+      shed.ok = false;
+      shed.version = version->id;
+      shed.body = "queue saturated: shed after " +
+                  std::to_string(options_.submit_deadline.count()) +
+                  " ms at depth " + std::to_string(queue_.size());
+      {
+        std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+        ++metrics_.queries_total;
+        ++metrics_.queries_shed;
+      }
+      promise.set_value(std::move(shed));
       return future;
     }
     queue_.push_back(
@@ -76,6 +166,11 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
   return future;
 }
 
+size_t DnaService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
 QueryResult DnaService::query(const std::string& query_line) {
   return submit(query_line).get();
 }
@@ -84,13 +179,39 @@ CommitResult DnaService::commit(const core::ChangePlan& plan) {
   return commit(plan, options_.commit_mode);
 }
 
+CommitResult DnaService::commit_text(const std::string& change_text) {
+  // One parse: the parsed plan's description *is* the trimmed text (the
+  // round-trip identity), so it is already journal-authoritative.
+  return commit_impl(parse_change_plan(change_text), options_.commit_mode);
+}
+
 CommitResult DnaService::commit(const core::ChangePlan& plan,
                                 core::Mode mode) {
+  // With a journal the textual form is authoritative: re-parse the
+  // description and apply *that* plan, so the journaled line and the
+  // committed change cannot diverge (replay runs exactly what ran live).
+  // Rejecting unjournalable plans happens here, before any side effect.
+  if (journal_) {
+    std::optional<core::ChangePlan> reparsed;
+    try {
+      reparsed = parse_change_plan(plan.description());
+    } catch (const std::exception& e) {
+      throw Error("plan is not journalable (description must be a change "
+                  "mini-language line): " +
+                  std::string(e.what()));
+    }
+    return commit_impl(*reparsed, mode);
+  }
+  return commit_impl(plan, mode);
+}
+
+CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
+                                     core::Mode mode) {
   std::lock_guard<std::mutex> lock(commit_mutex_);
   Stopwatch stopwatch;
   core::NetworkDiff diff;
   try {
-    diff = writer_->advance(plan.apply(writer_->snapshot()), mode);
+    diff = writer_->advance(effective.apply(writer_->snapshot()), mode);
   } catch (...) {
     // The writer may be mid-advance; rebuild it at the (unchanged) head so
     // the next commit starts clean.
@@ -98,8 +219,21 @@ CommitResult DnaService::commit(const core::ChangePlan& plan,
     throw;
   }
 
+  if (journal_) {
+    // Journal-before-publish: the record must be durable before any reader
+    // can observe (and any client can be told about) the new version. A
+    // failed append publishes nothing; the writer rebuilds at the
+    // unchanged head exactly as for a failed advance.
+    try {
+      journal_->append_commit(store_.next_id(), effective.description());
+    } catch (...) {
+      writer_ = make_engine(*store_.head()->snapshot);
+      throw;
+    }
+  }
+
   Version provenance;
-  provenance.change_description = plan.description();
+  provenance.change_description = effective.description();
   provenance.fib_changes = diff.fib_delta.total_changes();
   provenance.reach_changes =
       diff.reach_delta.lost.size() + diff.reach_delta.gained.size();
@@ -168,6 +302,8 @@ void DnaService::dispatcher_loop() {
         }
       }
     }
+    // The batch freed queue slots; wake submitters parked at the bound.
+    space_cv_.notify_all();
 
     const VersionHandle version = batch.front().version;
     std::vector<QueryResult> results(batch.size());
@@ -228,6 +364,7 @@ void DnaService::shutdown() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  space_cv_.notify_all();
   std::lock_guard<std::mutex> join_lock(shutdown_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
@@ -236,7 +373,7 @@ std::string ServiceMetrics::str() const {
   std::ostringstream out;
   out << "service metrics:\n";
   out << "  queries: " << queries_total << " total, " << queries_failed
-      << " failed\n";
+      << " failed, " << queries_shed << " shed\n";
   out << "  batches: " << batches << " (max batch " << max_batch
       << ", max queue depth " << max_queue_depth << ")\n";
   out << "  commits: " << commits;

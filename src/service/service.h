@@ -19,11 +19,19 @@
 //    base verification is paid once per worker, then replicas ride the
 //    same delta stream the writer does.
 //
+//  * Durability is optional and differential too (journal.h): when a
+//    journal directory is configured, every commit's textual change plan is
+//    appended (and fsync'd) to a write-ahead journal *before* the version
+//    publishes, so an acknowledged commit survives kill -9. Construction
+//    replays the journal — same plans, same version ids — then compacts it
+//    down to one snapshot-plus-nothing segment.
+//
 // Thread safety: every public method is safe to call from any thread.
 // Determinism: a query's answer is a pure function of (query, version) —
 // which worker evaluates it and in what batch is invisible.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +45,7 @@
 
 #include "core/engine.h"
 #include "core/invariants.h"
+#include "service/journal.h"
 #include "service/query.h"
 #include "service/version.h"
 #include "util/threadpool.h"
@@ -49,6 +58,21 @@ struct ServiceOptions {
   /// Mode used by commit(); kDifferential is the point of the paper,
   /// kMonolithic is kept for cross-checking and benchmarking.
   core::Mode commit_mode = core::Mode::kDifferential;
+  /// Directory for the write-ahead commit journal; empty disables
+  /// persistence. With a journal, construction recovers: the latest
+  /// journaled snapshot (if any) overrides `base`, the logged commits are
+  /// replayed differentially at their original version ids, and the
+  /// replayed history is compacted into one snapshot segment.
+  std::string journal_dir;
+  /// Whether every journal append reaches stable storage before the commit
+  /// is acknowledged (see journal.h). Ignored without a journal.
+  FsyncPolicy journal_fsync = FsyncPolicy::kAlways;
+  /// Backpressure: maximum pending (submitted, not yet dispatched) queries;
+  /// 0 = unbounded. At the bound, submit() waits up to `submit_deadline`
+  /// for the dispatcher to drain, then sheds the query (the future resolves
+  /// ok=false) instead of growing the queue or blocking forever.
+  size_t max_queue_depth = 0;
+  std::chrono::milliseconds submit_deadline{100};
 };
 
 /// What a commit did: the published version and its blast radius.
@@ -65,6 +89,7 @@ struct CommitResult {
 struct ServiceMetrics {
   size_t queries_total = 0;
   size_t queries_failed = 0;
+  size_t queries_shed = 0;  // backpressure sheds (counted in total, not failed)
   size_t batches = 0;
   size_t max_batch = 0;
   size_t max_queue_depth = 0;
@@ -111,8 +136,17 @@ class DnaService {
   /// concurrent readers keep serving their captured versions. Throws
   /// dna::Error when the plan fails to apply (no version is published and
   /// the head is unchanged).
+  ///
+  /// With a journal, the plan's description() is authoritative: it must be
+  /// a valid change mini-language line (query.h), it is journaled *before*
+  /// publication, and the plan actually applied is the re-parsed text — so
+  /// what replay will run is, by construction, exactly what ran live. A
+  /// plan whose description does not parse throws without side effects.
   CommitResult commit(const core::ChangePlan& plan);
   CommitResult commit(const core::ChangePlan& plan, core::Mode mode);
+
+  /// commit() for callers holding the textual form (sessions, tools).
+  CommitResult commit_text(const std::string& change_text);
 
   // ---- introspection -------------------------------------------------------
 
@@ -122,6 +156,11 @@ class DnaService {
   }
   size_t num_workers() const { return pool_.num_workers(); }
   ServiceMetrics metrics() const;
+  /// Commits replayed from the journal during construction (0 without one).
+  size_t recovered_commits() const { return recovered_commits_; }
+  bool journaling() const { return journal_ != nullptr; }
+  /// Pending (submitted, not yet dispatched) queries right now.
+  size_t queue_depth() const;
 
   /// Stops accepting queries, drains the pending queue (every outstanding
   /// future resolves), and joins the dispatcher. Idempotent; called by the
@@ -140,24 +179,40 @@ class DnaService {
   };
 
   void dispatcher_loop();
+  /// The shared commit tail: `effective` is the plan that both applies and
+  /// (when journaling) gets logged — callers guarantee its description is
+  /// the canonical text when a journal is configured.
+  CommitResult commit_impl(const core::ChangePlan& effective, core::Mode mode);
   /// A fresh engine verified at `snapshot` with the service invariants
   /// registered — how every replica (writer or reader) is born.
   std::unique_ptr<core::DnaEngine> make_engine(
       const topo::Snapshot& snapshot) const;
   /// The worker's engine replica, advanced (differentially) to `version`.
   core::DnaEngine& engine_at(size_t worker, const Version& version);
+  /// The recovered journal's snapshot record (the durable state) if one
+  /// exists, else the caller-provided base; likewise its version id.
+  static topo::Snapshot journaled_base(const Journal* journal,
+                                       topo::Snapshot base);
+  static uint64_t journaled_base_id(const Journal* journal);
+  /// Re-commits every journaled change at its original version id; runs in
+  /// the constructor before the dispatcher exists. Throws (and aborts
+  /// construction) if the journal cannot be replayed faithfully.
+  void replay_journal();
 
   ServiceOptions options_;
   std::vector<core::Invariant> invariants_;
+  std::unique_ptr<Journal> journal_;  // before store_: recovery seeds it
   SnapshotStore store_;
   util::ThreadPool pool_;
   std::vector<WorkerState> workers_;  // indexed by pool worker id
+  size_t recovered_commits_ = 0;
 
   std::mutex commit_mutex_;  // serializes writers
   std::unique_ptr<core::DnaEngine> writer_;  // resident engine at head
 
   mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  std::condition_variable queue_cv_;   // signals the dispatcher: work queued
+  std::condition_variable space_cv_;   // signals submitters: queue drained
   std::deque<Pending> queue_;
   bool stopping_ = false;
 

@@ -25,8 +25,7 @@ QueryResult ServerSession::handle(const std::string& request) {
       return result;
     }
     if (starts_with(line, "commit ") || line == "commit") {
-      const CommitResult commit =
-          service_.commit(parse_change_plan(line.substr(6)));
+      const CommitResult commit = service_.commit_text(line.substr(6));
       QueryResult result;
       result.version = commit.version;
       std::ostringstream body;

@@ -4,8 +4,8 @@
 
 namespace dna::service {
 
-SnapshotStore::SnapshotStore(topo::Snapshot base)
-    : retired_(std::make_shared<std::atomic<size_t>>(0)) {
+SnapshotStore::SnapshotStore(topo::Snapshot base, uint64_t base_id)
+    : next_id_(base_id), retired_(std::make_shared<std::atomic<size_t>>(0)) {
   base.validate();
   Version provenance;
   provenance.change_description = "base";
@@ -15,6 +15,11 @@ SnapshotStore::SnapshotStore(topo::Snapshot base)
 VersionHandle SnapshotStore::head() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return head_;
+}
+
+uint64_t SnapshotStore::next_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
 }
 
 VersionHandle SnapshotStore::publish(topo::Snapshot next,

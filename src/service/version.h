@@ -40,8 +40,11 @@ using VersionHandle = std::shared_ptr<const Version>;
 
 class SnapshotStore {
  public:
-  /// Publishes `base` as version 1 ("base").
-  explicit SnapshotStore(topo::Snapshot base);
+  /// Publishes `base` as version `base_id` (description: "base"). The
+  /// default of 1 is a fresh store; journal recovery seeds a higher id so
+  /// replayed versions get exactly the ids the pre-crash service assigned
+  /// (readers pinned to "version K" survive a restart unchanged).
+  explicit SnapshotStore(topo::Snapshot base, uint64_t base_id = 1);
 
   SnapshotStore(const SnapshotStore&) = delete;
   SnapshotStore& operator=(const SnapshotStore&) = delete;
@@ -49,6 +52,11 @@ class SnapshotStore {
   /// The current head. O(1): a mutex-guarded shared_ptr copy.
   VersionHandle head() const;
   uint64_t head_id() const { return head()->id; }
+
+  /// The id the next publish() will assign. Writers serialized externally
+  /// (the service's commit lock) use this to journal a commit under its
+  /// final id *before* publication makes it visible.
+  uint64_t next_id() const;
 
   /// Publishes `next` as the new head and returns its handle. The previous
   /// head is released (it survives only through reader handles). Metadata

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for on-disk record integrity.
+//
+// Chosen over the in-process hashes (hash.h) because the checksum is part of
+// a persistent format: it must stay stable across builds, platforms, and
+// standard-library versions, and CRC's burst-error detection is the right
+// tool for catching torn or bit-rotted disk writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dna::util {
+
+/// CRC-32 of `size` bytes at `data`, continuing from `seed` (pass the
+/// previous return value to checksum discontiguous buffers as one stream).
+uint32_t crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t crc32(std::string_view text, uint32_t seed = 0) {
+  return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace dna::util

@@ -1,0 +1,395 @@
+// The journal's contract, enforced by fault injection: recovery of a
+// journal cut short at *any* byte (the kill -9 model — a crash can only
+// truncate the sequential append stream) yields a clean prefix of the
+// committed versions, never a torn model; corruption with more journal
+// after it fails cleanly instead of silently dropping acknowledged
+// commits; and a service restarted from its journal answers queries
+// byte-identically to the uninterrupted run, at the same version ids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/change.h"
+#include "service/journal.h"
+#include "service/query.h"
+#include "service/service.h"
+#include "topo/generators.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dna::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique directory removed (with contents) when the test scope ends.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "dna_journal_XXXXXX");
+    const char* created = ::mkdtemp(tmpl.data());
+    if (created == nullptr) throw Error("mkdtemp failed for " + tmpl);
+    path = created;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The journal directory's segment files, sorted by name (= by sequence).
+std::vector<std::string> segment_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".dnaj") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ServiceOptions journaled(const std::string& dir,
+                         FsyncPolicy fsync = FsyncPolicy::kNever) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.journal_dir = dir;
+  options.journal_fsync = fsync;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Record codecs
+// ---------------------------------------------------------------------------
+
+TEST(JournalRecord, CommitRoundTrip) {
+  const std::string payload =
+      encode_commit_record(42, "fail_link 1; link_cost 2 77");
+  const JournalRecord record = decode_record(payload);
+  EXPECT_EQ(record.kind, JournalRecord::Kind::kCommit);
+  EXPECT_EQ(record.version, 42u);
+  EXPECT_EQ(record.change_text, "fail_link 1; link_cost 2 77");
+
+  EXPECT_THROW(encode_commit_record(1, "two\nlines"), Error);
+  EXPECT_THROW(decode_record("no header newline"), Error);
+  EXPECT_THROW(decode_record("frobnicate 3\nbody"), Error);
+  EXPECT_THROW(decode_record("commit notanumber\nbody"), Error);
+}
+
+TEST(JournalRecord, SnapshotRoundTrip) {
+  const topo::Snapshot base = topo::make_ring(5);
+  const std::string payload = encode_snapshot_record(7, base);
+  const JournalRecord record = decode_record(payload);
+  EXPECT_EQ(record.kind, JournalRecord::Kind::kSnapshot);
+  EXPECT_EQ(record.version, 7u);
+  EXPECT_EQ(record.snapshot, base);
+}
+
+// ---------------------------------------------------------------------------
+// Append / recover / compact
+// ---------------------------------------------------------------------------
+
+TEST(Journal, AppendThenRecover) {
+  TempDir dir;
+  {
+    Journal journal(dir.path, FsyncPolicy::kAlways);
+    EXPECT_TRUE(journal.recovered().empty());
+    journal.append_commit(2, "fail_link 0");
+    journal.append_commit(3, "link_cost 1 9");
+  }
+  Journal reopened(dir.path, FsyncPolicy::kAlways);
+  ASSERT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_FALSE(reopened.recovered_torn_tail());
+  EXPECT_EQ(reopened.recovered()[0].version, 2u);
+  EXPECT_EQ(reopened.recovered()[0].change_text, "fail_link 0");
+  EXPECT_EQ(reopened.recovered()[1].version, 3u);
+  EXPECT_EQ(reopened.recovered()[1].change_text, "link_cost 1 9");
+}
+
+TEST(Journal, CompactSupersedesHistory) {
+  TempDir dir;
+  const topo::Snapshot head = topo::make_line(3);
+  {
+    Journal journal(dir.path, FsyncPolicy::kNever);
+    journal.append_commit(2, "fail_link 0");
+    journal.append_commit(3, "recover_link 0");
+    journal.compact(3, head);
+    journal.append_commit(4, "link_cost 0 5");
+    EXPECT_EQ(journal.segment_count(), 1u);
+  }
+  EXPECT_EQ(segment_files(dir.path).size(), 1u);
+  Journal reopened(dir.path, FsyncPolicy::kNever);
+  ASSERT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_EQ(reopened.recovered()[0].kind, JournalRecord::Kind::kSnapshot);
+  EXPECT_EQ(reopened.recovered()[0].version, 3u);
+  EXPECT_EQ(reopened.recovered()[0].snapshot, head);
+  EXPECT_EQ(reopened.recovered()[1].version, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at the journal layer
+// ---------------------------------------------------------------------------
+
+/// A recorded run: one snapshot record plus four commits in one segment.
+struct RecordedRun {
+  TempDir dir;
+  std::string segment;          // the single segment file's path
+  std::string bytes;            // its full contents
+  std::vector<uint64_t> versions;  // record versions, in order
+
+  RecordedRun() {
+    Journal journal(dir.path, FsyncPolicy::kNever);
+    journal.compact(1, topo::make_line(3));
+    journal.append_commit(2, "fail_link 0");
+    journal.append_commit(3, "recover_link 0");
+    journal.append_commit(4, "link_cost 1 7");
+    journal.append_commit(5, "link_cost 1 9");
+    versions = {1, 2, 3, 4, 5};
+    const std::vector<std::string> files = segment_files(dir.path);
+    EXPECT_EQ(files.size(), 1u);
+    segment = files[0];
+    bytes = read_file(segment);
+  }
+};
+
+TEST(Journal, TruncationAtEveryOffsetRecoversACleanPrefix) {
+  RecordedRun run;
+  const std::string name = fs::path(run.segment).filename().string();
+
+  // Byte offsets at which the segment is whole: the end of the magic
+  // header and of every complete record. A cut exactly there is a clean
+  // (if early) shutdown; anywhere else is a torn tail.
+  std::vector<size_t> clean_cuts = {8};
+  auto frame_length = [&](size_t at) {
+    return 8 + (static_cast<size_t>(
+                    static_cast<unsigned char>(run.bytes[at])) |
+                static_cast<size_t>(
+                    static_cast<unsigned char>(run.bytes[at + 1]))
+                    << 8 |
+                static_cast<size_t>(
+                    static_cast<unsigned char>(run.bytes[at + 2]))
+                    << 16 |
+                static_cast<size_t>(
+                    static_cast<unsigned char>(run.bytes[at + 3]))
+                    << 24);
+  };
+  while (clean_cuts.back() < run.bytes.size()) {
+    clean_cuts.push_back(clean_cuts.back() + frame_length(clean_cuts.back()));
+  }
+  ASSERT_EQ(clean_cuts.back(), run.bytes.size());
+
+  for (size_t cut = 0; cut <= run.bytes.size(); ++cut) {
+    TempDir trial;
+    write_file(trial.path + "/" + name, run.bytes.substr(0, cut));
+    Journal journal(trial.path, FsyncPolicy::kNever);
+
+    // Whatever survived must be an exact prefix of the recorded run.
+    const std::vector<JournalRecord>& records = journal.recovered();
+    ASSERT_LE(records.size(), run.versions.size()) << "cut at " << cut;
+    for (size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].version, run.versions[i]) << "cut at " << cut;
+    }
+    const bool clean = std::find(clean_cuts.begin(), clean_cuts.end(),
+                                 cut) != clean_cuts.end();
+    EXPECT_EQ(journal.recovered_torn_tail(), !clean) << "cut at " << cut;
+
+    // The journal stays appendable after truncation: the torn bytes are
+    // gone and a new record lands cleanly on the recovered prefix.
+    journal.append_commit(records.empty() ? 2 : records.back().version + 1,
+                          "fail_link 1");
+    Journal reopened(trial.path, FsyncPolicy::kNever);
+    EXPECT_EQ(reopened.recovered().size(), records.size() + 1)
+        << "cut at " << cut;
+    EXPECT_FALSE(reopened.recovered_torn_tail()) << "cut at " << cut;
+  }
+}
+
+TEST(Journal, CorruptChecksumDropsTheSuffixOfTheTailSegment) {
+  RecordedRun run;
+  const std::string name = fs::path(run.segment).filename().string();
+  // Flip one payload byte somewhere after the (large) snapshot record so a
+  // strict prefix survives: the snapshot plus possibly some commits.
+  std::string corrupted = run.bytes;
+  corrupted[corrupted.size() - 3] ^= 0x40;
+
+  TempDir trial;
+  write_file(trial.path + "/" + name, corrupted);
+  Journal journal(trial.path, FsyncPolicy::kNever);
+  EXPECT_TRUE(journal.recovered_torn_tail());
+  ASSERT_EQ(journal.recovered().size(), run.versions.size() - 1);
+  EXPECT_EQ(journal.recovered().back().version, 4u);
+}
+
+TEST(Journal, PartialRecordHeaderIsATornTail) {
+  RecordedRun run;
+  const std::string name = fs::path(run.segment).filename().string();
+  // A lone length byte after the last full record: the u32+u32 frame
+  // header itself is incomplete.
+  TempDir trial;
+  write_file(trial.path + "/" + name, run.bytes + "\x07");
+  Journal journal(trial.path, FsyncPolicy::kNever);
+  EXPECT_TRUE(journal.recovered_torn_tail());
+  EXPECT_EQ(journal.recovered().size(), run.versions.size());
+}
+
+TEST(Journal, CorruptionBeforeLaterSegmentsFailsCleanly) {
+  // Two segments, built by hand from the public codecs: corruption in the
+  // *first* cannot be a crash artifact (appends after it were acknowledged
+  // from the second), so recovery must refuse rather than drop commits.
+  TempDir dir;
+  const std::string magic = "DNAJSEG1";
+  std::string seg1 = magic + encode_record_frame(encode_commit_record(
+                                 2, "fail_link 0"));
+  const std::string seg2 = magic + encode_record_frame(encode_commit_record(
+                                       3, "recover_link 0"));
+  seg1[seg1.size() - 2] ^= 0x01;  // corrupt segment 1's payload
+  write_file(dir.path + "/journal-00000001.dnaj", seg1);
+  write_file(dir.path + "/journal-00000002.dnaj", seg2);
+  EXPECT_THROW(Journal(dir.path, FsyncPolicy::kNever), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at the service layer: kill -9 during a commit storm
+// ---------------------------------------------------------------------------
+
+// Truncating the journal at every byte offset simulates every possible
+// kill -9 instant of a recorded commit storm. Recovery must come up at
+// *some* prefix of the committed versions — with the exact model those
+// commits produced (digest-identical), never a torn hybrid — because
+// every version whose record made it to disk was, or could have been,
+// acknowledged.
+TEST(ServiceJournal, RecoveryAtEveryTruncationOffsetIsNeverTorn) {
+  const topo::Snapshot base = topo::make_line(3);
+  TempDir recorded;
+  std::map<uint64_t, uint64_t> digest_at;  // version id -> model digest
+  {
+    DnaService service(base, {}, journaled(recorded.path));
+    digest_at[1] = snapshot_digest(*service.head()->snapshot);
+    int cost = 5;
+    for (int i = 0; i < 4; ++i) {
+      const CommitResult commit =
+          service.commit_text("link_cost 0 " + std::to_string(cost++));
+      digest_at[commit.version] =
+          snapshot_digest(*service.head()->snapshot);
+    }
+  }
+  const std::vector<std::string> files = segment_files(recorded.path);
+  ASSERT_EQ(files.size(), 1u);
+  const std::string name = fs::path(files[0]).filename().string();
+  const std::string bytes = read_file(files[0]);
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    TempDir trial;
+    write_file(trial.path + "/" + name, bytes.substr(0, cut));
+    DnaService service(base, {}, journaled(trial.path));
+    const VersionHandle head = service.head();
+    ASSERT_GE(head->id, 1u) << "cut at " << cut;
+    ASSERT_LE(head->id, 5u) << "cut at " << cut;
+    EXPECT_EQ(head->id, 1u + service.recovered_commits())
+        << "cut at " << cut;
+    // The recovered model is byte-for-byte the one that version had.
+    EXPECT_EQ(snapshot_digest(*head->snapshot), digest_at[head->id])
+        << "cut at " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay equivalence: restart == never having stopped
+// ---------------------------------------------------------------------------
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()},
+          {core::Invariant::Kind::kReachable, "r0", "r3", "",
+           Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)}};
+}
+
+const char* const kProbeQueries[] = {
+    "hash",
+    "reach r0 172.31.1.1",
+    "paths r0 172.31.1.1",
+    "check reachable r0 r3 172.31.1.0/24",
+    "check loopfree",
+};
+
+TEST(ServiceJournal, ReplayAnswersQueriesIdentically) {
+  const topo::Snapshot base = topo::make_ring(6);
+  TempDir dir;
+  Rng rng(0x10ADED);
+  std::vector<QueryResult> before;
+  uint64_t live_head = 0;
+  {
+    DnaService service(base, ring_invariants(), journaled(dir.path));
+    for (int i = 0; i < 8; ++i) {
+      service.commit_text(random_change_text(base, rng));
+    }
+    live_head = service.head()->id;
+    for (const char* probe : kProbeQueries) {
+      before.push_back(service.query(probe));
+    }
+  }
+
+  DnaService recovered(base, ring_invariants(), journaled(dir.path));
+  EXPECT_EQ(recovered.recovered_commits(), 8u);
+  EXPECT_EQ(recovered.head()->id, live_head);
+  for (size_t i = 0; i < before.size(); ++i) {
+    const QueryResult after = recovered.query(kProbeQueries[i]);
+    EXPECT_EQ(after.ok, before[i].ok) << kProbeQueries[i];
+    EXPECT_EQ(after.version, before[i].version) << kProbeQueries[i];
+    EXPECT_EQ(after.body, before[i].body) << kProbeQueries[i];
+  }
+  // Version ids keep counting from where the pre-restart service stopped.
+  const CommitResult next = recovered.commit_text("fail_link 0");
+  EXPECT_EQ(next.version, live_head + 1);
+}
+
+TEST(ServiceJournal, JournalSnapshotOverridesTheCallerBase) {
+  TempDir dir;
+  uint64_t head_digest = 0;
+  {
+    DnaService service(topo::make_ring(6), {}, journaled(dir.path));
+    service.commit_text("fail_link 1");
+    head_digest = snapshot_digest(*service.head()->snapshot);
+  }
+  // Restart with a *different* base: the journal's snapshot record is the
+  // durable state and must win.
+  DnaService recovered(topo::make_ring(8), {}, journaled(dir.path));
+  EXPECT_EQ(recovered.head()->id, 2u);
+  EXPECT_EQ(snapshot_digest(*recovered.head()->snapshot), head_digest);
+}
+
+TEST(ServiceJournal, CommitRequiresAJournalableDescription) {
+  TempDir dir;
+  DnaService service(topo::make_ring(6), {},
+                     journaled(dir.path, FsyncPolicy::kAlways));
+  // A native plan's prose description is not mini-language; with a journal
+  // it must be rejected before any side effect.
+  EXPECT_THROW(service.commit(core::ChangePlan::link_failure(0)), Error);
+  EXPECT_EQ(service.head()->id, 1u);
+  const CommitResult commit = service.commit_text("fail_link 0");
+  EXPECT_EQ(commit.version, 2u);
+  EXPECT_EQ(commit.description, "fail_link 0");
+}
+
+}  // namespace
+}  // namespace dna::service

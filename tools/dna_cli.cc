@@ -28,9 +28,17 @@
 //
 //   dna_cli serve (--gen=<spec> | <topo-file> <config-file>)
 //                 --socket=PATH [--threads=N] [--host-invariants]
+//                 [--journal-dir=PATH] [--no-fsync] [--queue-depth=N]
 //       Run the long-lived query service (src/service/) on a unix-domain
 //       socket. Clients commit changes and query any number of times; the
 //       server prints its metrics after a client sends `shutdown`.
+//       --journal-dir enables the write-ahead commit journal: commits are
+//       durable before they are acknowledged, and a restart pointed at the
+//       same directory recovers the whole version history by differential
+//       replay (same version ids). --no-fsync keeps journaling but skips
+//       the per-commit fsync (crash may lose the tail, never tear state).
+//       --queue-depth bounds the pending-query queue; saturated submits
+//       shed after a deadline instead of queueing without limit.
 //
 //   dna_cli query --socket=PATH <request> [<request> ...]
 //       Send request lines to a running server, one response per line
@@ -289,7 +297,7 @@ int cmd_whatif(const std::vector<std::string>& args) {
 int cmd_serve(const std::vector<std::string>& args) {
   std::string gen, socket_path;
   std::vector<std::string> files;
-  size_t threads = 0;
+  service::ServiceOptions options;
   bool want_host_invariants = false;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -300,7 +308,18 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (starts_with(arg, "--threads=")) {
       const int value = as_int(arg.substr(10));
       if (value < 0) throw Error("--threads must be >= 0");
-      threads = static_cast<size_t>(value);
+      options.num_threads = static_cast<size_t>(value);
+    } else if (starts_with(arg, "--journal-dir=")) {
+      options.journal_dir = arg.substr(14);
+      if (options.journal_dir.empty()) {
+        throw Error("--journal-dir needs a path");
+      }
+    } else if (arg == "--no-fsync") {
+      options.journal_fsync = service::FsyncPolicy::kNever;
+    } else if (starts_with(arg, "--queue-depth=")) {
+      const int value = as_int(arg.substr(14));
+      if (value < 0) throw Error("--queue-depth must be >= 0");
+      options.max_queue_depth = static_cast<size_t>(value);
     } else if (arg == "--host-invariants") {
       want_host_invariants = true;
     } else if (starts_with(arg, "--")) {
@@ -319,7 +338,16 @@ int cmd_serve(const std::vector<std::string>& args) {
             << base.topology.num_links() << " links, " << invariants.size()
             << " invariant(s)\n";
   service::DnaService dna_service(std::move(base), std::move(invariants),
-                                  {.num_threads = threads});
+                                  options);
+  if (dna_service.journaling()) {
+    std::cout << "journal: " << options.journal_dir << " (fsync "
+              << (options.journal_fsync == service::FsyncPolicy::kAlways
+                      ? "on"
+                      : "off")
+              << "), recovered " << dna_service.recovered_commits()
+              << " commit(s), head version " << dna_service.head()->id
+              << "\n";
+  }
   service::UnixListener listener(socket_path);
   std::cout << "serving on " << socket_path << " with "
             << dna_service.num_workers() << " worker(s)\n"
@@ -410,7 +438,8 @@ int usage() {
          " [--threads=N] [--top=K] [--json] [--monolithic]"
          " [--host-invariants]\n"
       << "  dna_cli serve (--gen=<spec> | <topo> <cfg>) --socket=PATH"
-         " [--threads=N] [--host-invariants]\n"
+         " [--threads=N] [--host-invariants] [--journal-dir=PATH]"
+         " [--no-fsync] [--queue-depth=N]\n"
       << "  dna_cli query --socket=PATH <request> [<request> ...]\n";
   return 2;
 }
