@@ -2,13 +2,21 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
 
 #include "core/engine.h"
 #include "topo/generators.h"
 #include "topo/mutators.h"
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace dna::bench {
@@ -43,5 +51,118 @@ inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// ---- machine-readable reports + baseline gate ------------------------------
+//
+// Shared by the plain self-timing benches (bench_service_throughput,
+// bench_scenario_batch) so their BENCH_*.json files keep one shape and one
+// regression-gate policy. A bench records named ns-per-op entries; gated
+// entries are compared against a checked-in baseline, calibrated by an
+// "anchor" entry — fixed engine code measured in this very process — so
+// current/baseline over the anchor isolates machine speed and the >2x gate
+// is about the code, not the runner hardware.
+
+struct BenchEntry {
+  std::string name;
+  size_t ops = 0;
+  double ns_per_op = 0;
+  bool gated = true;  // false: informational (machine-bound or the anchor)
+};
+
+inline long peak_rss_kb() {
+#ifdef __unix__
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
+
+class BenchReport {
+ public:
+  void record(const std::string& name, size_t ops, double seconds,
+              bool gated = true) {
+    const double ns = seconds * 1e9 / static_cast<double>(ops);
+    entries_.push_back({name, ops, ns, gated});
+  }
+
+  double ns_of(const std::string& name) const {
+    for (const BenchEntry& entry : entries_) {
+      if (entry.name == name) return entry.ns_per_op;
+    }
+    return 0;
+  }
+
+  /// Emits the shared "peak_rss_kb" and "results" keys into an open JSON
+  /// object (the caller adds its bench-specific keys around them).
+  void append_json(util::JsonWriter& json) const {
+    json.key("peak_rss_kb").value(static_cast<long long>(peak_rss_kb()));
+    json.key("results").begin_array();
+    for (const BenchEntry& entry : entries_) {
+      json.begin_object();
+      json.key("name").value(entry.name);
+      json.key("ops").value(static_cast<unsigned long long>(entry.ops));
+      json.key("ns_per_op").value(entry.ns_per_op);
+      json.key("gated").value(entry.gated);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  /// Pulls "ns_per_op" for `name` out of a report written by append_json.
+  /// Minimal scan, not a general JSON parser — fine for our own format.
+  static double baseline_ns(const std::string& text, const std::string& name) {
+    const std::string name_token = "\"name\":\"" + name + "\"";
+    size_t pos = text.find(name_token);
+    if (pos == std::string::npos) return 0;
+    const std::string ns_token = "\"ns_per_op\":";
+    pos = text.find(ns_token, pos);
+    if (pos == std::string::npos) return 0;
+    return std::atof(text.c_str() + pos + ns_token.size());
+  }
+
+  /// Compares every gated entry against the baseline at `path`, scaled by
+  /// the `anchor` entry's current/baseline ratio. Returns 0 when nothing
+  /// regressed beyond 2x (calibrated), 1 otherwise.
+  int check_against_baseline(const std::string& path,
+                             const std::string& anchor) const {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    double machine_scale = 1.0;
+    const double anchor_base = baseline_ns(text, anchor);
+    if (anchor_base > 0 && ns_of(anchor) > 0) {
+      machine_scale = ns_of(anchor) / anchor_base;
+    }
+    std::printf("baseline machine-speed calibration: %.2fx\n", machine_scale);
+
+    int failures = 0;
+    for (const BenchEntry& entry : entries_) {
+      if (!entry.gated) continue;
+      const double base = baseline_ns(text, entry.name);
+      if (base <= 0) {
+        std::printf("baseline: %-24s (no entry, skipped)\n",
+                    entry.name.c_str());
+        continue;
+      }
+      const double ratio = entry.ns_per_op / (base * machine_scale);
+      const bool ok = ratio <= 2.0;
+      std::printf(
+          "baseline: %-24s %10.0f -> %10.0f ns (%.2fx calibrated) %s\n",
+          entry.name.c_str(), base, entry.ns_per_op, ratio,
+          ok ? "ok" : "REGRESSION");
+      if (!ok) ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<BenchEntry> entries_;
+};
 
 }  // namespace dna::bench

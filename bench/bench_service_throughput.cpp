@@ -14,6 +14,13 @@
 //     journal off, on without fsync, and on with fsync — what crash
 //     durability actually charges per commit.
 //
+//  4. Sharded serving: the same query batch pushed through a ShardRouter
+//     over 1, 2, and 4 TCP shard processes-worth of DnaServices (in-process
+//     hosts on ephemeral ports — the identical serving stack `dna_cli
+//     shard-serve`/`route` run). Answers must be identical at every shard
+//     count; throughput should scale with the shard count because each
+//     shard owns its partition's queries end to end.
+//
 // Output: human-readable tables plus machine-readable BENCH_service.json
 // (same shape as BENCH_dataflow.json: ns-per-op results, ratios, peak
 // RSS). Flags:
@@ -47,7 +54,11 @@
 #include "bench_common.h"
 #include "core/change.h"
 #include "scenario/spec.h"
+#include "service/net/server.h"
+#include "service/net/tcp.h"
 #include "service/service.h"
+#include "service/shard/host.h"
+#include "service/shard/router.h"
 #include "topo/generators.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -57,27 +68,14 @@ using namespace dna;
 
 namespace {
 
-struct BenchResult {
-  std::string name;
-  size_t ops = 0;
-  double ns_per_op = 0;
-  bool gated = true;  // false: informational (disk-bound or the anchor)
-};
-
-std::vector<BenchResult> g_results;
+bench::BenchReport g_report;
 
 void record(const std::string& name, size_t ops, double seconds,
             bool gated = true) {
-  const double ns = seconds * 1e9 / static_cast<double>(ops);
-  g_results.push_back({name, ops, ns, gated});
+  g_report.record(name, ops, seconds, gated);
 }
 
-double ns_of(const std::string& name) {
-  for (const BenchResult& r : g_results) {
-    if (r.name == name) return r.ns_per_op;
-  }
-  return 0;
-}
+double ns_of(const std::string& name) { return g_report.ns_of(name); }
 
 /// Host-to-host reachability questions derived from the snapshot itself:
 /// one "reach <src> <addr-in-dst-host-net>" per ordered owner pair.
@@ -199,6 +197,112 @@ void bench_live_commit(int k, int trials) {
   }
 }
 
+/// One sharded deployment end to end: N in-process shard hosts on
+/// ephemeral TCP ports, a router over them, itself served on TCP, and a
+/// pool of client connections pushing `queries` through it. Returns the
+/// answer bodies in query order (so callers can assert shard-count
+/// invariance) and the wall time via `out_ms`.
+std::vector<std::string> run_sharded(const topo::Snapshot& base,
+                                     const std::vector<std::string>& queries,
+                                     size_t num_shards, size_t num_clients,
+                                     double* out_ms) {
+  namespace shard = service::shard;
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  std::vector<shard::Dialer> dialers;
+  for (size_t i = 0; i < num_shards; ++i) {
+    shard::ShardHostOptions options;
+    options.service.num_threads = 1;
+    hosts.push_back(std::make_unique<shard::ShardHost>(
+        base, std::vector<core::Invariant>{}, options));
+    dialers.push_back(hosts.back()->dialer());
+  }
+  shard::ShardRouter router(std::move(dialers));
+  if (router.connect_all() != num_shards) {
+    std::fprintf(stderr, "FAIL: sharded bench could not reach every shard\n");
+    std::exit(1);
+  }
+  service::TcpListener listener(0);
+  service::SessionServer server(listener, [&](service::Transport& transport) {
+    shard::RouterSession session(router, transport);
+    session.run();
+    return session.shutdown_requested();
+  });
+  server.start();
+
+  const std::string host = listener.host();
+  const uint16_t port = listener.port();
+  std::vector<std::string> answers(queries.size());
+  std::atomic<bool> failed{false};
+  auto drive = [&](size_t client, bool record) {
+    auto transport = service::connect_tcp(host, port);
+    service::ServiceClient service_client(*transport);
+    for (size_t i = client; i < queries.size(); i += num_clients) {
+      const service::QueryResult result = service_client.request(queries[i]);
+      if (!result.ok) {
+        std::fprintf(stderr, "FAIL: sharded query error: %s\n",
+                     result.body.c_str());
+        failed.store(true);
+        return;
+      }
+      if (record) answers[i] = std::move(result.body);
+    }
+    service_client.close();
+  };
+
+  auto round = [&](bool record) {
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back(drive, c, record);
+    }
+    for (std::thread& thread : clients) thread.join();
+  };
+  round(/*record=*/false);  // warm every shard's replica (base verification)
+  Stopwatch stopwatch;
+  round(/*record=*/true);
+  *out_ms = stopwatch.elapsed_ms();
+
+  server.stop();
+  if (failed.load()) std::exit(1);
+  return answers;
+}
+
+void bench_sharded(int k, size_t num_queries) {
+  const topo::Snapshot base = topo::make_fattree(k);
+  const std::vector<std::string> queries = make_queries(base, num_queries);
+  std::printf(
+      "sharded serving, fat-tree k=%d: %zu queries through a TCP router\n", k,
+      queries.size());
+  std::printf("%8s %12s %12s %10s %10s\n", "shards", "total ms", "queries/s",
+              "speedup", "answers");
+  bench::print_rule(58);
+
+  std::vector<std::string> reference;
+  double s1_ms = 0;
+  bool all_identical = true;
+  for (const size_t shards : {1u, 2u, 4u}) {
+    double ms = 0;
+    const std::vector<std::string> answers =
+        run_sharded(base, queries, shards, /*num_clients=*/8, &ms);
+    // Machine-dependent (cores, loopback stack) — recorded, never gated.
+    record("sharded_s" + std::to_string(shards), queries.size(), ms / 1e3,
+           /*gated=*/false);
+    if (reference.empty()) {
+      reference = answers;
+      s1_ms = ms;
+    }
+    const bool identical = answers == reference;
+    all_identical = all_identical && identical;
+    std::printf("%8zu %12.1f %12.0f %9.2fx %10s\n", shards, ms,
+                queries.size() / (ms / 1e3), s1_ms / ms,
+                identical ? "identical" : "DIVERGED");
+  }
+  std::printf("\n");
+  if (!all_identical) {
+    std::printf("FAIL: answers diverged across shard counts\n");
+    std::exit(1);
+  }
+}
+
 /// The durability bill: identical differential commits through the
 /// write-ahead journal, without and with per-commit fsync.
 void bench_journal_commit(int k, int trials) {
@@ -254,35 +358,23 @@ void bench_journal_commit(int k, int trials) {
 
 // ---- report ---------------------------------------------------------------
 
-long peak_rss_kb() {
-#ifdef __unix__
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
-#endif
-  return 0;
-}
-
 void write_json(const std::string& path, bool quick) {
   util::JsonWriter json;
   json.begin_object();
   json.key("bench").value("service_throughput");
   json.key("quick").value(quick);
-  json.key("peak_rss_kb").value(static_cast<long long>(peak_rss_kb()));
-  json.key("results").begin_array();
-  for (const BenchResult& r : g_results) {
-    json.begin_object();
-    json.key("name").value(r.name);
-    json.key("ops").value(static_cast<unsigned long long>(r.ops));
-    json.key("ns_per_op").value(r.ns_per_op);
-    json.key("gated").value(r.gated);
-    json.end_object();
-  }
-  json.end_array();
+  g_report.append_json(json);
   json.key("speedups").begin_object();
   json.key("differential_vs_monolithic")
       .value(ns_of("commit_differential") > 0
                  ? ns_of("commit_monolithic") / ns_of("commit_differential")
                  : 0);
+  json.key("sharded_2_vs_1")
+      .value(ns_of("sharded_s2") > 0 ? ns_of("sharded_s1") / ns_of("sharded_s2")
+                                     : 0);
+  json.key("sharded_4_vs_1")
+      .value(ns_of("sharded_s4") > 0 ? ns_of("sharded_s1") / ns_of("sharded_s4")
+                                     : 0);
   json.end_object();
   json.key("overheads").begin_object();
   json.key("journal_nofsync")
@@ -301,57 +393,6 @@ void write_json(const std::string& path, bool quick) {
   std::ofstream out(path);
   out << json.str() << "\n";
   std::printf("wrote %s\n", path.c_str());
-}
-
-/// Pulls "ns_per_op" for `name` out of a report produced by write_json.
-/// Minimal scan, not a general JSON parser — fine for our own format.
-double baseline_ns(const std::string& text, const std::string& name) {
-  const std::string name_token = "\"name\":\"" + name + "\"";
-  size_t pos = text.find(name_token);
-  if (pos == std::string::npos) return 0;
-  const std::string ns_token = "\"ns_per_op\":";
-  pos = text.find(ns_token, pos);
-  if (pos == std::string::npos) return 0;
-  return std::atof(text.c_str() + pos + ns_token.size());
-}
-
-int check_against_baseline(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
-    return 1;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  // The baseline was recorded on some other machine; raw ns does not port.
-  // The monolithic commit is fixed engine code measured in this very
-  // process, so current/baseline over it isolates machine speed and makes
-  // the >2x gate about serving-layer regressions, not runner hardware.
-  double machine_scale = 1.0;
-  const double anchor = baseline_ns(text, "commit_monolithic");
-  if (anchor > 0 && ns_of("commit_monolithic") > 0) {
-    machine_scale = ns_of("commit_monolithic") / anchor;
-  }
-  std::printf("baseline machine-speed calibration: %.2fx\n", machine_scale);
-
-  int failures = 0;
-  for (const BenchResult& r : g_results) {
-    if (!r.gated) continue;
-    const double base = baseline_ns(text, r.name);
-    if (base <= 0) {
-      std::printf("baseline: %-24s (no entry, skipped)\n", r.name.c_str());
-      continue;
-    }
-    const double ratio = r.ns_per_op / (base * machine_scale);
-    const bool ok = ratio <= 2.0;
-    std::printf("baseline: %-24s %10.0f -> %10.0f ns (%.2fx calibrated) %s\n",
-                r.name.c_str(), base, r.ns_per_op, ratio,
-                ok ? "ok" : "REGRESSION");
-    if (!ok) ++failures;
-  }
-  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -389,11 +430,17 @@ int main(int argc, char** argv) {
 
   const int trials = quick ? 3 : 5;
   bench_throughput(k, num_queries);
+  bench_sharded(k, quick ? num_queries / 2 : num_queries);
   bench_live_commit(k, trials);
   bench_journal_commit(k, trials);
   write_json(json_path, quick);
 
-  if (!baseline_path.empty() && check_against_baseline(baseline_path) != 0) {
+  // The monolithic commit is fixed engine code measured in this very
+  // process — the calibration anchor that makes the >2x gate about
+  // serving-layer regressions, not runner hardware.
+  if (!baseline_path.empty() &&
+      g_report.check_against_baseline(baseline_path, "commit_monolithic") !=
+          0) {
     return 1;
   }
   return 0;

@@ -2,15 +2,18 @@
 // administrative distance, plus the connected/static candidate derivations.
 #pragma once
 
-#include <map>
-
 #include "controlplane/route.h"
 #include "topo/snapshot.h"
+#include "util/flat_map.h"
 
 namespace dna::cp {
 
-/// Candidate routes per prefix, to be merged by admin distance.
-using RibCandidates = std::map<Ipv4Prefix, std::vector<FibEntry>>;
+/// Candidate routes per prefix, to be merged by admin distance. Hash-keyed
+/// (util/flat_map.h) rather than tree-ordered: assembly only ever appends
+/// per-prefix and merge_to_fib sorts its output, so the red-black tree's
+/// ordering was pure overhead on the FIB rebuild path.
+using RibCandidates =
+    util::FlatMap<Ipv4Prefix, std::vector<FibEntry>, std::hash<Ipv4Prefix>>;
 
 /// Adds connected-subnet entries for a node's enabled interfaces.
 void add_connected_routes(const topo::Snapshot& snapshot, topo::NodeId node,

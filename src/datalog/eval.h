@@ -21,11 +21,18 @@
 
 #include "datalog/ast.h"
 #include "datalog/stratify.h"
+#include "util/flat_map.h"
 
 namespace dna::datalog {
 
 using TupleSet = std::unordered_set<Tuple, TupleHash>;
-using CountMap = std::unordered_map<Tuple, int64_t, TupleHash>;
+/// Fact storage rides the same open-addressing map as the dataflow
+/// operators (util/flat_map.h): counts and index buckets are probed on
+/// every derivation, and the node-based std::unordered_map spent the
+/// evaluator's time in the allocator. Mutation discipline matches the
+/// FlatMap contract — the evaluator never mutates a relation while a plan
+/// enumeration is iterating it (sinks buffer; see evaluate_program).
+using CountMap = util::FlatMap<Tuple, int64_t, TupleHash>;
 
 /// Indexed fact storage for one relation.
 class Relation {
@@ -54,7 +61,7 @@ class Relation {
  private:
   struct Index {
     std::vector<int> cols;
-    std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> buckets;
+    util::FlatMap<Tuple, std::vector<Tuple>, TupleHash> buckets;
   };
 
   void index_insert(Index& index, const Tuple& t);

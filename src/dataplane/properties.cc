@@ -27,6 +27,19 @@ bool loop_free(const Verifier& verifier, const Ipv4Prefix& traffic) {
   return true;
 }
 
+bool loop_free_from(const Verifier& verifier, const std::vector<bool>& sources,
+                    const Ipv4Prefix& traffic) {
+  for (EcId ec : verifier.ec_index().covering(traffic)) {
+    const auto& loop = verifier.reach(ec).loop;
+    for (size_t node = 0; node < sources.size(); ++node) {
+      if (sources[node] && loop.test(static_cast<topo::NodeId>(node))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool blackhole_free(const Verifier& verifier, topo::NodeId src,
                     const Ipv4Prefix& traffic) {
   for (EcId ec : verifier.ec_index().covering(traffic)) {

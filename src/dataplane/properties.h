@@ -22,6 +22,13 @@ bool all_reach(const Verifier& verifier, topo::NodeId src, topo::NodeId dst,
 /// destination in `traffic`.
 bool loop_free(const Verifier& verifier, const Ipv4Prefix& traffic);
 
+/// Partition-scoped loop freedom: true if no ingress whose flag is set in
+/// `sources` (indexed by NodeId) hits a forwarding loop within `traffic`.
+/// ANDing this over a partition of the node set equals loop_free() — the
+/// decomposition the shard tier's scatter/gather rides on.
+bool loop_free_from(const Verifier& verifier, const std::vector<bool>& sources,
+                    const Ipv4Prefix& traffic);
+
 /// True if `src` never reaches a blackhole for destinations in `traffic`.
 bool blackhole_free(const Verifier& verifier, topo::NodeId src,
                     const Ipv4Prefix& traffic);

@@ -1,0 +1,76 @@
+#include "service/net/server.h"
+
+namespace dna::service {
+
+SessionServer::SessionServer(Listener& listener, Handler handler)
+    : listener_(listener), handler_(std::move(handler)) {}
+
+SessionServer::~SessionServer() { stop(); }
+
+void SessionServer::reap(bool all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: a session thread may be inside its handler,
+  // which could accept-side reap on another thread.
+  for (const auto& connection : finished) connection->thread.join();
+}
+
+void SessionServer::run() {
+  while (auto transport = listener_.accept()) {
+    reap(/*all=*/false);
+    auto connection = std::make_unique<Connection>();
+    connection->transport = std::move(transport);
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] {
+      if (handler_(*raw->transport)) {
+        shutdown_requested_.store(true);
+        listener_.close();
+      }
+      raw->done.store(true);
+    });
+  }
+  // Listener closed: evict sessions still connected (an idle client must
+  // not be able to hang shutdown), then join everything.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& connection : connections_) {
+      connection->transport->abort();
+    }
+  }
+  reap(/*all=*/true);
+}
+
+void SessionServer::start() {
+  background_ = std::thread([this] { run(); });
+}
+
+void SessionServer::join() {
+  if (background_.joinable()) background_.join();
+}
+
+void SessionServer::stop() {
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& connection : connections_) {
+      connection->transport->abort();
+    }
+  }
+  join();
+}
+
+}  // namespace dna::service

@@ -1,0 +1,79 @@
+// A transport-agnostic serving loop: accept connections from a Listener,
+// pump each one on its own thread, reap finished sessions, and tear
+// everything down cleanly when one session requests shutdown (or the host
+// calls stop()).
+//
+// Extracted from the dna_cli serve loop so every process role — monolithic
+// server, shard, router — shares one accept/reap/evict implementation:
+//
+//   TcpListener listener(port);
+//   SessionServer server(listener, [&](Transport& t) {
+//     ServerSession session(service, t);
+//     session.run();
+//     return session.shutdown_requested();
+//   });
+//   server.run();   // blocks until shutdown is requested (or stop())
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/transport.h"
+
+namespace dna::service {
+
+class SessionServer {
+ public:
+  /// Serves one connection until it ends; returns true to stop the whole
+  /// server (a session-level shutdown request). Runs on a per-connection
+  /// thread; must not throw.
+  using Handler = std::function<bool(Transport&)>;
+
+  SessionServer(Listener& listener, Handler handler);
+  /// stop()s and joins; safe when the server never ran.
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Accept loop: blocks until the listener closes (via a handler returning
+  /// true, or stop()), then evicts still-connected sessions and joins them.
+  void run();
+
+  /// run() on a background thread — how in-process shard hosts serve.
+  void start();
+
+  /// Joins the background thread (blocks until serving ends) without
+  /// closing anything — the "wait for shutdown" primitive.
+  void join();
+
+  /// Closes the listener and aborts live sessions; joins the background
+  /// thread if start() was used. Idempotent, callable from any thread.
+  void stop();
+
+  /// True once some session requested shutdown (vs an external stop()).
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+ private:
+  struct Connection {
+    std::unique_ptr<Transport> transport;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// Joins (and drops) finished connections — all of them when `all`.
+  void reap(bool all);
+
+  Listener& listener_;
+  Handler handler_;
+  std::mutex mutex_;  // guards connections_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread background_;
+};
+
+}  // namespace dna::service

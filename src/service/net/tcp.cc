@@ -1,0 +1,166 @@
+#include "service/net/tcp.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace dna::service {
+
+HostPort parse_hostport(const std::string& text) {
+  HostPort result;
+  const size_t colon = text.rfind(':');
+  std::string port_text;
+  if (colon == std::string::npos) {
+    port_text = text;
+  } else {
+    if (colon > 0) result.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  const long long port = parse_int(port_text);
+  if (port < 0 || port > 65535) {
+    throw Error("bad port in endpoint: " + text);
+  }
+  result.port = static_cast<uint16_t>(port);
+  return result;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: a transport that works without the latency tweak beats an
+  // error for an option some stacks reject.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Resolves host:port to IPv4 socket addresses (getaddrinfo handles both
+/// dotted quads and names like "localhost").
+std::vector<sockaddr_in> resolve(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &list);
+  if (rc != 0) {
+    throw Error("cannot resolve " + host + ": " + gai_strerror(rc));
+  }
+  std::vector<sockaddr_in> addrs;
+  for (const addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family == AF_INET &&
+        ai->ai_addrlen == sizeof(sockaddr_in)) {
+      sockaddr_in addr;
+      std::memcpy(&addr, ai->ai_addr, sizeof(addr));
+      addrs.push_back(addr);
+    }
+  }
+  ::freeaddrinfo(list);
+  if (addrs.empty()) throw Error("no IPv4 address for " + host);
+  return addrs;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(uint16_t port, const std::string& host)
+    : host_(host) {
+  const sockaddr_in addr = resolve(host, port).front();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("socket() failed: " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto fail = [&](const std::string& what) {
+    const std::string detail = strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(what + "(" + host + ":" + std::to_string(port) +
+                ") failed: " + detail);
+  };
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    fail("bind");
+  }
+  if (::listen(fd_, 64) < 0) fail("listen");
+  // Read the port back: resolves an ephemeral bind (port 0) to the actual
+  // port, the handshake tests and in-process shard hosts depend on.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      set_nodelay(client);
+      return make_fd_transport(client);
+    }
+    if (errno == EINTR) continue;
+    return nullptr;  // listener shut down (or broken): stop serving
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() on a listening TCP socket is how a thread parked in
+    // accept() gets unblocked on Linux (mirrors UnixListener::close); the
+    // fd stays valid until destruction so no racing accept() touches a
+    // stale fd.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+std::unique_ptr<Transport> connect_tcp(const std::string& host,
+                                       uint16_t port) {
+  std::string detail = "no address";
+  for (const sockaddr_in& addr : resolve(host, port)) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw Error("socket() failed: " + std::string(strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return make_fd_transport(fd);
+    }
+    detail = strerror(errno);
+    ::close(fd);
+  }
+  throw Error("connect(" + host + ":" + std::to_string(port) +
+              ") failed: " + detail);
+}
+
+#else  // _WIN32: mirror transport.cc — socket transports are POSIX-only.
+
+TcpListener::TcpListener(uint16_t, const std::string&) {
+  throw Error("TCP sockets are not available on this platform");
+}
+TcpListener::~TcpListener() = default;
+std::unique_ptr<Transport> TcpListener::accept() { return nullptr; }
+void TcpListener::close() {}
+std::unique_ptr<Transport> connect_tcp(const std::string&, uint16_t) {
+  throw Error("TCP sockets are not available on this platform");
+}
+
+#endif
+
+}  // namespace dna::service

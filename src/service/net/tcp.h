@@ -1,0 +1,66 @@
+// TCP transport for the query service: the scale-out sibling of the
+// unix-domain socket path in transport.h.
+//
+// The wire format is unchanged — the same framed protocol (protocol.h) runs
+// over a TcpListener-accepted connection that the loopback and unix-domain
+// transports carry, so a TCP deployment answers byte-identically to a local
+// one (tests/test_net.cc asserts exactly that).
+//
+// Listeners bind to one address (default 127.0.0.1 — shard tiers talk over
+// the host's loopback or a private fabric, never the open internet by
+// default); port 0 asks the kernel for an ephemeral port, resolved via
+// port() — how tests and benches run whole shard deployments in-process
+// without port coordination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/transport.h"
+
+namespace dna::service {
+
+/// A listening TCP socket. accept() blocks until a client connects or
+/// close() is called (from any thread), after which it returns nullptr.
+/// Accepted connections have TCP_NODELAY set — the protocol is
+/// request/response and a 40 ms Nagle stall would dominate every query.
+class TcpListener : public Listener {
+ public:
+  /// Binds and listens on `host:port`. Port 0 binds an ephemeral port
+  /// (read it back with port()). Throws dna::Error on failure.
+  explicit TcpListener(uint16_t port, const std::string& host = "127.0.0.1");
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::unique_ptr<Transport> accept() override;
+  void close() override;
+
+  /// The actually bound port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  std::string host_;
+  uint16_t port_ = 0;
+  int fd_ = -1;
+};
+
+/// Connects to a serving TcpListener (TCP_NODELAY set). Throws dna::Error
+/// on resolution or connection failure.
+std::unique_ptr<Transport> connect_tcp(const std::string& host, uint16_t port);
+
+/// An endpoint named on the command line: "host:port" (or ":port" / "port",
+/// defaulting the host to 127.0.0.1).
+struct HostPort {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Parses "host:port", ":port" or a bare "port". Throws dna::Error on a
+/// malformed or out-of-range port.
+HostPort parse_hostport(const std::string& text);
+
+}  // namespace dna::service

@@ -7,6 +7,7 @@
 #include "core/paths.h"
 #include "dataplane/properties.h"
 #include "scenario/report.h"
+#include "service/shard/partition.h"
 #include "topo/textio.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -178,26 +179,63 @@ std::string random_change_text(const topo::Snapshot& base, Rng& rng,
 
 Query parse_query(const std::string& line) {
   const std::vector<std::string> tokens = split_ws(line);
-  if (tokens.empty()) throw Error("empty query");
   Query query;
   query.text = std::string(trim(line));
-  const std::string& verb = tokens[0];
-  if (verb == "version" && tokens.size() == 1) {
+
+  // Leading modifiers (any order, each at most meaningful once): `@<id>`
+  // pins the version, `part <i>/<n>` scopes the evaluation to one
+  // partition of the topology-hash split.
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    const std::string& token = tokens[pos];
+    if (token.size() > 1 && token[0] == '@') {
+      const long long id = parse_int(token.substr(1));
+      if (id <= 0) throw Error("bad version pin: " + token);
+      query.pinned_version = static_cast<uint64_t>(id);
+      ++pos;
+      continue;
+    }
+    if (token == "part") {
+      if (pos + 1 >= tokens.size()) throw Error("part needs <i>/<n>");
+      const std::string& spec = tokens[pos + 1];
+      const size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        throw Error("bad partition scope: " + spec);
+      }
+      const long long index = parse_int(spec.substr(0, slash));
+      const long long count = parse_int(spec.substr(slash + 1));
+      if (count < 1 || index < 0 || index >= count ||
+          count > std::numeric_limits<uint32_t>::max()) {
+        throw Error("bad partition scope: " + spec);
+      }
+      query.scope_index = static_cast<uint32_t>(index);
+      query.scope_count = static_cast<uint32_t>(count);
+      pos += 2;
+      continue;
+    }
+    break;
+  }
+
+  if (pos >= tokens.size()) throw Error("empty query");
+  const std::string& verb = tokens[pos];
+  const size_t arity = tokens.size() - pos;  // verb + operands
+  if (verb == "version" && arity == 1) {
     query.kind = QueryKind::kVersion;
-  } else if (verb == "hash" && tokens.size() == 1) {
+  } else if (verb == "hash" && arity == 1) {
     query.kind = QueryKind::kHash;
-  } else if (verb == "reach" && tokens.size() == 3) {
+  } else if (verb == "reach" && arity == 3) {
     query.kind = QueryKind::kReach;
-    query.src = tokens[1];
-    query.dst = parse_addr(tokens[2]);
-  } else if (verb == "paths" && tokens.size() == 3) {
+    query.src = tokens[pos + 1];
+    query.dst = parse_addr(tokens[pos + 2]);
+  } else if (verb == "paths" && arity == 3) {
     query.kind = QueryKind::kPaths;
-    query.src = tokens[1];
-    query.dst = parse_addr(tokens[2]);
+    query.src = tokens[pos + 1];
+    query.dst = parse_addr(tokens[pos + 2]);
   } else if (verb == "check") {
     query.kind = QueryKind::kCheck;
     query.invariant = parse_invariant(
-        std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+        std::vector<std::string>(tokens.begin() + static_cast<long>(pos) + 1,
+                                 tokens.end()));
   } else if (verb == "whatif") {
     query.kind = QueryKind::kWhatIf;
     const size_t at = line.find("whatif");
@@ -278,9 +316,23 @@ QueryResult eval_query(const Query& query, const Version& version,
         break;
       }
       case QueryKind::kCheck: {
-        const bool holds =
-            core::eval_invariant(query.invariant, engine.snapshot(),
-                                 engine.verifier());
+        bool holds;
+        if (query.scope_count > 1 &&
+            query.invariant.kind == core::Invariant::Kind::kLoopFree) {
+          // Partition-scoped loop freedom: vouch only for ingress at nodes
+          // this partition owns. The rendered body is identical to the
+          // unscoped form, so a scatter/gather merge of all partitions is
+          // byte-identical to one monolithic evaluation.
+          const shard::PartitionMap partition(query.scope_count);
+          holds = dp::loop_free_from(
+              engine.verifier(),
+              partition.owned_nodes(engine.snapshot().topology,
+                                    query.scope_index),
+              query.invariant.traffic);
+        } else {
+          holds = core::eval_invariant(query.invariant, engine.snapshot(),
+                                       engine.verifier());
+        }
         body << "holds " << (holds ? "true" : "false") << " | "
              << query.invariant.describe();
         break;

@@ -16,6 +16,20 @@
 //   whatif <change...>                   blast radius of a candidate change
 //                                        (evaluated, never committed)
 //
+// A query line may be prefixed by modifiers, in any order:
+//
+//   @<id>                                pin the query to live version <id>
+//                                        instead of the head (time-travel
+//                                        debugging; the store must still
+//                                        hold the version — see version.h)
+//   part <i>/<n>                         evaluate as partition i of an
+//                                        n-way topology-hash split (see
+//                                        shard/partition.h). Scopes
+//                                        network-global checks (loopfree)
+//                                        to sources owned by partition i;
+//                                        the shard router's scatter/gather
+//                                        ANDs the per-partition verdicts.
+//
 // Change mini-language (whatif above, and the session layer's `commit`):
 // steps joined by ';', each one of
 //
@@ -45,6 +59,12 @@ struct Query {
   Ipv4Addr dst;               // reach / paths
   core::Invariant invariant;  // check
   core::ChangePlan plan{""};  // whatif
+
+  /// Version pin (`@<id>` modifier); 0 = the head at submission time.
+  uint64_t pinned_version = 0;
+  /// Partition scope (`part i/n` modifier); count 1 = the whole network.
+  uint32_t scope_index = 0;
+  uint32_t scope_count = 1;
 };
 
 /// Parses one request line. Throws dna::Error with a caller-facing message

@@ -24,6 +24,7 @@ DnaService::DnaService(topo::Snapshot base,
              journaled_base_id(journal_.get())),
       pool_(options_.num_threads),
       workers_(pool_.num_workers()) {
+  store_.keep_history(options_.keep_versions);
   writer_ = make_engine(*store_.head()->snapshot);
   if (journal_) {
     replay_journal();
@@ -120,8 +121,25 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
   // Capture the head *before* taking the queue lock: a commit racing this
   // submit may publish in between, which only means the query was serviced
   // against the version that was current when it arrived — exactly the
-  // read-your-submission-time semantics a versioned store promises.
-  VersionHandle version = store_.head();
+  // read-your-submission-time semantics a versioned store promises. A
+  // pinned query instead resolves its named version, which the handle then
+  // keeps alive until the batch evaluates it.
+  VersionHandle version = query.pinned_version == 0
+                              ? store_.head()
+                              : store_.find(query.pinned_version);
+  if (!version) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = "version " + std::to_string(query.pinned_version) +
+                  " is not live (never published, or already retired)";
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.queries_total;
+      ++metrics_.queries_failed;
+    }
+    promise.set_value(std::move(failed));
+    return future;
+  }
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     // Backpressure: at the configured bound, give the dispatcher one

@@ -73,6 +73,11 @@ struct ServiceOptions {
   /// ok=false) instead of growing the queue or blocking forever.
   size_t max_queue_depth = 0;
   std::chrono::milliseconds submit_deadline{100};
+  /// Recent versions the store pins beyond the head (SnapshotStore::
+  /// keep_history), so `@<id>`-pinned queries can time-travel into recent
+  /// history even when no reader leases it. 0 = only reader-leased
+  /// versions stay queryable by id.
+  size_t keep_versions = 0;
 };
 
 /// What a commit did: the published version and its blast radius.
@@ -120,7 +125,9 @@ class DnaService {
 
   // ---- reader API ----------------------------------------------------------
 
-  /// Parses and enqueues one query line against the current head version.
+  /// Parses and enqueues one query line against the current head version —
+  /// or, for an `@<id>`-pinned line, against that live version (a pin to a
+  /// retired or never-published id resolves ok=false without enqueueing).
   /// Never throws: parse failures resolve the future immediately with
   /// ok=false. The future is resolved by a dispatcher batch.
   std::future<QueryResult> submit(const std::string& query_line);

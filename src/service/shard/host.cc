@@ -1,0 +1,77 @@
+#include "service/shard/host.h"
+
+#include <thread>
+
+#include "service/session.h"
+
+namespace dna::service::shard {
+
+ShardHost::ShardHost(topo::Snapshot base,
+                     std::vector<core::Invariant> invariants,
+                     ShardHostOptions options)
+    : service_(std::move(base), std::move(invariants), options.service),
+      listener_(options.port, options.host),
+      server_(listener_, [this](Transport& transport) {
+        ServerSession session(service_, transport);
+        session.run();
+        return session.shutdown_requested();
+      }) {
+  server_.start();
+}
+
+ShardHost::~ShardHost() { stop(); }
+
+Dialer ShardHost::dialer() const {
+  const std::string host = listener_.host();
+  const uint16_t port = listener_.port();
+  return [host, port] { return connect_tcp(host, port); };
+}
+
+void ShardHost::wait() { server_.join(); }
+
+void ShardHost::stop() { server_.stop(); }
+
+namespace {
+
+/// The client end of a LoopbackChannel, bundled with the channel itself
+/// and the thread pumping a ServerSession on the other end.
+class LoopbackClientTransport : public Transport {
+ public:
+  explicit LoopbackClientTransport(DnaService& service)
+      : channel_(std::make_unique<LoopbackChannel>()) {
+    session_ = std::thread([this, &service] {
+      ServerSession session(service, channel_->server());
+      session.run();
+    });
+  }
+
+  ~LoopbackClientTransport() override {
+    // Aborting the client end closes both directions; the session's recv
+    // unblocks with end-of-stream and the thread exits.
+    channel_->client().abort();
+    session_.join();
+  }
+
+  void send(std::string_view bytes) override {
+    channel_->client().send(bytes);
+  }
+  size_t recv(char* buffer, size_t max) override {
+    return channel_->client().recv(buffer, max);
+  }
+  void close_send() override { channel_->client().close_send(); }
+  void abort() override { channel_->client().abort(); }
+
+ private:
+  std::unique_ptr<LoopbackChannel> channel_;
+  std::thread session_;
+};
+
+}  // namespace
+
+Dialer loopback_dial(DnaService& service) {
+  return [&service]() -> std::unique_ptr<Transport> {
+    return std::make_unique<LoopbackClientTransport>(service);
+  };
+}
+
+}  // namespace dna::service::shard

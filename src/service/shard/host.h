@@ -1,0 +1,70 @@
+// ShardHost: one shard of a sharded DNA deployment, embeddable anywhere.
+//
+// A shard is just a full DnaService (optionally journaled) served over a
+// Listener by a SessionServer. `dna_cli shard-serve` wraps one in a
+// process; tests and benches run several in-process on ephemeral TCP ports
+// — same code path either way, so the multi-process smoke and the in-
+// process equivalence tests exercise the identical serving stack.
+//
+// loopback_dial() is the zero-socket Dialer for router tests: each dial
+// spins up a LoopbackChannel with a ServerSession pumping its server end,
+// and hands back the client end as a self-contained Transport.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "service/net/server.h"
+#include "service/net/tcp.h"
+#include "service/service.h"
+#include "service/shard/router.h"
+
+namespace dna::service::shard {
+
+struct ShardHostOptions {
+  ServiceOptions service;
+  /// TCP bind address; port 0 picks an ephemeral port (see port()).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+class ShardHost {
+ public:
+  /// Builds the shard's DnaService (journal recovery and all) and starts
+  /// serving sessions in the background. Throws dna::Error when the port
+  /// cannot be bound or recovery fails.
+  ShardHost(topo::Snapshot base, std::vector<core::Invariant> invariants,
+            ShardHostOptions options = {});
+  /// stop()s and joins.
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  DnaService& service() { return service_; }
+  uint16_t port() const { return listener_.port(); }
+  const std::string& host() const { return listener_.host(); }
+
+  /// A Dialer connecting to this host over TCP — the router-side handle.
+  Dialer dialer() const;
+
+  /// Blocks until serving ends (a session-requested shutdown or stop()).
+  void wait();
+  /// True once some session asked this shard to shut down.
+  bool shutdown_requested() const { return server_.shutdown_requested(); }
+  /// Stops serving: closes the listener and evicts live sessions. The
+  /// DnaService stays queryable in-process until destruction.
+  void stop();
+
+ private:
+  DnaService service_;
+  TcpListener listener_;
+  SessionServer server_;
+};
+
+/// A Dialer over `service` that needs no sockets: every dial creates an
+/// in-memory duplex channel served by a dedicated session thread, torn
+/// down when the returned Transport is destroyed.
+Dialer loopback_dial(DnaService& service);
+
+}  // namespace dna::service::shard

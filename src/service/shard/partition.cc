@@ -1,0 +1,43 @@
+#include "service/shard/partition.h"
+
+#include "util/error.h"
+
+namespace dna::service::shard {
+
+uint64_t stable_name_hash(std::string_view name) {
+  uint64_t digest = 1469598103934665603ULL;
+  for (const char c : name) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ULL;
+  }
+  return digest;
+}
+
+uint32_t shard_of(std::string_view node_name, uint32_t count) {
+  DNA_CHECK_MSG(count >= 1, "partition count must be >= 1");
+  return static_cast<uint32_t>(stable_name_hash(node_name) % count);
+}
+
+PartitionMap::PartitionMap(uint32_t count) : count_(count) {
+  DNA_CHECK_MSG(count >= 1, "partition count must be >= 1");
+}
+
+std::vector<bool> PartitionMap::owned_nodes(const topo::Topology& topology,
+                                            uint32_t index) const {
+  std::vector<bool> owned(topology.num_nodes(), false);
+  for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    owned[node] = owns(index, topology.node_name(node));
+  }
+  return owned;
+}
+
+std::vector<size_t> PartitionMap::histogram(
+    const topo::Topology& topology) const {
+  std::vector<size_t> counts(count_, 0);
+  for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    ++counts[owner_of(topology.node_name(node))];
+  }
+  return counts;
+}
+
+}  // namespace dna::service::shard

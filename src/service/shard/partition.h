@@ -1,0 +1,62 @@
+// The shard tier's partition map: which shard owns which network region.
+//
+// Ownership is by topology hash — a stable FNV-1a over the node *name*, mod
+// the shard count. Hashing names (not ids) makes the map a pure function of
+// the topology and the shard count: every process that knows N computes the
+// identical map with no coordination, it survives router and shard restarts,
+// and it is independent of node-id numbering. The analyses the service runs
+// decompose per source region (the differential-network-analysis literature
+// leans on the same decomposition), so:
+//
+//  * single-source queries (reach/paths, src-ful checks) route to the one
+//    shard owning the source node, and
+//  * network-global checks (loopfree) scatter as per-partition scopes
+//    ("part i/n <query>", query.h) whose verdicts AND together — each shard
+//    vouches for ingress in its own region, and the union of regions is the
+//    whole network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace dna::service::shard {
+
+/// The stable name hash behind the partition map (FNV-1a, fixed across
+/// platforms and standard-library implementations).
+uint64_t stable_name_hash(std::string_view name);
+
+/// The shard (in 0..count-1) owning `node_name` in a `count`-way partition.
+/// count must be >= 1.
+uint32_t shard_of(std::string_view node_name, uint32_t count);
+
+/// A fixed `count`-way partition of node ownership.
+class PartitionMap {
+ public:
+  explicit PartitionMap(uint32_t count);
+
+  uint32_t count() const { return count_; }
+  uint32_t owner_of(std::string_view node_name) const {
+    return shard_of(node_name, count_);
+  }
+  bool owns(uint32_t index, std::string_view node_name) const {
+    return owner_of(node_name) == index;
+  }
+
+  /// Per-node ownership flags for partition `index` of `topology` — the
+  /// source filter a scoped (part i/n) check evaluates under.
+  std::vector<bool> owned_nodes(const topo::Topology& topology,
+                                uint32_t index) const;
+
+  /// Nodes per shard for `topology` — the balance diagnostic printed by
+  /// `dna_cli route`.
+  std::vector<size_t> histogram(const topo::Topology& topology) const;
+
+ private:
+  uint32_t count_;
+};
+
+}  // namespace dna::service::shard

@@ -1,0 +1,407 @@
+#include "service/shard/router.h"
+
+#include <sstream>
+
+#include "service/query.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dna::service::shard {
+
+ShardRouter::ShardRouter(std::vector<Dialer> dialers)
+    : partition_(static_cast<uint32_t>(dialers.size())) {
+  DNA_CHECK_MSG(!dialers.empty(), "a router needs at least one shard");
+  shards_.reserve(dialers.size());
+  for (Dialer& dialer : dialers) {
+    auto shard = std::make_unique<Shard>();
+    shard->dial = std::move(dialer);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+size_t ShardRouter::connect_all() {
+  size_t reachable = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    try {
+      ensure_connected(shard, i);
+      ++reachable;
+    } catch (const Error& e) {
+      // A version mismatch the catch-up cannot repair is divergence, not
+      // unavailability — surface it instead of serving a split-brain tier.
+      if (std::string(e.what()).find("diverged") != std::string::npos ||
+          std::string(e.what()).find("gap") != std::string::npos) {
+        throw;
+      }
+      disconnect(shard);
+    } catch (const std::exception&) {
+      disconnect(shard);
+    }
+  }
+  return reachable;
+}
+
+void ShardRouter::disconnect(Shard& shard) {
+  shard.client.reset();
+  shard.transport.reset();
+}
+
+void ShardRouter::ensure_connected(Shard& shard, size_t index) {
+  if (shard.client) return;
+  shard.transport = shard.dial();
+  shard.client = std::make_unique<ServiceClient>(*shard.transport);
+
+  // Where is the shard? A restarted shard has already replayed its own
+  // journal; the delta to the deployment head is what the router owes it.
+  const QueryResult probe = shard.client->request("version");
+  if (!probe.ok) throw Error("version probe failed: " + probe.body);
+  if (shard.ever_connected) {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.reconnects;
+  }
+  shard.ever_connected = true;
+  shard.version = probe.version;
+
+  std::vector<HistoryEntry> missed;
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    if (head_version_ == 0) head_version_ = shard.version;  // first contact
+    for (const HistoryEntry& entry : history_) {
+      if (entry.version > shard.version) missed.push_back(entry);
+    }
+    const uint64_t after_replay =
+        missed.empty() ? shard.version : missed.back().version;
+    if (after_replay < head_version_) {
+      throw Error("shard " + std::to_string(index) + " is at version " +
+                  std::to_string(shard.version) + " but the deployment is at " +
+                  std::to_string(head_version_) +
+                  " — history gap the router cannot replay");
+    }
+  }
+
+  // Reconnect-and-replay: re-commit, in order, everything the shard missed
+  // while it was down. Version ids make this exactly-once — a commit the
+  // shard applied before crashing is already reflected in its journaled
+  // head, so it was filtered out above.
+  for (const HistoryEntry& entry : missed) {
+    const QueryResult replayed =
+        shard.client->request("commit " + entry.change_text);
+    if (!replayed.ok || replayed.version != entry.version) {
+      throw Error("replay of version " + std::to_string(entry.version) +
+                  " diverged on shard " + std::to_string(index) + ": " +
+                  (replayed.ok ? "acked version " +
+                                     std::to_string(replayed.version)
+                               : replayed.body));
+    }
+    shard.version = replayed.version;
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.replayed_commits;
+  }
+}
+
+QueryResult ShardRouter::request_locked(Shard& shard, size_t index,
+                                        const std::string& line) {
+  ensure_connected(shard, index);
+  return shard.client->request(line);
+}
+
+QueryResult ShardRouter::request_on(size_t index, const std::string& line,
+                                    bool retry_once) {
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const bool had_connection = shard.client != nullptr;
+  std::string detail;
+  try {
+    return request_locked(shard, index, line);
+  } catch (const std::exception& e) {
+    disconnect(shard);
+    detail = e.what();
+  }
+  // A failure on a connection we already held may just be staleness (the
+  // shard restarted since): one fresh dial retries the request. A failure
+  // on a fresh dial is the shard being down — no point repeating it.
+  if (retry_once && had_connection) {
+    try {
+      return request_locked(shard, index, line);
+    } catch (const std::exception& e) {
+      disconnect(shard);
+      detail = e.what();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.shard_errors;
+  }
+  throw Error("shard " + std::to_string(index) + " unavailable: " + detail);
+}
+
+QueryResult ShardRouter::handle_commit(const std::string& line) {
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  const std::string change_text(trim(line.substr(6)));
+
+  QueryResult first_ok;
+  bool have_ok = false;
+  uint64_t committed = 0;
+  std::string unavailable_detail;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    QueryResult result;
+    try {
+      // No blind retry for commits: a transport failure leaves "applied?"
+      // unknown, and the reconnect catch-up resolves it exactly once by
+      // consulting the shard's acked version.
+      result = request_on(i, line, /*retry_once=*/false);
+    } catch (const std::exception& e) {
+      unavailable_detail = e.what();
+      continue;  // the shard catches up from history when it returns
+    }
+    if (!result.ok) {
+      // A rejection is deterministic (bad change text, inapplicable plan):
+      // with identical replicas it happens on every shard, so nothing was
+      // applied anywhere — unless an earlier shard acked, which means the
+      // replicas diverged.
+      if (have_ok) {
+        result.body = "shard " + std::to_string(i) +
+                      " diverged on commit: " + result.body;
+      }
+      return result;
+    }
+    if (!have_ok) {
+      first_ok = result;
+      have_ok = true;
+      committed = result.version;
+    } else if (result.version != committed) {
+      QueryResult diverged;
+      diverged.ok = false;
+      diverged.body = "shard " + std::to_string(i) + " committed version " +
+                      std::to_string(result.version) + ", expected " +
+                      std::to_string(committed);
+      return diverged;
+    }
+    std::lock_guard<std::mutex> shard_lock(shards_[i]->mutex);
+    shards_[i]->version = result.version;
+  }
+
+  if (!have_ok) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = "commit failed: no shard reachable (" + unavailable_detail +
+                  ")";
+    return failed;
+  }
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    history_.push_back({committed, change_text});
+    head_version_ = committed;
+  }
+  // Close the reconnect race: a shard whose fan-out attempt failed above
+  // may have been re-dialed by a concurrent query thread whose catch-up
+  // ran *before* the history append — connected, but permanently missing
+  // this commit. Its acked version gives it away; dropping the connection
+  // forces the next use through catch-up against the now-complete history.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    if (shard->client && shard->version < committed) disconnect(*shard);
+  }
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.commits;
+  }
+  return first_ok;
+}
+
+QueryResult ShardRouter::handle_scatter(const std::string& line) {
+  // Under the commit lock so no fan-out lands mid-scatter: every partition
+  // answers at the same version, keeping the merge equal to one monolithic
+  // evaluation of the same line.
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  const size_t n = shards_.size();
+  std::vector<QueryResult> parts;
+  parts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string scoped = "part " + std::to_string(i) + "/" +
+                               std::to_string(n) + " " + line;
+    parts.push_back(request_on(i, scoped, /*retry_once=*/true));
+  }
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++metrics_.scatters;
+  }
+  for (const QueryResult& part : parts) {
+    if (!part.ok) return part;  // deterministic evaluation error
+  }
+  for (const QueryResult& part : parts) {
+    if (part.version != parts.front().version) {
+      QueryResult diverged;
+      diverged.ok = false;
+      diverged.body = "scatter answered at versions " +
+                      std::to_string(parts.front().version) + " and " +
+                      std::to_string(part.version);
+      return diverged;
+    }
+  }
+  // The verdicts AND together; bodies are rendered identically to the
+  // unscoped evaluation, so any failing partition's response *is* the
+  // monolithic answer, and an all-clear is any partition's response.
+  for (const QueryResult& part : parts) {
+    if (starts_with(part.body, "holds false")) return part;
+  }
+  return parts.front();
+}
+
+QueryResult ShardRouter::handle_shutdown() {
+  // Best-effort broadcast: a shard that is down has nothing to stop.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    try {
+      request_on(i, "shutdown", /*retry_once=*/false);
+    } catch (const std::exception&) {
+    }
+  }
+  QueryResult result;
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    shutdown_requested_ = true;
+    result.version = head_version_;
+  }
+  result.body = "shutting down";
+  return result;
+}
+
+bool ShardRouter::shutdown_requested() const {
+  std::lock_guard<std::mutex> history_lock(history_mutex_);
+  return shutdown_requested_;
+}
+
+QueryResult ShardRouter::handle(const std::string& line) {
+  const std::string trimmed(trim(line));
+  try {
+    if (trimmed == "metrics") {
+      QueryResult result;
+      result.body = metrics().str();
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (trimmed == "shutdown") return handle_shutdown();
+    if (starts_with(trimmed, "commit ") || trimmed == "commit") {
+      return handle_commit(trimmed);
+    }
+
+    // Classify for routing; malformed lines fail here with the same parser
+    // (and message) a monolithic service would use.
+    const Query query = parse_query(trimmed);
+    size_t target = 0;
+    switch (query.kind) {
+      case QueryKind::kReach:
+      case QueryKind::kPaths:
+        target = partition_.owner_of(query.src);
+        break;
+      case QueryKind::kCheck:
+        if (query.invariant.kind == core::Invariant::Kind::kLoopFree) {
+          if (query.scope_count > 1) {
+            // Already scoped by the caller: any replica can evaluate it;
+            // spread by the scope index.
+            target = query.scope_index % shards_.size();
+          } else if (shards_.size() > 1) {
+            return handle_scatter(trimmed);
+          }
+        } else {
+          target = partition_.owner_of(query.invariant.src);
+        }
+        break;
+      case QueryKind::kWhatIf:
+        // No source node to own a what-if; spread deterministically by the
+        // request text (any replica previews the same answer).
+        target = shard_of(trimmed, static_cast<uint32_t>(shards_.size()));
+        break;
+      case QueryKind::kVersion:
+      case QueryKind::kHash:
+        target = 0;
+        break;
+    }
+    QueryResult result = request_on(target, trimmed, /*retry_once=*/true);
+    {
+      std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+      ++metrics_.queries_routed;
+    }
+    return result;
+  } catch (const std::exception& e) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = e.what();
+    return failed;
+  }
+}
+
+RouterMetrics ShardRouter::metrics() const {
+  RouterMetrics copy;
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    copy = metrics_;
+  }
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    copy.head_version = head_version_;
+  }
+  copy.shard_connected.reserve(shards_.size());
+  copy.shard_versions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    copy.shard_connected.push_back(shard->client != nullptr);
+    copy.shard_versions.push_back(shard->version);
+  }
+  return copy;
+}
+
+std::string RouterMetrics::str() const {
+  std::ostringstream out;
+  size_t connected = 0;
+  for (const bool up : shard_connected) connected += up ? 1 : 0;
+  out << "router metrics:\n";
+  out << "  shards: " << shard_connected.size() << " (" << connected
+      << " connected), head version " << head_version << "\n";
+  for (size_t i = 0; i < shard_connected.size(); ++i) {
+    out << "  shard " << i << ": "
+        << (shard_connected[i] ? "connected" : "down") << ", version "
+        << shard_versions[i] << "\n";
+  }
+  out << "  queries: " << queries_routed << " routed, " << scatters
+      << " scattered, " << shard_errors << " shard error(s)\n";
+  out << "  commits: " << commits << " broadcast, " << replayed_commits
+      << " replayed\n";
+  out << "  reconnects: " << reconnects << "\n";
+  return out.str();
+}
+
+void RouterSession::run() {
+  char buffer[4096];
+  try {
+    for (;;) {
+      const size_t count = transport_.recv(buffer, sizeof(buffer));
+      if (count == 0) break;  // peer closed
+      decoder_.feed(std::string_view(buffer, count));
+      while (auto request = decoder_.next()) {
+        QueryResult result = router_.handle(*request);
+        if (router_.shutdown_requested()) shutdown_requested_ = true;
+        std::string payload = encode_response(result);
+        if (payload.size() > kMaxFramePayload) {
+          result.ok = false;
+          result.body = "response too large (" +
+                        std::to_string(payload.size()) + " bytes)";
+          payload = encode_response(result);
+        }
+        transport_.send(encode_frame(payload));
+        if (shutdown_requested_) return;
+      }
+    }
+  } catch (const std::exception& e) {
+    DNA_WARN("router session terminated: " << e.what());
+  }
+}
+
+}  // namespace dna::service::shard

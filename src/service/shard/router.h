@@ -1,0 +1,163 @@
+// ShardRouter: the front-end of a sharded DNA deployment.
+//
+// A deployment is N shard processes — each a full DnaService behind
+// `dna_cli shard-serve`, with its own journal directory — plus one router
+// owning the topology-hash partition map (partition.h). Clients speak the
+// ordinary framed protocol to the router; the router:
+//
+//  * routes single-source queries (reach/paths, src-ful checks, whatif) to
+//    the one shard owning the source region,
+//  * scatters network-global checks (loopfree) as per-partition scopes
+//    ("part i/n <query>") and gathers the verdicts — ANDed, with bodies
+//    rendered identically to one monolithic evaluation,
+//  * fans every commit out to all shards (each applies it differentially;
+//    all must ack the same version id) and appends it to an in-memory
+//    commit history, and
+//  * tracks shard health: a dead connection fails the in-flight request
+//    with a clean typed error ("shard i unavailable: ..."), and the next
+//    request re-dials and *replays* the commits the shard missed while it
+//    was down — a restarted shard first recovers its own journal, then the
+//    router's catch-up brings it to the deployment head.
+//
+// Consistency model: shards are full replicas kept in lock-step by the
+// commit fan-out, so any shard answers any query correctly; the partition
+// map decides *responsibility* (where queries go, how global checks
+// decompose), which is what spreads query load over processes. Boundary
+// correctness is by construction — a path crossing from shard i's region
+// into shard j's is evaluated on the owner of its source, which holds the
+// whole model. Re-partitioning on shard count changes is just a different
+// hash mod; rebalancing live state is future work (ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/session.h"
+#include "service/shard/partition.h"
+#include "service/transport.h"
+
+namespace dna::service::shard {
+
+/// How the router reaches one shard: a factory for fresh connections, so
+/// tests dial in-memory loopback channels and production dials TCP.
+using Dialer = std::function<std::unique_ptr<Transport>()>;
+
+/// Counters accumulated over the router's lifetime (the `metrics` command).
+struct RouterMetrics {
+  size_t queries_routed = 0;    // single-shard requests forwarded
+  size_t scatters = 0;          // scatter/gather evaluations
+  size_t commits = 0;           // commits broadcast and recorded
+  size_t shard_errors = 0;      // requests failed on an unreachable shard
+  size_t reconnects = 0;        // successful re-dials after a failure
+  size_t replayed_commits = 0;  // catch-up commits replayed into shards
+  uint64_t head_version = 0;    // deployment head the router believes in
+  std::vector<bool> shard_connected;     // by shard index
+  std::vector<uint64_t> shard_versions;  // last acked version, by index
+
+  std::string str() const;
+};
+
+class ShardRouter {
+ public:
+  /// One dialer per shard, in partition order (shard i of n). Connections
+  /// are opened lazily per request; use connect_all() to fail fast.
+  explicit ShardRouter(std::vector<Dialer> dialers);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  const PartitionMap& partition() const { return partition_; }
+
+  /// Dials every shard now; returns the number reachable. Reachable shards
+  /// must agree on the head version (throws dna::Error on divergence).
+  size_t connect_all();
+
+  /// Handles one request line — the full query language plus the session
+  /// commands commit/metrics/shutdown. Thread-safe; never throws (shard
+  /// failures come back as ok=false typed errors).
+  QueryResult handle(const std::string& line);
+
+  /// True once a client asked the deployment to stop: the router has
+  /// broadcast `shutdown` to the shards and its host should stop serving.
+  bool shutdown_requested() const;
+
+  RouterMetrics metrics() const;
+
+ private:
+  struct Shard {
+    Dialer dial;
+    std::mutex mutex;  // serializes use of this shard's connection
+    std::unique_ptr<Transport> transport;
+    std::unique_ptr<ServiceClient> client;
+    uint64_t version = 0;  // last version id this shard acked
+    bool ever_connected = false;
+  };
+
+  /// Routed request with connection management. With `retry_once`, a
+  /// failure on an existing (possibly stale) connection re-dials and
+  /// retries a single time — how a query lands after a shard restart.
+  /// Throws dna::Error ("shard <i> unavailable: ...") when the shard
+  /// cannot be reached.
+  QueryResult request_on(size_t index, const std::string& line,
+                         bool retry_once);
+  QueryResult request_locked(Shard& shard, size_t index,
+                             const std::string& line);
+  /// Dials (if needed) and brings the shard to the deployment head by
+  /// replaying missed commits from history_. Caller holds shard.mutex.
+  void ensure_connected(Shard& shard, size_t index);
+  void disconnect(Shard& shard);
+
+  QueryResult handle_commit(const std::string& line);
+  QueryResult handle_scatter(const std::string& line);
+  QueryResult handle_shutdown();
+
+  PartitionMap partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Commits acked by the deployment since this router started, in version
+  /// order — what catch-up replays into a restarted shard. head_version_
+  /// is the latest id any shard acked. Guarded by history_mutex_ (always
+  /// taken after a shard mutex, never before).
+  mutable std::mutex history_mutex_;
+  struct HistoryEntry {
+    uint64_t version = 0;
+    std::string change_text;
+  };
+  std::vector<HistoryEntry> history_;
+  uint64_t head_version_ = 0;
+
+  std::mutex commit_mutex_;  // serializes commits (and scatters) router-wide
+  bool shutdown_requested_ = false;  // guarded by history_mutex_
+
+  mutable std::mutex metrics_mutex_;
+  RouterMetrics metrics_;
+};
+
+/// Pumps one client connection against a ShardRouter: framed request lines
+/// in, framed responses out — the router-side twin of ServerSession.
+class RouterSession {
+ public:
+  RouterSession(ShardRouter& router, Transport& transport)
+      : router_(router), transport_(transport) {}
+
+  /// Serves until the peer closes, a protocol violation occurs, or a
+  /// `shutdown` request is answered. Never throws.
+  void run();
+
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+ private:
+  ShardRouter& router_;
+  Transport& transport_;
+  FrameDecoder decoder_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace dna::service::shard

@@ -88,7 +88,7 @@ LoopbackChannel::~LoopbackChannel() {
   to_client_->close();
 }
 
-// ---- unix-domain sockets ---------------------------------------------------
+// ---- socket transports -----------------------------------------------------
 
 #ifndef _WIN32
 
@@ -142,6 +142,10 @@ sockaddr_un make_addr(const std::string& path) {
 }
 
 }  // namespace
+
+std::unique_ptr<Transport> make_fd_transport(int fd) {
+  return std::make_unique<FdTransport>(fd);
+}
 
 UnixListener::UnixListener(const std::string& path) : path_(path) {
   const sockaddr_un addr = make_addr(path);
@@ -200,6 +204,10 @@ std::unique_ptr<Transport> connect_unix(const std::string& path) {
 }
 
 #else  // _WIN32: the cross-process transport is POSIX-only; loopback remains.
+
+std::unique_ptr<Transport> make_fd_transport(int) {
+  throw Error("socket transports are not available on this platform");
+}
 
 UnixListener::UnixListener(const std::string& path) : path_(path) {
   throw Error("unix-domain sockets are not available on this platform");

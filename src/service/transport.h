@@ -9,6 +9,11 @@
 //
 //  * UnixListener / connect_unix — unix-domain stream sockets, the
 //    cross-process path behind `dna_cli serve` / `dna_cli query`.
+//
+//  * TcpListener / connect_tcp (net/tcp.h) — TCP sockets, the scale-out
+//    path behind `dna_cli shard-serve` / `dna_cli route`. Both socket
+//    listeners implement the Listener interface below, so the serving loop
+//    (net/server.h) is transport-agnostic.
 #pragma once
 
 #include <memory>
@@ -60,9 +65,22 @@ class LoopbackChannel {
   std::unique_ptr<Transport> server_;
 };
 
-/// A listening unix-domain socket. accept() blocks until a client connects
-/// or close() is called (from any thread), after which it returns nullptr.
-class UnixListener {
+/// Something that accepts Transport connections. accept() blocks until a
+/// client connects or close() is called (from any thread), after which it
+/// returns nullptr — the serving loop's stop signal.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual std::unique_ptr<Transport> accept() = 0;
+  virtual void close() = 0;
+};
+
+/// Wraps a connected stream-socket fd in a Transport (takes ownership of
+/// the fd). Shared by the unix-domain and TCP transports.
+std::unique_ptr<Transport> make_fd_transport(int fd);
+
+/// A listening unix-domain socket.
+class UnixListener : public Listener {
  public:
   /// Binds and listens on `path`, replacing a stale socket file if one
   /// exists. Throws dna::Error on failure.
@@ -72,8 +90,8 @@ class UnixListener {
   UnixListener(const UnixListener&) = delete;
   UnixListener& operator=(const UnixListener&) = delete;
 
-  std::unique_ptr<Transport> accept();
-  void close();
+  std::unique_ptr<Transport> accept() override;
+  void close() override;
 
   const std::string& path() const { return path_; }
 

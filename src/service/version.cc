@@ -10,11 +10,33 @@ SnapshotStore::SnapshotStore(topo::Snapshot base, uint64_t base_id)
   Version provenance;
   provenance.change_description = "base";
   head_ = make_version(next_id_++, std::move(base), provenance);
+  live_[head_->id] = head_;
 }
 
 VersionHandle SnapshotStore::head() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return head_;
+}
+
+VersionHandle SnapshotStore::find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return nullptr;
+  VersionHandle handle = it->second.lock();
+  if (!handle) live_.erase(it);  // retired since registration
+  return handle;
+}
+
+void SnapshotStore::keep_history(size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_depth_ = depth;
+  // Seed with the current head: the ring is otherwise only fed by
+  // publish(), which would leave the base version (born in the
+  // constructor) unpinned and immediately retired by the first commit.
+  if (history_depth_ > 0 && history_.empty() && head_) {
+    history_.push_back(head_);
+  }
+  while (history_.size() > history_depth_) history_.pop_front();
 }
 
 uint64_t SnapshotStore::next_id() const {
@@ -32,6 +54,20 @@ VersionHandle SnapshotStore::publish(topo::Snapshot next,
   VersionHandle version =
       make_version(next_id_++, std::move(next), provenance);
   head_ = version;
+  live_[version->id] = version;
+  // Sweep registry entries whose versions retired — keeps live_ bounded by
+  // the live-version count without a hook in the version deleter.
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->second.expired()) {
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (history_depth_ > 0) {
+    history_.push_back(version);
+    while (history_.size() > history_depth_) history_.pop_front();
+  }
   return version;
 }
 

@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +55,18 @@ class SnapshotStore {
   VersionHandle head() const;
   uint64_t head_id() const { return head()->id; }
 
+  /// A handle to live version `id`, or nullptr if no such version is still
+  /// alive. Every published version is registered (weakly) here, so any
+  /// version some reader still leases — or the keep_history() ring pins —
+  /// is findable by id: the lookup behind `@<id>`-pinned queries.
+  VersionHandle find(uint64_t id) const;
+
+  /// Keeps strong handles to the most recent `depth` published versions
+  /// (the head included), so pinned queries can reach recent history even
+  /// with no reader holding it. 0 (the default) pins nothing beyond the
+  /// head; shrinking the depth releases the excess oldest entries.
+  void keep_history(size_t depth);
+
   /// The id the next publish() will assign. Writers serialized externally
   /// (the service's commit lock) use this to journal a commit under its
   /// final id *before* publication makes it visible.
@@ -80,6 +94,12 @@ class SnapshotStore {
   mutable std::mutex mutex_;
   VersionHandle head_;
   uint64_t next_id_ = 1;
+  /// Weak registry of every published version still alive, by id; expired
+  /// entries are swept on publish. Never keeps a version alive by itself.
+  mutable std::map<uint64_t, std::weak_ptr<const Version>> live_;
+  /// Strong ring over the newest versions (see keep_history()).
+  size_t history_depth_ = 0;
+  std::deque<VersionHandle> history_;
   std::atomic<size_t> published_{0};
   /// Owned by shared_ptr so version deleters can outlive the store.
   std::shared_ptr<std::atomic<size_t>> retired_;

@@ -503,6 +503,97 @@ TEST(Session, AbortEvictsAnIdleSession) {
   EXPECT_FALSE(session.shutdown_requested());
 }
 
+// ---------------------------------------------------------------------------
+// Version-pinned queries
+// ---------------------------------------------------------------------------
+
+TEST(Query, ParsesPinAndScopeModifiersInAnyOrder) {
+  const Query pinned = parse_query("@7 reach r0 172.31.1.1");
+  EXPECT_EQ(pinned.pinned_version, 7u);
+  EXPECT_EQ(pinned.kind, QueryKind::kReach);
+  EXPECT_EQ(pinned.src, "r0");
+
+  const Query scoped = parse_query("part 1/4 check loopfree");
+  EXPECT_EQ(scoped.scope_index, 1u);
+  EXPECT_EQ(scoped.scope_count, 4u);
+  EXPECT_EQ(scoped.kind, QueryKind::kCheck);
+
+  const Query both = parse_query("part 0/2 @3 hash");
+  EXPECT_EQ(both.pinned_version, 3u);
+  EXPECT_EQ(both.scope_count, 2u);
+  EXPECT_EQ(both.kind, QueryKind::kHash);
+
+  EXPECT_THROW(parse_query("@0 version"), Error);
+  EXPECT_THROW(parse_query("@x version"), Error);
+  EXPECT_THROW(parse_query("part 2/2 version"), Error);
+  EXPECT_THROW(parse_query("part nonsense version"), Error);
+  EXPECT_THROW(parse_query("@3"), Error);  // modifiers alone are no query
+}
+
+TEST(Service, PinnedQueryAnswersAgainstALeasedOldVersion) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+  const VersionHandle lease = service.head();  // keep version 1 alive
+  const QueryResult old_hash = service.query("hash");
+
+  service.commit(core::ChangePlan::link_failure(1));
+  const QueryResult head_hash = service.query("hash");
+  ASSERT_NE(head_hash.body, old_hash.body);
+
+  // Pinned to the leased version: old answer, old version id — time travel.
+  const QueryResult pinned = service.query("@1 hash");
+  EXPECT_TRUE(pinned.ok);
+  EXPECT_EQ(pinned.version, 1u);
+  EXPECT_EQ(pinned.body, old_hash.body);
+
+  // Unpinned queries still read the head.
+  EXPECT_EQ(service.query("hash").body, head_hash.body);
+
+  // Pinning works for reads that need an engine at the old snapshot too.
+  const QueryResult pinned_reach = service.query("@1 reach r0 172.31.1.1");
+  EXPECT_TRUE(pinned_reach.ok);
+  EXPECT_EQ(pinned_reach.version, 1u);
+}
+
+TEST(Service, PinToARetiredOrUnknownVersionFailsTyped) {
+  DnaService service(topo::make_ring(6), {}, {.num_threads = 1});
+  service.commit(core::ChangePlan::link_failure(1));  // retires version 1
+
+  const QueryResult retired = service.query("@1 version");
+  EXPECT_FALSE(retired.ok);
+  EXPECT_NE(retired.body.find("version 1 is not live"), std::string::npos);
+
+  const QueryResult unknown = service.query("@99 version");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.body.find("not live"), std::string::npos);
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.queries_failed, 2u);
+}
+
+TEST(Service, KeepVersionsPinsRecentHistoryWithoutReaders) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.keep_versions = 3;
+  DnaService service(topo::make_ring(6), ring_invariants(), options);
+  // The base version counts as history too: it must survive the first
+  // commit without any reader leasing it.
+  service.commit(core::ChangePlan::link_cost(0, 2));
+  EXPECT_TRUE(service.query("@1 version").ok);
+  for (int cost = 3; cost <= 5; ++cost) {
+    service.commit(core::ChangePlan::link_cost(0, cost));
+  }
+  // Head is 5; the ring holds {3, 4, 5}; 1 and 2 fell out.
+  EXPECT_EQ(service.head()->id, 5u);
+  for (uint64_t id = 3; id <= 5; ++id) {
+    const QueryResult pinned =
+        service.query("@" + std::to_string(id) + " version");
+    EXPECT_TRUE(pinned.ok) << pinned.body;
+    EXPECT_EQ(pinned.version, id);
+  }
+  EXPECT_FALSE(service.query("@2 version").ok);
+}
+
 TEST(Session, ShutdownRequestStopsTheSession) {
   DnaService service(topo::make_line(3), {}, {.num_threads = 1});
   LoopbackChannel channel;

@@ -1,0 +1,420 @@
+// The shard tier's contract: a sharded TCP deployment is observationally
+// identical to one monolithic DnaService — the same session script answers
+// byte-identically through a ShardRouter over 2 shards as against a single
+// service — and partial failure is clean: a dead shard fails its queries
+// with a typed error (never a hang), a restarted shard is caught up by
+// reconnect-and-replay, and partition-scoped global checks AND together to
+// exactly the monolithic verdict.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net/server.h"
+#include "service/net/tcp.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "service/shard/host.h"
+#include "service/shard/partition.h"
+#include "service/shard/router.h"
+#include "service/transport.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace dna::service::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique directory removed (with contents) when the test scope ends.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "dna_shard_XXXXXX");
+    const char* created = ::mkdtemp(tmpl.data());
+    if (created == nullptr) throw Error("mkdtemp failed for " + tmpl);
+    path = created;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+};
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()},
+          {core::Invariant::Kind::kReachable, "r0", "r3", "",
+           Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)}};
+}
+
+/// (ok, version, body) triples returned by a sequence of requests — the
+/// response payload is a bijection of this triple, so equality here is
+/// byte-equality of the framed responses.
+struct Answer {
+  bool ok;
+  uint64_t version;
+  std::string body;
+
+  bool operator==(const Answer&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& out, const Answer& answer) {
+  return out << (answer.ok ? "ok " : "err ") << answer.version << " \""
+             << answer.body << "\"";
+}
+
+Answer to_answer(const QueryResult& result) {
+  return {result.ok, result.version, result.body};
+}
+
+/// Runs `script` against a monolithic service over a loopback session —
+/// the reference every sharded deployment must match byte for byte.
+std::vector<Answer> monolithic_answers(const std::vector<std::string>& script,
+                                       size_t num_threads = 2) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = num_threads});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+  std::vector<Answer> answers;
+  {
+    ServiceClient client(channel.client());
+    for (const std::string& line : script) {
+      answers.push_back(to_answer(client.request(line)));
+    }
+    client.close();
+  }
+  server.join();
+  return answers;
+}
+
+/// The session script both deployments run: reader and writer requests
+/// mixed, global checks, a forced forwarding loop (statics pointing at
+/// each other), and a malformed line.
+std::vector<std::string> equivalence_script(const topo::Snapshot& base) {
+  // Discover the two interface addresses of link r1-r2 so the script can
+  // commit a two-node static-route loop for an un-announced prefix.
+  const topo::Topology& topology = base.topology;
+  const topo::NodeId r1 = topology.node_id("r1");
+  const topo::NodeId r2 = topology.node_id("r2");
+  std::string addr_r1, addr_r2;
+  for (const uint32_t link_index : topology.links_of(r1)) {
+    const topo::Link& link = topology.link(link_index);
+    if (link.peer_of(r1) != r2) continue;
+    addr_r1 =
+        base.config_of(r1).find_interface(link.if_of(r1))->address.str();
+    addr_r2 =
+        base.config_of(r2).find_interface(link.if_of(r2))->address.str();
+    break;
+  }
+  EXPECT_FALSE(addr_r1.empty());
+  std::vector<std::string> script = {
+      "version",
+      "hash",
+      "check loopfree",
+      "commit fail_link 1",
+      "version",
+      "whatif fail_link 0",
+      "check reachable r0 r3 172.31.1.0/24",
+      "check blackholefree r2",
+      "commit link_cost 0 7; announce r4 203.0.100.0/24",
+      "hash",
+      "definitely not a query",
+      // A forwarding loop: r1 and r2 forward 203.0.113/24 at each other.
+      "commit static_route r1 203.0.113.0/24 " + addr_r2 +
+          "; static_route r2 203.0.113.0/24 " + addr_r1,
+      "check loopfree",
+      "whatif recover_link 1",
+  };
+  for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    script.push_back("reach " + topology.node_name(node) + " 172.31.1.1");
+    script.push_back("paths " + topology.node_name(node) + " 172.31.0.1");
+  }
+  return script;
+}
+
+// ---------------------------------------------------------------------------
+// Partition map
+// ---------------------------------------------------------------------------
+
+TEST(Partition, StableAndTotal) {
+  // The hash is a pure function of the name: every process computes the
+  // same map, across runs and restarts.
+  EXPECT_EQ(shard_of("r0", 4), shard_of("r0", 4));
+  EXPECT_EQ(stable_name_hash("r0"), stable_name_hash(std::string("r0")));
+
+  const topo::Snapshot base = topo::make_fattree(4);
+  const PartitionMap map(3);
+  std::vector<int> owners(base.topology.num_nodes(), 0);
+  for (uint32_t index = 0; index < 3; ++index) {
+    const std::vector<bool> owned = map.owned_nodes(base.topology, index);
+    for (size_t node = 0; node < owned.size(); ++node) {
+      owners[node] += owned[node] ? 1 : 0;
+      EXPECT_EQ(owned[node], map.owns(index, base.topology.node_name(
+                                                 static_cast<topo::NodeId>(
+                                                     node))));
+    }
+  }
+  // Every node owned by exactly one shard; the histogram accounts for all.
+  for (const int count : owners) EXPECT_EQ(count, 1);
+  size_t total = 0;
+  for (const size_t count : map.histogram(base.topology)) total += count;
+  EXPECT_EQ(total, base.topology.num_nodes());
+}
+
+TEST(Partition, SingleShardOwnsEverything) {
+  const PartitionMap map(1);
+  EXPECT_EQ(map.owner_of("anything"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-scoped checks decompose the monolithic verdict
+// ---------------------------------------------------------------------------
+
+TEST(ScopedCheck, LoopfreePartitionsAndTogether) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 1});
+  // Loop-free base: every partition scope must concur with the whole.
+  const QueryResult whole = service.query("check loopfree");
+  ASSERT_TRUE(whole.ok);
+  EXPECT_EQ(whole.body.find("holds true"), 0u);
+  for (int i = 0; i < 3; ++i) {
+    const QueryResult part =
+        service.query("part " + std::to_string(i) + "/3 check loopfree");
+    ASSERT_TRUE(part.ok);
+    EXPECT_EQ(part.body, whole.body) << "scope must not change the rendering";
+  }
+
+  // Introduce a loop; the partitions owning the looping sources flip to
+  // false, and the AND over all partitions equals the monolithic verdict.
+  const std::vector<std::string> script =
+      equivalence_script(*service.head()->snapshot);
+  for (const std::string& line : script) {
+    if (line.rfind("commit static_route", 0) == 0) {
+      const CommitResult commit = service.commit_text(line.substr(7));
+      EXPECT_GT(commit.version, 1u);
+    }
+  }
+  const QueryResult looped = service.query("check loopfree");
+  ASSERT_TRUE(looped.ok);
+  EXPECT_EQ(looped.body.find("holds false"), 0u);
+  bool any_false = false;
+  for (int i = 0; i < 3; ++i) {
+    const QueryResult part =
+        service.query("part " + std::to_string(i) + "/3 check loopfree");
+    ASSERT_TRUE(part.ok);
+    any_false = any_false || part.body.find("holds false") == 0;
+  }
+  EXPECT_TRUE(any_false) << "some partition must own a looping source";
+}
+
+// ---------------------------------------------------------------------------
+// Router equivalence: sharded == monolithic, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST(Router, TwoLoopbackShardsAnswerLikeAMonolith) {
+  const std::vector<std::string> script =
+      equivalence_script(topo::make_ring(6));
+  const std::vector<Answer> expected = monolithic_answers(script);
+
+  DnaService shard0(topo::make_ring(6), ring_invariants(), {.num_threads = 1});
+  DnaService shard1(topo::make_ring(6), ring_invariants(), {.num_threads = 1});
+  ShardRouter router({loopback_dial(shard0), loopback_dial(shard1)});
+  EXPECT_EQ(router.connect_all(), 2u);
+
+  std::vector<Answer> actual;
+  for (const std::string& line : script) {
+    actual.push_back(to_answer(router.handle(line)));
+  }
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "request: " << script[i];
+  }
+
+  const RouterMetrics metrics = router.metrics();
+  EXPECT_GT(metrics.queries_routed, 0u);
+  EXPECT_EQ(metrics.scatters, 2u);  // the two `check loopfree` lines
+  EXPECT_EQ(metrics.commits, 3u);
+  EXPECT_EQ(metrics.head_version, 4u);
+}
+
+TEST(Router, TwoTcpShardsAnswerLikeAMonolith) {
+  // The acceptance-criterion deployment: two shard processes-worth of
+  // DnaServices behind real TCP listeners, a router in front, clients on
+  // the same framed protocol — answers byte-identical to one service.
+  const std::vector<std::string> script =
+      equivalence_script(topo::make_ring(6));
+  const std::vector<Answer> expected = monolithic_answers(script);
+
+  std::vector<std::unique_ptr<ShardHost>> hosts;
+  std::vector<Dialer> dialers;
+  for (int i = 0; i < 2; ++i) {
+    ShardHostOptions options;
+    options.service.num_threads = 1;
+    hosts.push_back(std::make_unique<ShardHost>(topo::make_ring(6),
+                                                ring_invariants(), options));
+    dialers.push_back(hosts.back()->dialer());
+  }
+  ShardRouter router(std::move(dialers));
+  EXPECT_EQ(router.connect_all(), 2u);
+
+  // Serve the router itself over TCP and talk to it like any server.
+  TcpListener listener(0);
+  SessionServer server(listener, [&router](Transport& transport) {
+    RouterSession session(router, transport);
+    session.run();
+    return session.shutdown_requested();
+  });
+  server.start();
+
+  std::vector<Answer> actual;
+  {
+    auto transport = connect_tcp("127.0.0.1", listener.port());
+    ServiceClient client(*transport);
+    for (const std::string& line : script) {
+      actual.push_back(to_answer(client.request(line)));
+    }
+    client.close();
+  }
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "request: " << script[i];
+  }
+
+  // A client-requested shutdown cascades: router acks, shards stop.
+  {
+    auto transport = connect_tcp("127.0.0.1", listener.port());
+    ServiceClient client(*transport);
+    EXPECT_EQ(client.request("shutdown").body, "shutting down");
+  }
+  server.join();
+  EXPECT_TRUE(server.shutdown_requested());
+  for (const auto& host : hosts) {
+    host->wait();
+    EXPECT_TRUE(host->shutdown_requested());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partial failure: typed errors, reconnect, replay
+// ---------------------------------------------------------------------------
+
+/// A query the partition map routes to `target` — found by scanning node
+/// names, so the test holds for any hash function.
+std::string query_owned_by(const topo::Topology& topology, uint32_t target,
+                           uint32_t count) {
+  for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    if (shard_of(topology.node_name(node), count) == target) {
+      return "reach " + topology.node_name(node) + " 172.31.1.1";
+    }
+  }
+  ADD_FAILURE() << "no node owned by shard " << target;
+  return "version";
+}
+
+TEST(Router, ShardDownIsATypedErrorAndRecoveryReplays) {
+  const topo::Snapshot base = topo::make_ring(6);
+  TempDir dirs;
+
+  ShardHostOptions options0;
+  options0.service.num_threads = 1;
+  options0.service.journal_dir = dirs.sub("j0");
+  auto host0 =
+      std::make_unique<ShardHost>(base, ring_invariants(), options0);
+
+  ShardHostOptions options1;
+  options1.service.num_threads = 1;
+  options1.service.journal_dir = dirs.sub("j1");
+  auto host1 =
+      std::make_unique<ShardHost>(base, ring_invariants(), options1);
+
+  // Dialers read the current port through an indirection so a restarted
+  // shard (fresh ephemeral port) is reachable without rebuilding the
+  // router — the moral equivalent of a service VIP.
+  auto port0 = std::make_shared<std::atomic<uint16_t>>(host0->port());
+  auto port1 = std::make_shared<std::atomic<uint16_t>>(host1->port());
+  auto dial = [](std::shared_ptr<std::atomic<uint16_t>> port) -> Dialer {
+    return [port] { return connect_tcp("127.0.0.1", port->load()); };
+  };
+  ShardRouter router({dial(port0), dial(port1)});
+  EXPECT_EQ(router.connect_all(), 2u);
+
+  const std::string to_shard0 = query_owned_by(base.topology, 0, 2);
+  const std::string to_shard1 = query_owned_by(base.topology, 1, 2);
+  EXPECT_TRUE(router.handle(to_shard0).ok);
+  EXPECT_TRUE(router.handle(to_shard1).ok);
+  EXPECT_TRUE(router.handle("commit fail_link 1").ok);
+
+  // Kill shard 1 (listener down, sessions evicted, service gone).
+  host1.reset();
+
+  // Its queries fail *typed* — ok=false naming the shard — and fast; the
+  // other shard keeps answering; a global scatter also fails typed.
+  const QueryResult down = router.handle(to_shard1);
+  EXPECT_FALSE(down.ok);
+  EXPECT_NE(down.body.find("shard 1 unavailable"), std::string::npos)
+      << down.body;
+  EXPECT_TRUE(router.handle(to_shard0).ok);
+  const QueryResult scatter = router.handle("check loopfree");
+  EXPECT_FALSE(scatter.ok);
+  EXPECT_NE(scatter.body.find("shard 1 unavailable"), std::string::npos);
+
+  // A commit while the shard is down is acked by the survivors and
+  // recorded for replay.
+  const QueryResult commit = router.handle("commit link_cost 0 9");
+  EXPECT_TRUE(commit.ok);
+  EXPECT_EQ(commit.version, 3u);
+
+  // Restart shard 1 from its journal: it recovers version 2 on its own,
+  // and the router's catch-up replays version 3 before the next answer.
+  host1 = std::make_unique<ShardHost>(base, ring_invariants(), options1);
+  port1->store(host1->port());
+  EXPECT_EQ(host1->service().recovered_commits(), 1u);
+  EXPECT_EQ(host1->service().head()->id, 2u);
+
+  const QueryResult recovered = router.handle(to_shard1);
+  EXPECT_TRUE(recovered.ok) << recovered.body;
+  EXPECT_EQ(recovered.version, 3u);
+  EXPECT_EQ(host1->service().head()->id, 3u);
+
+  // And the healed deployment again answers exactly like a monolith.
+  DnaService monolith(base, ring_invariants(), {.num_threads = 1});
+  monolith.commit_text("fail_link 1");
+  monolith.commit_text("link_cost 0 9");
+  for (topo::NodeId node = 0; node < base.topology.num_nodes(); ++node) {
+    const std::string line =
+        "reach " + base.topology.node_name(node) + " 172.31.1.1";
+    EXPECT_EQ(to_answer(router.handle(line)), to_answer(monolith.query(line)))
+        << line;
+  }
+  const QueryResult scatter_again = router.handle("check loopfree");
+  EXPECT_EQ(to_answer(scatter_again),
+            to_answer(monolith.query("check loopfree")));
+
+  const RouterMetrics metrics = router.metrics();
+  EXPECT_GE(metrics.reconnects, 1u);
+  EXPECT_EQ(metrics.replayed_commits, 1u);
+  EXPECT_GE(metrics.shard_errors, 2u);
+  EXPECT_EQ(metrics.head_version, 3u);
+}
+
+TEST(Router, AllShardsDownFailsCommitTyped) {
+  ShardRouter router({[]() -> std::unique_ptr<Transport> {
+    throw Error("nothing listening");
+  }});
+  const QueryResult commit = router.handle("commit fail_link 0");
+  EXPECT_FALSE(commit.ok);
+  EXPECT_NE(commit.body.find("no shard reachable"), std::string::npos);
+  const QueryResult query = router.handle("version");
+  EXPECT_FALSE(query.ok);
+  EXPECT_NE(query.body.find("shard 0 unavailable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dna::service::shard

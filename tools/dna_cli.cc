@@ -27,11 +27,13 @@
 //                              host-network (172.31/16) owners
 //
 //   dna_cli serve (--gen=<spec> | <topo-file> <config-file>)
-//                 --socket=PATH [--threads=N] [--host-invariants]
-//                 [--journal-dir=PATH] [--no-fsync] [--queue-depth=N]
+//                 (--socket=PATH | --tcp=[HOST:]PORT) [--threads=N]
+//                 [--host-invariants] [--journal-dir=PATH] [--no-fsync]
+//                 [--queue-depth=N] [--keep-versions=N]
 //       Run the long-lived query service (src/service/) on a unix-domain
-//       socket. Clients commit changes and query any number of times; the
-//       server prints its metrics after a client sends `shutdown`.
+//       socket or a TCP port. Clients commit changes and query any number
+//       of times; the server prints its metrics after a client sends
+//       `shutdown`.
 //       --journal-dir enables the write-ahead commit journal: commits are
 //       durable before they are acknowledged, and a restart pointed at the
 //       same directory recovers the whole version history by differential
@@ -39,10 +41,30 @@
 //       the per-commit fsync (crash may lose the tail, never tear state).
 //       --queue-depth bounds the pending-query queue; saturated submits
 //       shed after a deadline instead of queueing without limit.
+//       --keep-versions pins the N most recent versions so `@<id>`-pinned
+//       queries can time-travel into recent history.
 //
-//   dna_cli query --socket=PATH <request> [<request> ...]
-//       Send request lines to a running server, one response per line
-//       printed to stdout. See src/service/query.h for the language, e.g.:
+//   dna_cli shard-serve (--gen=<spec> | <topo> <cfg>) --tcp=[HOST:]PORT
+//                 [serve flags...]
+//       Run one shard of a sharded deployment: a full DnaService over TCP
+//       (same flags as serve; give each shard its own --journal-dir).
+//       Shards are kept in lock-step by the router's commit fan-out; a
+//       restarted shard first recovers its own journal, then the router
+//       replays whatever it missed.
+//
+//   dna_cli route --tcp=[HOST:]PORT --shards=HOST:PORT[,HOST:PORT...]
+//       Run the shard router (src/service/shard/): owns the topology-hash
+//       partition map over the listed shards, routes single-source queries
+//       to the owning shard, scatter/gathers global checks, broadcasts
+//       commits, and replays missed commits into restarted shards. Clients
+//       talk to it exactly like a monolithic server.
+//
+//   dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N]
+//                 <request> [<request> ...]
+//       Send request lines to a running server (or router), one response
+//       per line printed to stdout. --version pins every request to live
+//       version N (prefixes "@N "). See src/service/query.h for the
+//       language, e.g.:
 //         dna_cli query --socket=/tmp/dna.sock version \
 //             "reach r0 172.31.1.1" "commit fail_link 2" "whatif fail_link 3"
 //
@@ -57,7 +79,10 @@
 #include "core/paths.h"
 #include "core/report.h"
 #include "scenario/runner.h"
+#include "service/net/server.h"
+#include "service/net/tcp.h"
 #include "service/session.h"
+#include "service/shard/router.h"
 #include "service/transport.h"
 #include "topo/generators.h"
 #include "topo/textio.h"
@@ -294,8 +319,11 @@ int cmd_whatif(const std::vector<std::string>& args) {
 
 // ---- serve / query --------------------------------------------------------
 
-int cmd_serve(const std::vector<std::string>& args) {
-  std::string gen, socket_path;
+/// serve and shard-serve share everything but the banner and the required
+/// listener kind: a shard is a full DnaService that must speak TCP so a
+/// router (and its peers' operators) can reach it.
+int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
+  std::string gen, socket_path, tcp_endpoint;
   std::vector<std::string> files;
   service::ServiceOptions options;
   bool want_host_invariants = false;
@@ -305,6 +333,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       gen = arg.substr(6);
     } else if (starts_with(arg, "--socket=")) {
       socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
     } else if (starts_with(arg, "--threads=")) {
       const int value = as_int(arg.substr(10));
       if (value < 0) throw Error("--threads must be >= 0");
@@ -320,6 +350,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       const int value = as_int(arg.substr(14));
       if (value < 0) throw Error("--queue-depth must be >= 0");
       options.max_queue_depth = static_cast<size_t>(value);
+    } else if (starts_with(arg, "--keep-versions=")) {
+      const int value = as_int(arg.substr(16));
+      if (value < 0) throw Error("--keep-versions must be >= 0");
+      options.keep_versions = static_cast<size_t>(value);
     } else if (arg == "--host-invariants") {
       want_host_invariants = true;
     } else if (starts_with(arg, "--")) {
@@ -328,9 +362,16 @@ int cmd_serve(const std::vector<std::string>& args) {
       files.push_back(arg);
     }
   }
-  if (socket_path.empty()) throw Error("serve needs --socket=PATH");
+  const char* role = shard_mode ? "shard-serve" : "serve";
+  if (shard_mode && tcp_endpoint.empty()) {
+    throw Error("shard-serve needs --tcp=[HOST:]PORT");
+  }
+  if (socket_path.empty() == tcp_endpoint.empty()) {
+    throw Error(std::string(role) +
+                " needs exactly one of --socket=PATH or --tcp=[HOST:]PORT");
+  }
 
-  topo::Snapshot base = load_base(gen, files, "serve");
+  topo::Snapshot base = load_base(gen, files, role);
   std::vector<core::Invariant> invariants =
       standard_invariants(base, want_host_invariants);
 
@@ -348,73 +389,121 @@ int cmd_serve(const std::vector<std::string>& args) {
               << " commit(s), head version " << dna_service.head()->id
               << "\n";
   }
-  service::UnixListener listener(socket_path);
-  std::cout << "serving on " << socket_path << " with "
-            << dna_service.num_workers() << " worker(s)\n"
+
+  std::unique_ptr<service::Listener> listener;
+  std::string where;
+  if (!socket_path.empty()) {
+    listener = std::make_unique<service::UnixListener>(socket_path);
+    where = socket_path;
+  } else {
+    const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
+    auto tcp =
+        std::make_unique<service::TcpListener>(endpoint.port, endpoint.host);
+    where = tcp->host() + ":" + std::to_string(tcp->port());
+    listener = std::move(tcp);
+  }
+  std::cout << (shard_mode ? "shard serving on " : "serving on ") << where
+            << " with " << dna_service.num_workers() << " worker(s)\n"
             << std::flush;
 
-  // One thread per connection; any session may request shutdown, which
-  // closes the listener and pops the accept loop. Finished sessions are
-  // reaped on every accept so a long-lived server does not accumulate
-  // dead threads; sessions still connected at shutdown are evicted
-  // (transport abort) so join() cannot hang on an idle client.
-  struct Connection {
-    std::unique_ptr<service::Transport> transport;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-  std::vector<std::unique_ptr<Connection>> connections;
-  auto reap = [&connections](bool all) {
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (all || (*it)->done.load()) {
-        (*it)->thread.join();
-        it = connections.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  while (auto transport = listener.accept()) {
-    reap(/*all=*/false);
-    auto connection = std::make_unique<Connection>();
-    connection->transport = std::move(transport);
-    Connection* raw = connection.get();
-    connection->thread = std::thread([&dna_service, &listener, raw] {
-      service::ServerSession session(dna_service, *raw->transport);
-      session.run();
-      if (session.shutdown_requested()) listener.close();
-      raw->done.store(true);
-    });
-    connections.push_back(std::move(connection));
-  }
-  for (const auto& connection : connections) connection->transport->abort();
-  reap(/*all=*/true);
+  service::SessionServer server(*listener,
+                                [&dna_service](service::Transport& transport) {
+                                  service::ServerSession session(dna_service,
+                                                                 transport);
+                                  session.run();
+                                  return session.shutdown_requested();
+                                });
+  server.run();
   dna_service.shutdown();
   std::cout << dna_service.metrics().str();
   return 0;
 }
 
+int cmd_route(const std::vector<std::string>& args) {
+  std::string tcp_endpoint, shard_list;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--shards=")) {
+      shard_list = arg.substr(9);
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown route flag: " + arg);
+    }
+  }
+  if (tcp_endpoint.empty()) throw Error("route needs --tcp=[HOST:]PORT");
+  if (shard_list.empty()) {
+    throw Error("route needs --shards=HOST:PORT[,HOST:PORT...]");
+  }
+
+  std::vector<service::shard::Dialer> dialers;
+  for (const std::string& endpoint_text : split(shard_list, ',')) {
+    const service::HostPort endpoint = service::parse_hostport(endpoint_text);
+    dialers.push_back([endpoint] {
+      return service::connect_tcp(endpoint.host, endpoint.port);
+    });
+  }
+  service::shard::ShardRouter router(std::move(dialers));
+  const size_t reachable = router.connect_all();
+  std::cout << "routing over " << router.num_shards() << " shard(s) ("
+            << reachable << " reachable), topology-hash partition\n";
+
+  const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
+  service::TcpListener listener(endpoint.port, endpoint.host);
+  std::cout << "routing on " << listener.host() << ":" << listener.port()
+            << "\n"
+            << std::flush;
+  service::SessionServer server(
+      listener, [&router](service::Transport& transport) {
+        service::shard::RouterSession session(router, transport);
+        session.run();
+        return session.shutdown_requested();
+      });
+  server.run();
+  std::cout << router.metrics().str();
+  return 0;
+}
+
 int cmd_query(const std::vector<std::string>& args) {
-  std::string socket_path;
+  std::string socket_path, tcp_endpoint, pin_prefix;
   std::vector<std::string> requests;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (starts_with(arg, "--socket=")) {
       socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--version=")) {
+      const int value = as_int(arg.substr(10));
+      if (value <= 0) throw Error("--version must be >= 1");
+      pin_prefix = "@" + std::to_string(value) + " ";
     } else if (starts_with(arg, "--")) {
       throw Error("unknown query flag: " + arg);
     } else {
       requests.push_back(arg);
     }
   }
-  if (socket_path.empty()) throw Error("query needs --socket=PATH");
+  if (socket_path.empty() == tcp_endpoint.empty()) {
+    throw Error("query needs exactly one of --socket=PATH or --tcp=HOST:PORT");
+  }
   if (requests.empty()) throw Error("query needs at least one request");
 
-  auto transport = service::connect_unix(socket_path);
+  std::unique_ptr<service::Transport> transport;
+  if (!socket_path.empty()) {
+    transport = service::connect_unix(socket_path);
+  } else {
+    const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
+    transport = service::connect_tcp(endpoint.host, endpoint.port);
+  }
   service::ServiceClient client(*transport);
   bool all_ok = true;
   for (const std::string& request : requests) {
-    const service::QueryResult result = client.request(request);
+    // Session commands are not queries; pinning them would only confuse the
+    // server's command matcher.
+    const bool command = request == "metrics" || request == "shutdown" ||
+                         starts_with(request, "commit");
+    const service::QueryResult result =
+        client.request(command ? request : pin_prefix + request);
     if (result.ok) {
       std::cout << "[v" << result.version << "] " << result.body << "\n";
     } else {
@@ -437,10 +526,16 @@ int usage() {
       << "  dna_cli whatif (--gen=<spec> | <topo> <cfg>) [--sweep=...]"
          " [--threads=N] [--top=K] [--json] [--monolithic]"
          " [--host-invariants]\n"
-      << "  dna_cli serve (--gen=<spec> | <topo> <cfg>) --socket=PATH"
-         " [--threads=N] [--host-invariants] [--journal-dir=PATH]"
-         " [--no-fsync] [--queue-depth=N]\n"
-      << "  dna_cli query --socket=PATH <request> [<request> ...]\n";
+      << "  dna_cli serve (--gen=<spec> | <topo> <cfg>)"
+         " (--socket=PATH | --tcp=[HOST:]PORT) [--threads=N]"
+         " [--host-invariants] [--journal-dir=PATH] [--no-fsync]"
+         " [--queue-depth=N] [--keep-versions=N]\n"
+      << "  dna_cli shard-serve (--gen=<spec> | <topo> <cfg>)"
+         " --tcp=[HOST:]PORT [serve flags...]\n"
+      << "  dna_cli route --tcp=[HOST:]PORT"
+         " --shards=HOST:PORT[,HOST:PORT...]\n"
+      << "  dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N]"
+         " <request> [<request> ...]\n";
   return 2;
 }
 
@@ -463,7 +558,13 @@ int main(int argc, char** argv) {
       return cmd_whatif(args);
     }
     if (!args.empty() && args[0] == "serve") {
-      return cmd_serve(args);
+      return cmd_serve(args, /*shard_mode=*/false);
+    }
+    if (!args.empty() && args[0] == "shard-serve") {
+      return cmd_serve(args, /*shard_mode=*/true);
+    }
+    if (!args.empty() && args[0] == "route") {
+      return cmd_route(args);
     }
     if (!args.empty() && args[0] == "query") {
       return cmd_query(args);
