@@ -53,6 +53,7 @@
 
 #include "bench_common.h"
 #include "core/change.h"
+#include "obs/metrics.h"
 #include "scenario/spec.h"
 #include "service/net/server.h"
 #include "service/net/tcp.h"
@@ -103,9 +104,9 @@ void bench_throughput(int k, size_t num_queries) {
   std::printf("fat-tree k=%d: %zu nodes, %zu links, %zu queries per run\n", k,
               base.topology.num_nodes(), base.topology.num_links(),
               queries.size());
-  std::printf("%8s %12s %12s %10s %10s\n", "threads", "total ms", "queries/s",
-              "speedup", "answers");
-  bench::print_rule(58);
+  std::printf("%8s %12s %12s %10s %10s %8s %8s %8s\n", "threads", "total ms",
+              "queries/s", "speedup", "answers", "p50 ms", "p95 ms", "p99 ms");
+  bench::print_rule(85);
 
   std::vector<std::string> reference;
   double t1_ms = 0;
@@ -144,15 +145,29 @@ void bench_throughput(int k, size_t num_queries) {
     record("query_t" + std::to_string(threads), queries.size(), ms / 1e3,
            /*gated=*/threads == 1);
 
+    // Per-query latency percentiles from the service's own telemetry —
+    // the same histogram `dna_cli stats` serves in production. (The warmup
+    // queries are included; they are a rounding error of the batch.)
+    const obs::Histogram::Snapshot lat =
+        service.registry().histogram("service.query_seconds").snapshot();
+    const std::string prefix = "query_t" + std::to_string(threads);
+    // Percentiles depend on queueing under the chosen thread count —
+    // recorded for dashboards, never gated.
+    record(prefix + "_p50", 1, lat.quantile(0.50) * 1e-9, /*gated=*/false);
+    record(prefix + "_p95", 1, lat.quantile(0.95) * 1e-9, /*gated=*/false);
+    record(prefix + "_p99", 1, lat.quantile(0.99) * 1e-9, /*gated=*/false);
+
     if (reference.empty()) {
       reference = answers;
       t1_ms = ms;
     }
     const bool identical = answers == reference;
     all_identical = all_identical && identical;
-    std::printf("%8zu %12.1f %12.0f %9.2fx %10s\n", threads, ms,
-                queries.size() / (ms / 1e3), t1_ms / ms,
-                identical ? "identical" : "DIVERGED");
+    std::printf("%8zu %12.1f %12.0f %9.2fx %10s %8.2f %8.2f %8.2f\n", threads,
+                ms, queries.size() / (ms / 1e3), t1_ms / ms,
+                identical ? "identical" : "DIVERGED",
+                lat.quantile(0.50) * 1e-6, lat.quantile(0.95) * 1e-6,
+                lat.quantile(0.99) * 1e-6);
   }
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("(%u hardware thread(s) available; speedup saturates there)\n\n",

@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace dna::obs {
+
+namespace {
+
+bool valid_span_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Strict hex parse; returns false on empty/malformed input.
+bool parse_hex(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+/// Strict decimal parse for span offsets/durations.
+bool parse_dec(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::string hex_id(uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+}  // namespace
+
+std::string Trace::encode() const {
+  if (spans_.empty()) return "";
+  std::string out = "t=" + hex_id(id_);
+  for (const Span& span : spans_) {
+    out += ';';
+    out += span.name;
+    out += ':';
+    out += std::to_string(span.start_ns);
+    out += ':';
+    out += std::to_string(span.dur_ns);
+  }
+  return out;
+}
+
+std::optional<Trace> Trace::decode(std::string_view text) {
+  if (text.size() < 3 || text.substr(0, 2) != "t=") return std::nullopt;
+  Trace trace;
+  size_t pos = 2;
+  const size_t id_end = text.find(';', pos);
+  uint64_t id = 0;
+  if (!parse_hex(text.substr(pos, id_end - pos), &id)) return std::nullopt;
+  trace.set_id(id);
+  if (id_end == std::string_view::npos) return trace;  // id, no spans
+  pos = id_end + 1;
+  while (pos <= text.size()) {
+    const size_t span_end = std::min(text.find(';', pos), text.size());
+    const std::string_view span_text = text.substr(pos, span_end - pos);
+    const size_t first = span_text.find(':');
+    const size_t second =
+        first == std::string_view::npos ? first : span_text.find(':', first + 1);
+    if (second == std::string_view::npos) return std::nullopt;
+    const std::string_view name = span_text.substr(0, first);
+    uint64_t start = 0, dur = 0;
+    if (!valid_span_name(name) ||
+        !parse_dec(span_text.substr(first + 1, second - first - 1), &start) ||
+        !parse_dec(span_text.substr(second + 1), &dur)) {
+      return std::nullopt;
+    }
+    trace.add(std::string(name), start, dur);
+    if (span_end == text.size()) break;
+    pos = span_end + 1;
+  }
+  return trace;
+}
+
+void Trace::append_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("id").value(hex_id(id_));
+  json.key("total_ns").value(static_cast<unsigned long long>(end_ns()));
+  json.key("spans").begin_array();
+  for (const Span& span : spans_) {
+    json.begin_object();
+    json.key("name").value(span.name);
+    json.key("start_ns").value(static_cast<unsigned long long>(span.start_ns));
+    json.key("dur_ns").value(static_cast<unsigned long long>(span.dur_ns));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string Trace::str() const {
+  std::ostringstream out;
+  out << "trace " << hex_id(id_) << " total "
+      << static_cast<double>(end_ns()) / 1e6 << " ms\n";
+  for (const Span& span : spans_) {
+    // Indent by the dot depth of the name, so stitched child legs read as
+    // a tree even though the storage is flat.
+    const size_t depth =
+        static_cast<size_t>(std::count(span.name.begin(), span.name.end(), '.'));
+    for (size_t i = 0; i < depth + 1; ++i) out << "  ";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-28s @%9.3f ms  +%9.3f ms",
+                  span.name.c_str(),
+                  static_cast<double>(span.start_ns) / 1e6,
+                  static_cast<double>(span.dur_ns) / 1e6);
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+double covered_fraction(const Trace& trace, std::string_view root) {
+  const Span* root_span = nullptr;
+  for (const Span& span : trace.spans()) {
+    if (span.name == root) root_span = &span;
+  }
+  if (root_span == nullptr || root_span->dur_ns == 0) return 0;
+  const uint64_t lo = root_span->start_ns;
+  const uint64_t hi = root_span->start_ns + root_span->dur_ns;
+
+  // Union of the other spans clipped to [lo, hi): collect, sort, sweep.
+  std::vector<std::pair<uint64_t, uint64_t>> intervals;
+  for (const Span& span : trace.spans()) {
+    if (&span == root_span) continue;
+    const uint64_t s = std::max(span.start_ns, lo);
+    const uint64_t e = std::min(span.start_ns + span.dur_ns, hi);
+    if (e > s) intervals.emplace_back(s, e);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t covered = 0, cursor = lo;
+  for (const auto& [s, e] : intervals) {
+    const uint64_t from = std::max(s, cursor);
+    if (e > from) {
+      covered += e - from;
+      cursor = e;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(hi - lo);
+}
+
+uint64_t next_trace_id() {
+  // Seeded from the steady clock once, then strided by a large odd
+  // constant: ids are unique in-process and collide across processes only
+  // if two processes land on the same nanosecond tick.
+  static std::atomic<uint64_t> next{now_ns() | 1};
+  return next.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+}
+
+void TraceLog::record(Trace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Trace> TraceLog::last(size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t take = std::min(n, ring_.size());
+  return std::vector<Trace>(ring_.end() - static_cast<long>(take),
+                            ring_.end());
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::string TraceLog::json(size_t n) const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traces").begin_array();
+  for (const Trace& trace : last(n)) {
+    trace.append_json(json);
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace dna::obs

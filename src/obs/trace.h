@@ -1,0 +1,125 @@
+// Per-query tracing: named spans on one timeline, stitched across
+// processes.
+//
+// A Trace is a trace id plus a flat list of spans, each a (name, start,
+// duration) triple in nanoseconds relative to the trace's own epoch (the
+// moment the traced request entered the component). Hierarchy is by name
+// ("s1.eval" is the eval leg observed inside shard 1's RTT leg), which
+// keeps the encoding trivial and the merge operation a concatenation.
+//
+// Cross-process propagation rides the existing text protocol:
+//
+//  * requests: a "trace:<hex-id>" token prefixed to the query line asks the
+//    receiver to trace this request under that id ("trace:auto" lets the
+//    receiver pick one);
+//  * responses: the receiver's spans come back as a compact single-token
+//    encoding on the response status line (protocol.h), leaving the answer
+//    body byte-identical to an untraced evaluation;
+//  * stitching: the caller re-bases the child's spans at the start of its
+//    own RTT span for that request (add_child). A child's whole timeline
+//    fits inside the RTT that carried it, so nesting holds by construction.
+//
+// Encoding (one token, no whitespace):  t=<hex-id>;name:start:dur;...
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dna::obs {
+
+struct Span {
+  std::string name;   // [A-Za-z0-9_.]+, dotted for child legs
+  uint64_t start_ns = 0;  // offset from the trace epoch
+  uint64_t dur_ns = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+  void set_id(uint64_t id) { id_ = id; }
+
+  void add(std::string name, uint64_t start_ns, uint64_t dur_ns) {
+    spans_.push_back({std::move(name), start_ns, dur_ns});
+  }
+
+  /// Splices a child trace in: every child span appears as
+  /// `prefix + name`, shifted by `offset_ns` (the start of the parent leg
+  /// that carried the child's request).
+  void add_child(const std::string& prefix, uint64_t offset_ns,
+                 const Trace& child) {
+    for (const Span& span : child.spans_) {
+      spans_.push_back({prefix + span.name, span.start_ns + offset_ns,
+                        span.dur_ns});
+    }
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// End of the latest span — the trace's total timeline length.
+  uint64_t end_ns() const {
+    uint64_t end = 0;
+    for (const Span& span : spans_) {
+      if (span.start_ns + span.dur_ns > end) end = span.start_ns + span.dur_ns;
+    }
+    return end;
+  }
+
+  /// Wire form: "t=<hex-id>;name:start:dur;...". Empty string for a trace
+  /// with no spans.
+  std::string encode() const;
+  /// Parses encode()'s output; nullopt on malformed input (a peer that
+  /// does not trace simply sends nothing).
+  static std::optional<Trace> decode(std::string_view text);
+
+  /// One JSON object: {"id":"<hex>","total_ns":N,"spans":[...]}.
+  void append_json(util::JsonWriter& json) const;
+  /// Human-readable span table, one line per span, indented by depth.
+  std::string str() const;
+
+ private:
+  uint64_t id_ = 0;
+  std::vector<Span> spans_;
+};
+
+/// Fraction of the span named `root` covered by the union of all other
+/// spans clipped to it — how much of the measured wall time the trace
+/// accounts for. Returns 0 when `root` is missing or empty.
+double covered_fraction(const Trace& trace, std::string_view root);
+
+/// A process-local id for a new trace: unique within the process, dense
+/// enough to be unique across a deployment for any practical log window.
+uint64_t next_trace_id();
+
+/// Fixed-capacity ring of recently completed traces (the `trace last N`
+/// verb). Mutex-guarded — it is only touched for traced or slow queries,
+/// never on the plain hot path.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  void record(Trace trace);
+  /// The most recent min(n, size) traces, oldest first.
+  std::vector<Trace> last(size_t n) const;
+  size_t size() const;
+
+  /// {"traces":[...]} for the newest `n` traces.
+  std::string json(size_t n) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Trace> ring_;
+  size_t capacity_;
+};
+
+}  // namespace dna::obs

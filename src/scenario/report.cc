@@ -135,4 +135,21 @@ std::string ScenarioReport::str(size_t top_k) const {
   return out.str();
 }
 
+std::string ScenarioReport::timing_str() const {
+  std::ostringstream out;
+  out << "timing: " << results.size() << " scenario(s) in " << seconds_total
+      << " s on " << threads << " thread(s)\n";
+  for (const WorkerTiming& t : worker_timings) {
+    if (t.scenarios == 0 && t.clone_seconds == 0) continue;  // idle worker
+    out << "  worker " << t.worker << ": " << t.scenarios << " scenario(s), "
+        << "clone " << t.clone_seconds * 1e3 << " ms, eval "
+        << t.eval_seconds * 1e3 << " ms";
+    if (t.scenarios > 0) {
+      out << " (" << t.eval_seconds / t.scenarios * 1e3 << " ms/scenario)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace dna::scenario

@@ -49,6 +49,17 @@ struct ScenarioResult {
 /// Ties break by input order, making the ranking a total deterministic order.
 bool more_severe(const ScenarioResult& a, const ScenarioResult& b);
 
+/// One worker's wall-time breakdown over a batch — where its time went:
+/// cloning its engine (the one-off base verification), evaluating
+/// candidates, or rewinding back to base between them. Scheduling-
+/// dependent diagnostics, excluded from str()/to_json().
+struct WorkerTiming {
+  size_t worker = 0;
+  size_t scenarios = 0;      // scenarios this worker evaluated
+  double clone_seconds = 0;  // engine construction + base verification
+  double eval_seconds = 0;   // preview: apply + differential diff + rewind
+};
+
 struct ScenarioReport {
   std::vector<ScenarioResult> results;  // input order
   std::vector<size_t> ranking;          // indices into results, worst first
@@ -57,6 +68,7 @@ struct ScenarioReport {
   double seconds_total = 0;
   size_t threads = 1;
   size_t failures = 0;
+  std::vector<WorkerTiming> worker_timings;  // by worker index
 
   const ScenarioResult& ranked(size_t position) const {
     return results[ranking[position]];
@@ -65,6 +77,11 @@ struct ScenarioReport {
   /// Deterministic ranked table; `top_k` caps rows (0 = all). Scenarios that
   /// failed to evaluate are listed at the bottom with their error.
   std::string str(size_t top_k = 0) const;
+
+  /// The scheduling-dependent diagnostics str() deliberately omits: batch
+  /// wall time and the per-worker clone/eval breakdown. Kept separate so
+  /// the deterministic report stays byte-identical across thread counts.
+  std::string timing_str() const;
 };
 
 /// Fills report.ranking and report.failures from report.results.

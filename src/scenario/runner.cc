@@ -3,6 +3,7 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
 
@@ -43,20 +44,32 @@ ScenarioReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
   report.results.resize(specs.size());
 
   // One engine per worker, built lazily on the worker's first scenario so
-  // the (expensive) base verifications themselves run in parallel.
+  // the (expensive) base verifications themselves run in parallel. The
+  // per-worker timing slots are written lock-free — each worker owns its
+  // own index.
   std::vector<std::unique_ptr<core::DnaEngine>> engines(pool.num_workers());
+  std::vector<WorkerTiming> timings(pool.num_workers());
+  for (size_t w = 0; w < timings.size(); ++w) timings[w].worker = w;
 
   pool.parallel_for(specs.size(), [&](size_t worker, size_t index) {
     std::unique_ptr<core::DnaEngine>& engine = engines[worker];
+    WorkerTiming& timing = timings[worker];
     try {
       if (!engine) {
+        const uint64_t clone_start = obs::now_ns();
         engine = std::make_unique<core::DnaEngine>(base_);
         for (const core::Invariant& invariant : invariants_) {
           engine->add_invariant(invariant);
         }
+        timing.clone_seconds +=
+            static_cast<double>(obs::now_ns() - clone_start) * 1e-9;
       }
+      const uint64_t eval_start = obs::now_ns();
       report.results[index] =
           evaluate(*engine, base_, specs[index], options, index);
+      timing.eval_seconds +=
+          static_cast<double>(obs::now_ns() - eval_start) * 1e-9;
+      ++timing.scenarios;
     } catch (const std::exception& e) {
       // The engine may be mid-advance; drop it so the worker rebuilds a
       // clean clone for its next scenario.
@@ -84,6 +97,7 @@ ScenarioReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
 
   rank(report);
   report.seconds_total = stopwatch.elapsed_seconds();
+  report.worker_timings = std::move(timings);
   return report;
 }
 

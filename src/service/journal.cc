@@ -276,12 +276,19 @@ void Journal::append_frame(std::string_view frame) {
     }
     written += static_cast<size_t>(n);
   }
-  sync_fd(fd_);
+  timed_sync_fd(fd_);
 }
 
 void Journal::append_commit(uint64_t version,
                             const std::string& change_text) {
   append_frame(encode_record_frame(encode_commit_record(version, change_text)));
+}
+
+void Journal::timed_sync_fd(int fd) {
+  const uint64_t start = obs::now_ns();
+  sync_fd(fd);
+  last_fsync_ns_ = obs::now_ns() - start;
+  if (fsync_histogram_ != nullptr) fsync_histogram_->observe(last_fsync_ns_);
 }
 
 void Journal::compact(uint64_t version, const topo::Snapshot& head) {

@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "topo/snapshot.h"
 
 namespace dna::service {
@@ -107,6 +108,17 @@ class Journal {
   /// under the configured fsync policy. Throws dna::Error on I/O failure.
   void append_commit(uint64_t version, const std::string& change_text);
 
+  /// Observes every append's fsync duration (nanoseconds) into `histogram`
+  /// (nullptr detaches). The owning service points this at its registry;
+  /// the journal itself stays free of any obs dependency beyond the hook.
+  void set_fsync_histogram(obs::Histogram* histogram) {
+    fsync_histogram_ = histogram;
+  }
+  /// Duration of the most recent append's fsync, for the caller's trace
+  /// spans. Meaningful only under the caller's own serialization (the
+  /// service's commit lock) — the journal does not synchronize appends.
+  uint64_t last_fsync_ns() const { return last_fsync_ns_; }
+
   /// Snapshots `head` at `version` into a fresh segment and deletes all
   /// older segments. Called after startup replay (where it truncates the
   /// replayed history) and harmless on a fresh journal (where it seeds the
@@ -127,6 +139,9 @@ class Journal {
   std::string segment_path(uint64_t seq) const;
   void append_frame(std::string_view frame);
   void sync_fd(int fd) const;
+  /// sync_fd for the append path: times the fsync, feeding the attached
+  /// histogram and last_fsync_ns().
+  void timed_sync_fd(int fd);
   void sync_dir() const;
 
   std::string dir_;
@@ -136,6 +151,8 @@ class Journal {
   bool torn_tail_ = false;
   size_t tail_valid_bytes_ = 0;  // clean prefix of the last segment
   int fd_ = -1;                  // tail segment, open for append
+  obs::Histogram* fsync_histogram_ = nullptr;
+  uint64_t last_fsync_ns_ = 0;
 };
 
 }  // namespace dna::service

@@ -47,6 +47,13 @@ std::optional<std::string> FrameDecoder::next() {
 std::string encode_response(const QueryResult& result) {
   std::string payload = result.ok ? "ok " : "err ";
   payload += std::to_string(result.version);
+  if (!result.trace.empty()) {
+    // Trace spans ride the status line so the body stays byte-identical to
+    // an untraced evaluation (the shard/monolith equivalence tests compare
+    // bodies). The encoding is a single whitespace-free token.
+    payload += " trace ";
+    payload += result.trace;
+  }
   payload += '\n';
   payload += result.body;
   return payload;
@@ -57,7 +64,9 @@ QueryResult decode_response(const std::string& payload) {
   const std::string status_line =
       newline == std::string::npos ? payload : payload.substr(0, newline);
   const std::vector<std::string> tokens = split_ws(status_line);
-  if (tokens.size() != 2 || (tokens[0] != "ok" && tokens[0] != "err")) {
+  const bool traced = tokens.size() == 4 && tokens[2] == "trace";
+  if ((tokens.size() != 2 && !traced) ||
+      (tokens[0] != "ok" && tokens[0] != "err")) {
     throw Error("malformed response status: " + status_line);
   }
   const long long version = parse_int(tokens[1]);
@@ -66,6 +75,7 @@ QueryResult decode_response(const std::string& payload) {
   QueryResult result;
   result.ok = tokens[0] == "ok";
   result.version = static_cast<uint64_t>(version);
+  if (traced) result.trace = tokens[3];
   result.body = newline == std::string::npos ? "" : payload.substr(newline + 1);
   return result;
 }

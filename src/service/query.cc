@@ -177,10 +177,52 @@ std::string random_change_text(const topo::Snapshot& base, Rng& rng,
   return join(steps, "; ");
 }
 
-Query parse_query(const std::string& line) {
+TraceTag split_trace_tag(const std::string& line, std::string* rest) {
+  TraceTag tag;
+  const std::string_view trimmed = trim(line);
+  constexpr std::string_view kPrefix = "trace:";
+  if (trimmed.substr(0, kPrefix.size()) == kPrefix) {
+    const size_t end = trimmed.find_first_of(" \t");
+    const std::string_view id_text =
+        trimmed.substr(kPrefix.size(),
+                       (end == std::string_view::npos ? trimmed.size() : end) -
+                           kPrefix.size());
+    tag.traced = true;
+    if (!id_text.empty() && id_text != "auto") {
+      // Hex trace id; malformed ids fail the whole line loudly rather
+      // than silently starting an unrelated trace.
+      uint64_t id = 0;
+      for (const char c : id_text) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          throw Error("bad trace id: " + std::string(id_text));
+        }
+        id = (id << 4) | static_cast<uint64_t>(digit);
+      }
+      tag.id = id;
+    }
+    *rest = std::string(
+        trim(end == std::string_view::npos ? "" : trimmed.substr(end)));
+  } else {
+    *rest = std::string(trimmed);
+  }
+  return tag;
+}
+
+Query parse_query(const std::string& raw_line) {
+  std::string line;
+  const TraceTag tag = split_trace_tag(raw_line, &line);
   const std::vector<std::string> tokens = split_ws(line);
   Query query;
   query.text = std::string(trim(line));
+  query.traced = tag.traced;
+  query.trace_id = tag.id;
 
   // Leading modifiers (any order, each at most meaningful once): `@<id>`
   // pins the version, `part <i>/<n>` scopes the evaluation to one

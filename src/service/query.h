@@ -16,7 +16,17 @@
 //   whatif <change...>                   blast radius of a candidate change
 //                                        (evaluated, never committed)
 //
-// A query line may be prefixed by modifiers, in any order:
+// A query line may be prefixed by modifiers:
+//
+//   trace:<hex-id>|trace:auto            trace this request: the response
+//                                        carries per-leg spans (obs/trace.h)
+//                                        on its status line; `auto` lets
+//                                        the server pick the id. Must be
+//                                        the first token; the router uses
+//                                        it to stitch shard spans into one
+//                                        deployment-wide trace.
+//
+// followed by, in any order:
 //
 //   @<id>                                pin the query to live version <id>
 //                                        instead of the head (time-travel
@@ -65,7 +75,20 @@ struct Query {
   /// Partition scope (`part i/n` modifier); count 1 = the whole network.
   uint32_t scope_index = 0;
   uint32_t scope_count = 1;
+  /// Tracing (`trace:<id>` modifier); id 0 = let the server pick one.
+  bool traced = false;
+  uint64_t trace_id = 0;
 };
+
+/// The leading `trace:` tag of a request line, split off before command
+/// matching: `rest` receives the line with the tag removed (trimmed).
+/// Shared by parse_query, the sessions, and the router, so they agree on
+/// what counts as a traced request.
+struct TraceTag {
+  bool traced = false;
+  uint64_t id = 0;  // 0 = auto (receiver picks)
+};
+TraceTag split_trace_tag(const std::string& line, std::string* rest);
 
 /// Parses one request line. Throws dna::Error with a caller-facing message
 /// on malformed input.
@@ -93,6 +116,10 @@ struct QueryResult {
   bool ok = true;
   uint64_t version = 0;  // version the query was evaluated against
   std::string body;      // rendered answer (or error detail when !ok)
+  /// Encoded obs::Trace spans for a traced request; empty otherwise.
+  /// Rides the response status line, so `body` stays byte-identical to an
+  /// untraced evaluation.
+  std::string trace;
 };
 
 /// Evaluates one parsed query against `version`. `engine` must already be

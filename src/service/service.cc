@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace dna::service {
@@ -23,8 +24,29 @@ DnaService::DnaService(topo::Snapshot base,
       store_(journaled_base(journal_.get(), std::move(base)),
              journaled_base_id(journal_.get())),
       pool_(options_.num_threads),
-      workers_(pool_.num_workers()) {
+      workers_(pool_.num_workers()),
+      ctr_queries_total_(registry_.counter("service.queries_total")),
+      ctr_queries_failed_(registry_.counter("service.queries_failed")),
+      ctr_queries_shed_(registry_.counter("service.queries_shed")),
+      ctr_batches_(registry_.counter("service.batches")),
+      ctr_commits_(registry_.counter("service.commits")),
+      ctr_slow_queries_(registry_.counter("service.slow_queries")),
+      gauge_max_batch_(registry_.gauge("service.max_batch")),
+      gauge_max_queue_depth_(registry_.gauge("service.max_queue_depth")),
+      hist_queue_wait_(registry_.histogram("service.query_queue_seconds")),
+      hist_catchup_(registry_.histogram("service.replica_catchup_seconds")),
+      hist_eval_(registry_.histogram("service.query_eval_seconds")),
+      hist_query_total_(registry_.histogram("service.query_seconds")),
+      hist_batch_size_(registry_.histogram("service.batch_size",
+                                           obs::Histogram::Unit::kCount)),
+      hist_commit_(registry_.histogram("service.commit_seconds")),
+      hist_journal_append_(
+          registry_.histogram("service.journal_append_seconds")) {
   store_.keep_history(options_.keep_versions);
+  if (journal_) {
+    journal_->set_fsync_histogram(
+        &registry_.histogram("service.journal_fsync_seconds"));
+  }
   writer_ = make_engine(*store_.head()->snapshot);
   if (journal_) {
     replay_journal();
@@ -109,11 +131,8 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
     QueryResult failed;
     failed.ok = false;
     failed.body = e.what();
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.queries_total;
-      ++metrics_.queries_failed;
-    }
+    ctr_queries_total_.add();
+    ctr_queries_failed_.add();
     promise.set_value(std::move(failed));
     return future;
   }
@@ -132,14 +151,14 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
     failed.ok = false;
     failed.body = "version " + std::to_string(query.pinned_version) +
                   " is not live (never published, or already retired)";
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.queries_total;
-      ++metrics_.queries_failed;
-    }
+    ctr_queries_total_.add();
+    ctr_queries_failed_.add();
     promise.set_value(std::move(failed));
     return future;
   }
+  // Read the clock before taking the queue lock — the submit timestamp
+  // must not lengthen the critical section every submitter serializes on.
+  const uint64_t submit_ns = obs::now_ns();
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     // Backpressure: at the configured bound, give the dispatcher one
@@ -166,19 +185,14 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
       shed.body = "queue saturated: shed after " +
                   std::to_string(options_.submit_deadline.count()) +
                   " ms at depth " + std::to_string(queue_.size());
-      {
-        std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-        ++metrics_.queries_total;
-        ++metrics_.queries_shed;
-      }
+      ctr_queries_total_.add();
+      ctr_queries_shed_.add();
       promise.set_value(std::move(shed));
       return future;
     }
-    queue_.push_back(
-        Pending{std::move(query), std::move(version), std::move(promise)});
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    metrics_.max_queue_depth =
-        std::max(metrics_.max_queue_depth, queue_.size());
+    queue_.push_back(Pending{std::move(query), std::move(version),
+                             std::move(promise), submit_ns});
+    gauge_max_queue_depth_.set_max(static_cast<int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return future;
@@ -197,10 +211,12 @@ CommitResult DnaService::commit(const core::ChangePlan& plan) {
   return commit(plan, options_.commit_mode);
 }
 
-CommitResult DnaService::commit_text(const std::string& change_text) {
+CommitResult DnaService::commit_text(const std::string& change_text,
+                                     obs::Trace* trace) {
   // One parse: the parsed plan's description *is* the trimmed text (the
   // round-trip identity), so it is already journal-authoritative.
-  return commit_impl(parse_change_plan(change_text), options_.commit_mode);
+  return commit_impl(parse_change_plan(change_text), options_.commit_mode,
+                     trace);
 }
 
 CommitResult DnaService::commit(const core::ChangePlan& plan,
@@ -224,9 +240,10 @@ CommitResult DnaService::commit(const core::ChangePlan& plan,
 }
 
 CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
-                                     core::Mode mode) {
+                                     core::Mode mode, obs::Trace* trace) {
   std::lock_guard<std::mutex> lock(commit_mutex_);
   Stopwatch stopwatch;
+  const uint64_t epoch_ns = obs::now_ns();
   core::NetworkDiff diff;
   try {
     diff = writer_->advance(effective.apply(writer_->snapshot()), mode);
@@ -236,6 +253,8 @@ CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
     writer_ = make_engine(*store_.head()->snapshot);
     throw;
   }
+  const uint64_t advanced_ns = obs::now_ns();
+  if (trace != nullptr) trace->add("apply", 0, advanced_ns - epoch_ns);
 
   if (journal_) {
     // Journal-before-publish: the record must be durable before any reader
@@ -248,6 +267,17 @@ CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
       writer_ = make_engine(*store_.head()->snapshot);
       throw;
     }
+    const uint64_t appended_ns = obs::now_ns();
+    hist_journal_append_.observe(appended_ns - advanced_ns);
+    if (trace != nullptr) {
+      // The fsync is the tail of the append; report both legs so a slow
+      // disk is distinguishable from a slow record encode/write.
+      const uint64_t fsync_ns =
+          std::min(journal_->last_fsync_ns(), appended_ns - advanced_ns);
+      trace->add("journal", advanced_ns - epoch_ns,
+                 appended_ns - advanced_ns - fsync_ns);
+      trace->add("fsync", appended_ns - epoch_ns - fsync_ns, fsync_ns);
+    }
   }
 
   Version provenance;
@@ -259,12 +289,13 @@ CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
   provenance.commit_seconds = stopwatch.elapsed_seconds();
   VersionHandle version = store_.publish(writer_->snapshot(), provenance);
 
-  {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.commits;
-    metrics_.commit_seconds_total += provenance.commit_seconds;
-    metrics_.commit_seconds_max =
-        std::max(metrics_.commit_seconds_max, provenance.commit_seconds);
+  ctr_commits_.add();
+  const uint64_t done_ns = obs::now_ns();
+  hist_commit_.observe(done_ns - epoch_ns);
+  if (trace != nullptr) {
+    const uint64_t journaled_ns =
+        trace->empty() ? advanced_ns : epoch_ns + trace->end_ns();
+    trace->add("publish", journaled_ns - epoch_ns, done_ns - journaled_ns);
   }
 
   CommitResult result;
@@ -277,19 +308,27 @@ CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
   return result;
 }
 
-core::DnaEngine& DnaService::engine_at(size_t worker,
-                                       const Version& version) {
+core::DnaEngine& DnaService::engine_at(size_t worker, const Version& version,
+                                       uint64_t* catchup_ns) {
   WorkerState& state = workers_[worker];
+  if (catchup_ns != nullptr) *catchup_ns = 0;
+  if (state.engine && state.version_id == version.id) return *state.engine;
+
+  const uint64_t start_ns = obs::now_ns();
   if (!state.engine) {
     // First query this worker serves: pay the base verification here, in
     // parallel with the other workers' first queries.
     state.engine = make_engine(*version.snapshot);
-    state.version_id = version.id;
-  } else if (state.version_id != version.id) {
+  } else {
     // Catch up differentially from whatever this replica last served.
     state.engine->advance(*version.snapshot, core::Mode::kDifferential);
-    state.version_id = version.id;
   }
+  state.version_id = version.id;
+  // Only actual work lands in the histogram — the common already-caught-up
+  // case above returns without touching the clock.
+  const uint64_t elapsed = obs::now_ns() - start_ns;
+  hist_catchup_.observe(elapsed);
+  if (catchup_ns != nullptr) *catchup_ns = elapsed;
   return *state.engine;
 }
 
@@ -324,12 +363,16 @@ void DnaService::dispatcher_loop() {
     space_cv_.notify_all();
 
     const VersionHandle version = batch.front().version;
+    const bool trace_all = trace_all_.load(std::memory_order_relaxed);
     std::vector<QueryResult> results(batch.size());
     pool_.parallel_for(batch.size(), [&](size_t worker, size_t index) {
+      Pending& pending = batch[index];
       QueryResult& result = results[index];
+      const uint64_t start_ns = obs::now_ns();
+      uint64_t catchup_ns = 0;
       try {
-        core::DnaEngine& engine = engine_at(worker, *version);
-        result = eval_query(batch[index].query, *version, engine);
+        core::DnaEngine& engine = engine_at(worker, *version, &catchup_ns);
+        result = eval_query(pending.query, *version, engine);
       } catch (const std::exception& e) {
         // The replica may be mid-advance (engine_at or a what-if preview
         // threw): drop it so the worker rebuilds a clean one, and fail
@@ -344,19 +387,48 @@ void DnaService::dispatcher_loop() {
         result.version = version->id;
         result.body = "query evaluation failed";
       }
+      const uint64_t done_ns = obs::now_ns();
+      // Per-leg accounting: queue covers submit -> this worker picking the
+      // query up (coalescing wait plus pool scheduling); catch-up and eval
+      // partition the rest. Sharded relaxed adds — no lock on this path.
+      const uint64_t queue_ns = obs::elapsed_ns(pending.submit_ns, start_ns);
+      const uint64_t eval_ns = done_ns - start_ns - catchup_ns;
+      const uint64_t total_ns = obs::elapsed_ns(pending.submit_ns, done_ns);
+      hist_queue_wait_.observe(queue_ns);
+      hist_eval_.observe(eval_ns);
+      hist_query_total_.observe(total_ns);
+
+      const bool slow =
+          options_.slow_query_ns > 0 && total_ns >= options_.slow_query_ns;
+      if (pending.query.traced || trace_all || slow) {
+        obs::Trace trace(pending.query.trace_id != 0 ? pending.query.trace_id
+                                                     : obs::next_trace_id());
+        trace.add("queue", 0, queue_ns);
+        if (catchup_ns != 0) trace.add("catchup", queue_ns, catchup_ns);
+        trace.add("eval", queue_ns + catchup_ns, eval_ns);
+        if (pending.query.traced) result.trace = trace.encode();
+        if (slow) {
+          ctr_slow_queries_.add();
+          DNA_WARN("slow query (" << total_ns / 1000000.0 << " ms >= "
+                                  << options_.slow_query_ns / 1000000.0
+                                  << " ms): " << pending.query.text);
+        }
+        trace_log_.record(std::move(trace));
+      }
     });
 
     // Account the batch before resolving its futures, so a caller that
     // waits on a query and then reads metrics() always sees it counted.
+    ctr_batches_.add();
+    ctr_queries_total_.add(batch.size());
+    gauge_max_batch_.set_max(static_cast<int64_t>(batch.size()));
+    hist_batch_size_.observe(batch.size());
+    for (const QueryResult& result : results) {
+      if (!result.ok) ctr_queries_failed_.add();
+    }
     {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.batches;
-      metrics_.max_batch = std::max(metrics_.max_batch, batch.size());
-      metrics_.queries_total += batch.size();
-      for (const QueryResult& result : results) {
-        if (!result.ok) ++metrics_.queries_failed;
-      }
-      metrics_.queries_per_version[version->id] += batch.size();
+      queries_per_version_[version->id] += batch.size();
     }
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(results[i]));
@@ -365,10 +437,23 @@ void DnaService::dispatcher_loop() {
 }
 
 ServiceMetrics DnaService::metrics() const {
+  // Assemble the legacy view from the registry (the authoritative per-query
+  // counters) plus the dispatcher's per-version map.
   ServiceMetrics copy;
+  copy.queries_total = ctr_queries_total_.value();
+  copy.queries_failed = ctr_queries_failed_.value();
+  copy.queries_shed = ctr_queries_shed_.value();
+  copy.slow_queries = ctr_slow_queries_.value();
+  copy.batches = ctr_batches_.value();
+  copy.max_batch = static_cast<size_t>(gauge_max_batch_.value());
+  copy.max_queue_depth = static_cast<size_t>(gauge_max_queue_depth_.value());
+  copy.commits = ctr_commits_.value();
+  const obs::Histogram::Snapshot commit_snap = hist_commit_.snapshot();
+  copy.commit_seconds_total = static_cast<double>(commit_snap.sum) * 1e-9;
+  copy.commit_seconds_max = static_cast<double>(commit_snap.max) * 1e-9;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
-    copy = metrics_;
+    copy.queries_per_version = queries_per_version_;
   }
   copy.versions_published = store_.versions_published();
   copy.versions_retired = store_.versions_retired();
@@ -391,7 +476,8 @@ std::string ServiceMetrics::str() const {
   std::ostringstream out;
   out << "service metrics:\n";
   out << "  queries: " << queries_total << " total, " << queries_failed
-      << " failed, " << queries_shed << " shed\n";
+      << " failed, " << queries_shed << " shed, " << slow_queries
+      << " slow\n";
   out << "  batches: " << batches << " (max batch " << max_batch
       << ", max queue depth " << max_queue_depth << ")\n";
   out << "  commits: " << commits;
@@ -409,6 +495,38 @@ std::string ServiceMetrics::str() const {
   if (queries_per_version.empty()) out << " (none dispatched)";
   out << "\n";
   return out.str();
+}
+
+void ServiceMetrics::append_json(util::JsonWriter& json) const {
+  json.key("metrics").begin_object();
+  json.key("queries_total").value(static_cast<unsigned long long>(
+      queries_total));
+  json.key("queries_failed").value(static_cast<unsigned long long>(
+      queries_failed));
+  json.key("queries_shed").value(static_cast<unsigned long long>(
+      queries_shed));
+  json.key("slow_queries").value(static_cast<unsigned long long>(
+      slow_queries));
+  json.key("batches").value(static_cast<unsigned long long>(batches));
+  json.key("max_batch").value(static_cast<unsigned long long>(max_batch));
+  json.key("max_queue_depth").value(static_cast<unsigned long long>(
+      max_queue_depth));
+  json.key("commits").value(static_cast<unsigned long long>(commits));
+  json.key("commit_seconds_total").value(commit_seconds_total);
+  json.key("commit_seconds_max").value(commit_seconds_max);
+  json.key("versions_published").value(static_cast<unsigned long long>(
+      versions_published));
+  json.key("versions_retired").value(static_cast<unsigned long long>(
+      versions_retired));
+  json.key("versions_live").value(static_cast<unsigned long long>(
+      versions_live));
+  json.key("queries_per_version").begin_object();
+  for (const auto& [version, count] : queries_per_version) {
+    json.key("v" + std::to_string(version))
+        .value(static_cast<unsigned long long>(count));
+  }
+  json.end_object();
+  json.end_object();
 }
 
 }  // namespace dna::service

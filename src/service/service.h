@@ -31,6 +31,7 @@
 // which worker evaluates it and in what batch is invisible.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -45,6 +46,8 @@
 
 #include "core/engine.h"
 #include "core/invariants.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/journal.h"
 #include "service/query.h"
 #include "service/version.h"
@@ -78,6 +81,11 @@ struct ServiceOptions {
   /// history even when no reader leases it. 0 = only reader-leased
   /// versions stay queryable by id.
   size_t keep_versions = 0;
+  /// Slow-query log threshold: a query whose submit-to-answer latency
+  /// meets or exceeds this many nanoseconds is warned about and its span
+  /// breakdown lands in the trace log even when nobody asked to trace it.
+  /// 0 disables the slow-query log.
+  uint64_t slow_query_ns = 0;
 };
 
 /// What a commit did: the published version and its blast radius.
@@ -91,10 +99,14 @@ struct CommitResult {
 };
 
 /// Counters accumulated over the service's lifetime; printed on shutdown.
+/// A read-time view assembled from the obs::Registry (per-query counters
+/// live there, on per-thread shards) plus the dispatcher's per-batch map —
+/// kept as the stable introspection surface for existing callers.
 struct ServiceMetrics {
   size_t queries_total = 0;
   size_t queries_failed = 0;
   size_t queries_shed = 0;  // backpressure sheds (counted in total, not failed)
+  size_t slow_queries = 0;  // queries at or over ServiceOptions::slow_query_ns
   size_t batches = 0;
   size_t max_batch = 0;
   size_t max_queue_depth = 0;
@@ -108,6 +120,8 @@ struct ServiceMetrics {
   std::map<uint64_t, size_t> queries_per_version;
 
   std::string str() const;
+  /// The same view as one JSON "metrics" object (the `metrics json` verb).
+  void append_json(util::JsonWriter& json) const;
 };
 
 class DnaService {
@@ -153,7 +167,10 @@ class DnaService {
   CommitResult commit(const core::ChangePlan& plan, core::Mode mode);
 
   /// commit() for callers holding the textual form (sessions, tools).
-  CommitResult commit_text(const std::string& change_text);
+  /// With `trace` non-null, the commit's leg spans (apply, journal append,
+  /// fsync, publish) are recorded into it, offsets relative to commit start.
+  CommitResult commit_text(const std::string& change_text,
+                           obs::Trace* trace = nullptr);
 
   // ---- introspection -------------------------------------------------------
 
@@ -163,6 +180,19 @@ class DnaService {
   }
   size_t num_workers() const { return pool_.num_workers(); }
   ServiceMetrics metrics() const;
+  /// The service's metric registry (counters/gauges/histograms); one per
+  /// service instance so side-by-side deployments do not alias.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// Recently completed traces: every traced query, plus every query the
+  /// slow-query log caught.
+  obs::TraceLog& trace_log() { return trace_log_; }
+  /// When on, every query is traced (spans land in trace_log()) even
+  /// without a `trace:` tag — the `trace on|off` verb.
+  void set_trace_all(bool on) {
+    trace_all_.store(on, std::memory_order_relaxed);
+  }
+  bool trace_all() const { return trace_all_.load(std::memory_order_relaxed); }
   /// Commits replayed from the journal during construction (0 without one).
   size_t recovered_commits() const { return recovered_commits_; }
   bool journaling() const { return journal_ != nullptr; }
@@ -179,6 +209,7 @@ class DnaService {
     Query query;
     VersionHandle version;
     std::promise<QueryResult> promise;
+    uint64_t submit_ns = 0;  // trace epoch: when submit() enqueued it
   };
   struct WorkerState {
     std::unique_ptr<core::DnaEngine> engine;
@@ -188,14 +219,19 @@ class DnaService {
   void dispatcher_loop();
   /// The shared commit tail: `effective` is the plan that both applies and
   /// (when journaling) gets logged — callers guarantee its description is
-  /// the canonical text when a journal is configured.
-  CommitResult commit_impl(const core::ChangePlan& effective, core::Mode mode);
+  /// the canonical text when a journal is configured. `trace`, if non-null,
+  /// receives the commit's leg spans.
+  CommitResult commit_impl(const core::ChangePlan& effective, core::Mode mode,
+                           obs::Trace* trace = nullptr);
   /// A fresh engine verified at `snapshot` with the service invariants
   /// registered — how every replica (writer or reader) is born.
   std::unique_ptr<core::DnaEngine> make_engine(
       const topo::Snapshot& snapshot) const;
   /// The worker's engine replica, advanced (differentially) to `version`.
-  core::DnaEngine& engine_at(size_t worker, const Version& version);
+  /// `catchup_ns`, if non-null, receives the time spent building or
+  /// advancing the replica (0 when it was already at `version`).
+  core::DnaEngine& engine_at(size_t worker, const Version& version,
+                             uint64_t* catchup_ns = nullptr);
   /// The recovered journal's snapshot record (the durable state) if one
   /// exists, else the caller-provided base; likewise its version id.
   static topo::Snapshot journaled_base(const Journal* journal,
@@ -214,6 +250,27 @@ class DnaService {
   std::vector<WorkerState> workers_;  // indexed by pool worker id
   size_t recovered_commits_ = 0;
 
+  // ---- telemetry (obs/). Handles resolved once at construction; the hot
+  // path writes through them — relaxed sharded atomics, no mutex.
+  obs::Registry registry_;
+  obs::Counter& ctr_queries_total_;
+  obs::Counter& ctr_queries_failed_;
+  obs::Counter& ctr_queries_shed_;
+  obs::Counter& ctr_batches_;
+  obs::Counter& ctr_commits_;
+  obs::Counter& ctr_slow_queries_;
+  obs::Gauge& gauge_max_batch_;
+  obs::Gauge& gauge_max_queue_depth_;
+  obs::Histogram& hist_queue_wait_;
+  obs::Histogram& hist_catchup_;
+  obs::Histogram& hist_eval_;
+  obs::Histogram& hist_query_total_;
+  obs::Histogram& hist_batch_size_;
+  obs::Histogram& hist_commit_;
+  obs::Histogram& hist_journal_append_;
+  obs::TraceLog trace_log_;
+  std::atomic<bool> trace_all_{false};
+
   std::mutex commit_mutex_;  // serializes writers
   std::unique_ptr<core::DnaEngine> writer_;  // resident engine at head
 
@@ -223,8 +280,11 @@ class DnaService {
   std::deque<Pending> queue_;
   bool stopping_ = false;
 
+  // Only the per-version dispatch map still needs a lock; it is touched
+  // once per *batch* (dispatcher thread only writes, metrics() reads), so
+  // the mutex is off the per-query path entirely.
   mutable std::mutex metrics_mutex_;
-  ServiceMetrics metrics_;
+  std::map<uint64_t, size_t> queries_per_version_;
 
   std::mutex shutdown_mutex_;  // makes shutdown() safe to race
   std::thread dispatcher_;  // last member: starts after everything above

@@ -9,12 +9,65 @@
 namespace dna::service {
 
 QueryResult ServerSession::handle(const std::string& request) {
-  const std::string line(trim(request));
+  // Strip a leading trace tag so commands still match behind it; reader
+  // queries keep the original line (parse_query strips the tag itself).
+  std::string line;
+  TraceTag tag;
+  try {
+    tag = split_trace_tag(std::string(trim(request)), &line);
+  } catch (const std::exception& e) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = e.what();
+    return failed;
+  }
   try {
     if (line == "metrics") {
       QueryResult result;
       result.version = service_.head()->id;
       result.body = service_.metrics().str();
+      return result;
+    }
+    if (line == "metrics json") {
+      QueryResult result;
+      result.version = service_.head()->id;
+      util::JsonWriter json;
+      json.begin_object();
+      service_.metrics().append_json(json);
+      json.end_object();
+      result.body = json.str();
+      return result;
+    }
+    if (line == "stats" || line == "stats json" || line == "stats prom") {
+      QueryResult result;
+      result.version = service_.head()->id;
+      if (line == "stats prom") {
+        result.body = service_.registry().prometheus_text();
+      } else if (line == "stats json") {
+        util::JsonWriter json;
+        json.begin_object();
+        service_.registry().append_json(json);
+        json.end_object();
+        result.body = json.str();
+      } else {
+        result.body = service_.registry().str();
+      }
+      return result;
+    }
+    if (line == "trace on" || line == "trace off") {
+      service_.set_trace_all(line == "trace on");
+      QueryResult result;
+      result.version = service_.head()->id;
+      result.body = std::string("tracing ") +
+                    (line == "trace on" ? "on" : "off");
+      return result;
+    }
+    if (starts_with(line, "trace last ")) {
+      const long long n = parse_int(trim(line.substr(11)));
+      if (n < 0) throw Error("trace last: count must be non-negative");
+      QueryResult result;
+      result.version = service_.head()->id;
+      result.body = service_.trace_log().json(static_cast<size_t>(n));
       return result;
     }
     if (line == "shutdown") {
@@ -25,7 +78,9 @@ QueryResult ServerSession::handle(const std::string& request) {
       return result;
     }
     if (starts_with(line, "commit ") || line == "commit") {
-      const CommitResult commit = service_.commit_text(line.substr(6));
+      obs::Trace trace(tag.id != 0 ? tag.id : obs::next_trace_id());
+      const CommitResult commit = service_.commit_text(
+          line.substr(6), tag.traced ? &trace : nullptr);
       QueryResult result;
       result.version = commit.version;
       std::ostringstream body;
@@ -34,6 +89,10 @@ QueryResult ServerSession::handle(const std::string& request) {
            << " reach_changes " << commit.reach_changes
            << (commit.semantically_empty ? " (no semantic effect)" : "");
       result.body = body.str();
+      if (tag.traced) {
+        result.trace = trace.encode();
+        service_.trace_log().record(std::move(trace));
+      }
       return result;
     }
   } catch (const std::exception& e) {
@@ -42,7 +101,7 @@ QueryResult ServerSession::handle(const std::string& request) {
     failed.body = e.what();
     return failed;
   }
-  return service_.query(line);
+  return service_.query(std::string(trim(request)));
 }
 
 void ServerSession::run() {

@@ -2,11 +2,16 @@
 //
 // ServerSession pumps one connection: framed request lines in, framed
 // responses out. Reader queries go through DnaService::query() (and so
-// batch with every other session's queries); three session-level commands
+// batch with every other session's queries); session-level commands
 // extend the query language:
 //
 //   commit <change...>   apply the change plan and publish a new version
-//   metrics              the service's counters so far
+//                        (a leading `trace:` tag traces the commit's legs)
+//   metrics [json]       the service's counters so far (text or JSON)
+//   stats [json|prom]    the obs registry: counters, gauges, histograms —
+//                        human text, JSON, or Prometheus 0.0.4 exposition
+//   trace on|off         trace every query into the server's trace log
+//   trace last <n>       the newest n completed traces, as JSON
 //   shutdown             acknowledge, then ask the host to stop serving
 //
 // ServiceClient is the matching caller: one request() per line, blocking

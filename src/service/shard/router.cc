@@ -1,5 +1,6 @@
 #include "service/shard/router.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "service/query.h"
@@ -10,13 +11,22 @@
 namespace dna::service::shard {
 
 ShardRouter::ShardRouter(std::vector<Dialer> dialers)
-    : partition_(static_cast<uint32_t>(dialers.size())) {
+    : partition_(static_cast<uint32_t>(dialers.size())),
+      ctr_queries_routed_(registry_.counter("router.queries_routed")),
+      ctr_scatters_(registry_.counter("router.scatters")),
+      ctr_commits_(registry_.counter("router.commits")),
+      ctr_shard_errors_(registry_.counter("router.shard_errors")),
+      ctr_reconnects_(registry_.counter("router.reconnects")),
+      ctr_replayed_commits_(registry_.counter("router.replayed_commits")) {
   DNA_CHECK_MSG(!dialers.empty(), "a router needs at least one shard");
   shards_.reserve(dialers.size());
+  hist_shard_rtt_.reserve(dialers.size());
   for (Dialer& dialer : dialers) {
     auto shard = std::make_unique<Shard>();
     shard->dial = std::move(dialer);
     shards_.push_back(std::move(shard));
+    hist_shard_rtt_.push_back(&registry_.histogram(
+        "router.s" + std::to_string(hist_shard_rtt_.size()) + ".rtt_seconds"));
   }
 }
 
@@ -59,10 +69,7 @@ void ShardRouter::ensure_connected(Shard& shard, size_t index) {
   // journal; the delta to the deployment head is what the router owes it.
   const QueryResult probe = shard.client->request("version");
   if (!probe.ok) throw Error("version probe failed: " + probe.body);
-  if (shard.ever_connected) {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.reconnects;
-  }
+  if (shard.ever_connected) ctr_reconnects_.add();
   shard.ever_connected = true;
   shard.version = probe.version;
 
@@ -98,8 +105,7 @@ void ShardRouter::ensure_connected(Shard& shard, size_t index) {
                                : replayed.body));
     }
     shard.version = replayed.version;
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.replayed_commits;
+    ctr_replayed_commits_.add();
   }
 }
 
@@ -132,14 +138,52 @@ QueryResult ShardRouter::request_on(size_t index, const std::string& line,
       detail = e.what();
     }
   }
-  {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.shard_errors;
-  }
+  ctr_shard_errors_.add();
   throw Error("shard " + std::to_string(index) + " unavailable: " + detail);
 }
 
-QueryResult ShardRouter::handle_commit(const std::string& line) {
+QueryResult ShardRouter::request_observed(size_t index,
+                                          const std::string& line,
+                                          bool retry_once, TraceCtx* ctx) {
+  std::string sent = line;
+  char id_hex[24];
+  if (ctx != nullptr) {
+    std::snprintf(id_hex, sizeof(id_hex), "%llx",
+                  static_cast<unsigned long long>(ctx->trace.id()));
+    sent = "trace:" + std::string(id_hex) + " " + line;
+  }
+  const uint64_t start_ns = obs::now_ns();
+  // The router's own work since the previous leg (or the request's
+  // arrival) — parsing, partition lookup, lock waits, merge bookkeeping —
+  // is charged as "route", keeping the stitched timeline contiguous.
+  if (ctx != nullptr && start_ns > ctx->cursor_ns) {
+    ctx->trace.add("route", ctx->cursor_ns - ctx->epoch_ns,
+                   start_ns - ctx->cursor_ns);
+  }
+  QueryResult result = request_on(index, sent, retry_once);
+  const uint64_t end_ns = obs::now_ns();
+  hist_shard_rtt_[index]->observe(end_ns - start_ns);
+  if (ctx != nullptr) {
+    // The RTT leg is span "s<i>"; the shard's own spans (sent back on the
+    // response status line) stitch in as "s<i>.<leg>" children, re-based at
+    // the RTT start. A child's whole timeline fits inside the RTT that
+    // carried it, so the nesting holds by construction.
+    const std::string leg = "s" + std::to_string(index);
+    const uint64_t offset = start_ns - ctx->epoch_ns;
+    ctx->trace.add(leg, offset, end_ns - start_ns);
+    ctx->cursor_ns = end_ns;
+    if (!result.trace.empty()) {
+      if (const auto child = obs::Trace::decode(result.trace)) {
+        ctx->trace.add_child(leg + ".", offset, *child);
+      }
+      result.trace.clear();  // the stitched router trace supersedes it
+    }
+  }
+  return result;
+}
+
+QueryResult ShardRouter::handle_commit(const std::string& line,
+                                       TraceCtx* ctx) {
   std::lock_guard<std::mutex> commit_lock(commit_mutex_);
   const std::string change_text(trim(line.substr(6)));
 
@@ -153,7 +197,7 @@ QueryResult ShardRouter::handle_commit(const std::string& line) {
       // No blind retry for commits: a transport failure leaves "applied?"
       // unknown, and the reconnect catch-up resolves it exactly once by
       // consulting the shard's acked version.
-      result = request_on(i, line, /*retry_once=*/false);
+      result = request_observed(i, line, /*retry_once=*/false, ctx);
     } catch (const std::exception& e) {
       unavailable_detail = e.what();
       continue;  // the shard catches up from history when it returns
@@ -206,14 +250,12 @@ QueryResult ShardRouter::handle_commit(const std::string& line) {
     std::lock_guard<std::mutex> shard_lock(shard->mutex);
     if (shard->client && shard->version < committed) disconnect(*shard);
   }
-  {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.commits;
-  }
+  ctr_commits_.add();
   return first_ok;
 }
 
-QueryResult ShardRouter::handle_scatter(const std::string& line) {
+QueryResult ShardRouter::handle_scatter(const std::string& line,
+                                        TraceCtx* ctx) {
   // Under the commit lock so no fan-out lands mid-scatter: every partition
   // answers at the same version, keeping the merge equal to one monolithic
   // evaluation of the same line.
@@ -224,12 +266,9 @@ QueryResult ShardRouter::handle_scatter(const std::string& line) {
   for (size_t i = 0; i < n; ++i) {
     const std::string scoped = "part " + std::to_string(i) + "/" +
                                std::to_string(n) + " " + line;
-    parts.push_back(request_on(i, scoped, /*retry_once=*/true));
+    parts.push_back(request_observed(i, scoped, /*retry_once=*/true, ctx));
   }
-  {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++metrics_.scatters;
-  }
+  ctr_scatters_.add();
   for (const QueryResult& part : parts) {
     if (!part.ok) return part;  // deterministic evaluation error
   }
@@ -275,12 +314,96 @@ bool ShardRouter::shutdown_requested() const {
   return shutdown_requested_;
 }
 
-QueryResult ShardRouter::handle(const std::string& line) {
-  const std::string trimmed(trim(line));
+QueryResult ShardRouter::handle(const std::string& request) {
+  // Strip a leading trace tag so commands still match behind it. A traced
+  // request gets a router-level trace whose "total" span is the router's
+  // whole wall time for the request; per-shard legs stitch in underneath.
+  std::string line;
+  TraceTag tag;
   try {
-    if (trimmed == "metrics") {
+    tag = split_trace_tag(std::string(trim(request)), &line);
+  } catch (const std::exception& e) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = e.what();
+    return failed;
+  }
+  if (!tag.traced && !trace_all()) return handle_line(line, nullptr);
+
+  TraceCtx ctx;
+  ctx.trace.set_id(tag.id != 0 ? tag.id : obs::next_trace_id());
+  ctx.epoch_ns = obs::now_ns();
+  ctx.cursor_ns = ctx.epoch_ns;
+  QueryResult result = handle_line(line, &ctx);
+  const uint64_t end_ns = obs::now_ns();
+  // Tail work after the last shard leg — verdict merging, response
+  // assembly — so the stitched spans tile the whole request.
+  if (ctx.cursor_ns > ctx.epoch_ns && end_ns > ctx.cursor_ns) {
+    ctx.trace.add("reply", ctx.cursor_ns - ctx.epoch_ns,
+                  end_ns - ctx.cursor_ns);
+  }
+  ctx.trace.add("total", 0, end_ns - ctx.epoch_ns);
+  if (tag.traced) result.trace = ctx.trace.encode();
+  trace_log_.record(std::move(ctx.trace));
+  return result;
+}
+
+QueryResult ShardRouter::handle_line(const std::string& trimmed,
+                                     TraceCtx* ctx) {
+  try {
+    if (trimmed == "metrics" || trimmed == "metrics json") {
       QueryResult result;
-      result.body = metrics().str();
+      if (trimmed == "metrics") {
+        result.body = metrics().str();
+      } else {
+        util::JsonWriter json;
+        json.begin_object();
+        metrics().append_json(json);
+        json.end_object();
+        result.body = json.str();
+      }
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (trimmed == "stats" || trimmed == "stats json" ||
+        trimmed == "stats prom") {
+      QueryResult result;
+      if (trimmed == "stats prom") {
+        result.body = registry_.prometheus_text();
+      } else if (trimmed == "stats json") {
+        util::JsonWriter json;
+        json.begin_object();
+        registry_.append_json(json);
+        json.end_object();
+        result.body = json.str();
+      } else {
+        result.body = registry_.str();
+      }
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (trimmed == "trace on" || trimmed == "trace off") {
+      set_trace_all(trimmed == "trace on");
+      QueryResult result;
+      result.body =
+          std::string("tracing ") + (trimmed == "trace on" ? "on" : "off");
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (starts_with(trimmed, "trace last ")) {
+      const long long n = parse_int(trim(trimmed.substr(11)));
+      if (n < 0) throw Error("trace last: count must be non-negative");
+      QueryResult result;
+      result.body = trace_log_.json(static_cast<size_t>(n));
       {
         std::lock_guard<std::mutex> history_lock(history_mutex_);
         result.version = head_version_;
@@ -289,7 +412,7 @@ QueryResult ShardRouter::handle(const std::string& line) {
     }
     if (trimmed == "shutdown") return handle_shutdown();
     if (starts_with(trimmed, "commit ") || trimmed == "commit") {
-      return handle_commit(trimmed);
+      return handle_commit(trimmed, ctx);
     }
 
     // Classify for routing; malformed lines fail here with the same parser
@@ -308,7 +431,7 @@ QueryResult ShardRouter::handle(const std::string& line) {
             // spread by the scope index.
             target = query.scope_index % shards_.size();
           } else if (shards_.size() > 1) {
-            return handle_scatter(trimmed);
+            return handle_scatter(trimmed, ctx);
           }
         } else {
           target = partition_.owner_of(query.invariant.src);
@@ -324,11 +447,9 @@ QueryResult ShardRouter::handle(const std::string& line) {
         target = 0;
         break;
     }
-    QueryResult result = request_on(target, trimmed, /*retry_once=*/true);
-    {
-      std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-      ++metrics_.queries_routed;
-    }
+    QueryResult result =
+        request_observed(target, trimmed, /*retry_once=*/true, ctx);
+    ctr_queries_routed_.add();
     return result;
   } catch (const std::exception& e) {
     QueryResult failed;
@@ -340,10 +461,12 @@ QueryResult ShardRouter::handle(const std::string& line) {
 
 RouterMetrics ShardRouter::metrics() const {
   RouterMetrics copy;
-  {
-    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    copy = metrics_;
-  }
+  copy.queries_routed = ctr_queries_routed_.value();
+  copy.scatters = ctr_scatters_.value();
+  copy.commits = ctr_commits_.value();
+  copy.shard_errors = ctr_shard_errors_.value();
+  copy.reconnects = ctr_reconnects_.value();
+  copy.replayed_commits = ctr_replayed_commits_.value();
   {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
     copy.head_version = head_version_;
@@ -376,6 +499,31 @@ std::string RouterMetrics::str() const {
       << " replayed\n";
   out << "  reconnects: " << reconnects << "\n";
   return out.str();
+}
+
+void RouterMetrics::append_json(util::JsonWriter& json) const {
+  json.key("metrics").begin_object();
+  json.key("queries_routed").value(static_cast<unsigned long long>(
+      queries_routed));
+  json.key("scatters").value(static_cast<unsigned long long>(scatters));
+  json.key("commits").value(static_cast<unsigned long long>(commits));
+  json.key("shard_errors").value(static_cast<unsigned long long>(
+      shard_errors));
+  json.key("reconnects").value(static_cast<unsigned long long>(reconnects));
+  json.key("replayed_commits").value(static_cast<unsigned long long>(
+      replayed_commits));
+  json.key("head_version").value(static_cast<unsigned long long>(
+      head_version));
+  json.key("shards").begin_array();
+  for (size_t i = 0; i < shard_connected.size(); ++i) {
+    json.begin_object();
+    json.key("connected").value(static_cast<bool>(shard_connected[i]));
+    json.key("version").value(static_cast<unsigned long long>(
+        shard_versions[i]));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 }
 
 void RouterSession::run() {

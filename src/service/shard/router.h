@@ -29,6 +29,7 @@
 // hash mod; rebalancing live state is future work (ROADMAP).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/session.h"
 #include "service/shard/partition.h"
@@ -48,6 +51,7 @@ namespace dna::service::shard {
 using Dialer = std::function<std::unique_ptr<Transport>()>;
 
 /// Counters accumulated over the router's lifetime (the `metrics` command).
+/// Assembled on read from the router's obs::Registry plus per-shard state.
 struct RouterMetrics {
   size_t queries_routed = 0;    // single-shard requests forwarded
   size_t scatters = 0;          // scatter/gather evaluations
@@ -60,6 +64,8 @@ struct RouterMetrics {
   std::vector<uint64_t> shard_versions;  // last acked version, by index
 
   std::string str() const;
+  /// The same view as one JSON "metrics" object (the `metrics json` verb).
+  void append_json(util::JsonWriter& json) const;
 };
 
 class ShardRouter {
@@ -80,8 +86,11 @@ class ShardRouter {
   size_t connect_all();
 
   /// Handles one request line — the full query language plus the session
-  /// commands commit/metrics/shutdown. Thread-safe; never throws (shard
-  /// failures come back as ok=false typed errors).
+  /// commands (commit/metrics [json]/stats [json|prom]/trace .../shutdown).
+  /// A leading `trace:` tag yields a deployment-wide stitched trace: the
+  /// router's "total" span, one "s<i>" RTT span per shard touched, and the
+  /// shard's own legs nested as "s<i>.<leg>". Thread-safe; never throws
+  /// (shard failures come back as ok=false typed errors).
   QueryResult handle(const std::string& line);
 
   /// True once a client asked the deployment to stop: the router has
@@ -89,6 +98,17 @@ class ShardRouter {
   bool shutdown_requested() const;
 
   RouterMetrics metrics() const;
+  /// The router's metric registry: counters plus one RTT histogram per
+  /// shard ("router.s<i>.rtt_seconds").
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// Recently completed router-level (stitched) traces.
+  obs::TraceLog& trace_log() { return trace_log_; }
+  /// When on, every request is traced into trace_log() — `trace on|off`.
+  void set_trace_all(bool on) {
+    trace_all_.store(on, std::memory_order_relaxed);
+  }
+  bool trace_all() const { return trace_all_.load(std::memory_order_relaxed); }
 
  private:
   struct Shard {
@@ -100,6 +120,17 @@ class ShardRouter {
     bool ever_connected = false;
   };
 
+  /// A router-level trace under construction: the stitched trace, the
+  /// steady-clock instant its timeline is relative to, and a cursor at the
+  /// end of the last recorded leg — so the router's own work between legs
+  /// ("route" before each dispatch, "reply" after the last) is charged
+  /// explicitly and the stitched timeline is contiguous.
+  struct TraceCtx {
+    obs::Trace trace;
+    uint64_t epoch_ns = 0;
+    uint64_t cursor_ns = 0;
+  };
+
   /// Routed request with connection management. With `retry_once`, a
   /// failure on an existing (possibly stale) connection re-dials and
   /// retries a single time — how a query lands after a shard restart.
@@ -107,6 +138,12 @@ class ShardRouter {
   /// cannot be reached.
   QueryResult request_on(size_t index, const std::string& line,
                          bool retry_once);
+  /// request_on plus telemetry: the shard's RTT lands in its histogram,
+  /// and with `ctx` the request is forwarded under the trace id, its RTT
+  /// becomes span "s<i>", and the shard's own spans are stitched in as
+  /// "s<i>.<leg>" children re-based at the RTT start.
+  QueryResult request_observed(size_t index, const std::string& line,
+                               bool retry_once, TraceCtx* ctx);
   QueryResult request_locked(Shard& shard, size_t index,
                              const std::string& line);
   /// Dials (if needed) and brings the shard to the deployment head by
@@ -114,8 +151,11 @@ class ShardRouter {
   void ensure_connected(Shard& shard, size_t index);
   void disconnect(Shard& shard);
 
-  QueryResult handle_commit(const std::string& line);
-  QueryResult handle_scatter(const std::string& line);
+  /// handle() after trace-tag stripping: command matching, routing, and
+  /// the telemetry hooks. `ctx` is non-null for a traced request.
+  QueryResult handle_line(const std::string& line, TraceCtx* ctx);
+  QueryResult handle_commit(const std::string& line, TraceCtx* ctx);
+  QueryResult handle_scatter(const std::string& line, TraceCtx* ctx);
   QueryResult handle_shutdown();
 
   PartitionMap partition_;
@@ -136,8 +176,18 @@ class ShardRouter {
   std::mutex commit_mutex_;  // serializes commits (and scatters) router-wide
   bool shutdown_requested_ = false;  // guarded by history_mutex_
 
-  mutable std::mutex metrics_mutex_;
-  RouterMetrics metrics_;
+  // ---- telemetry (obs/): handles resolved at construction, written with
+  // relaxed sharded atomics — the old metrics mutex is gone entirely.
+  obs::Registry registry_;
+  obs::Counter& ctr_queries_routed_;
+  obs::Counter& ctr_scatters_;
+  obs::Counter& ctr_commits_;
+  obs::Counter& ctr_shard_errors_;
+  obs::Counter& ctr_reconnects_;
+  obs::Counter& ctr_replayed_commits_;
+  std::vector<obs::Histogram*> hist_shard_rtt_;  // by shard index
+  obs::TraceLog trace_log_;
+  std::atomic<bool> trace_all_{false};
 };
 
 /// Pumps one client connection against a ShardRouter: framed request lines

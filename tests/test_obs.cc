@@ -1,0 +1,631 @@
+// The telemetry layer's contract: histogram buckets partition the value
+// space exactly and snapshots merge under a commutative, associative
+// algebra (so shard aggregation and cross-process rollup are exact for
+// counts, sums, and maxima); N racing writers lose no increments; the
+// Prometheus exposition is well-formed 0.0.4 text; traces round-trip the
+// wire encoding, stitch across the router→shard hop with child spans
+// nested inside the RTT legs that carried them, and account for (almost)
+// all of the measured wall time; and the slow-query log captures exactly
+// the queries over the threshold, traced or not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/query.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "service/shard/host.h"
+#include "service/shard/router.h"
+#include "service/transport.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace dna::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram buckets
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesPartitionTheValueSpace) {
+  // Bucket b holds values of bit width b: 0 | 1 | 2..3 | 4..7 | ...
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~uint64_t{0}), 64u - 0u);
+
+  // Upper bounds are inclusive and adjacent buckets tile with no gap:
+  // bucket_of(upper) == b and bucket_of(upper + 1) == b + 1.
+  for (size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    const uint64_t upper = Histogram::bucket_upper(b);
+    EXPECT_EQ(Histogram::bucket_of(upper), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::bucket_of(upper + 1), b + 1) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, QuantileIsBoundedByTheCoveringOctave) {
+  Histogram::Snapshot snap;
+  for (uint64_t v = 0; v < 1000; ++v) snap.add(1000);  // all in [512,1024)
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.max, 1000u);
+  // Every quantile of a point mass lands inside its bucket.
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_GE(est, 511.0) << "q=" << q;
+    EXPECT_LE(est, 1024.0) << "q=" << q;
+  }
+  EXPECT_EQ(Histogram::Snapshot{}.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SnapshotMergeIsCommutativeAssociativeWithIdentity) {
+  // Three deterministic value streams (LCG), merged in every order.
+  const auto stream = [](uint64_t seed, size_t n) {
+    Histogram::Snapshot snap;
+    for (size_t i = 0; i < n; ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      snap.add(seed >> 40);
+    }
+    return snap;
+  };
+  const Histogram::Snapshot a = stream(1, 100);
+  const Histogram::Snapshot b = stream(2, 57);
+  const Histogram::Snapshot c = stream(3, 211);
+
+  const auto merged = [](Histogram::Snapshot lhs,
+                         const Histogram::Snapshot& rhs) {
+    lhs.merge(rhs);
+    return lhs;
+  };
+  const auto equal = [](const Histogram::Snapshot& x,
+                        const Histogram::Snapshot& y) {
+    return x.buckets == y.buckets && x.count == y.count && x.sum == y.sum &&
+           x.max == y.max;
+  };
+
+  // (a+b)+c == a+(b+c), a+b == b+a, a+0 == a.
+  EXPECT_TRUE(equal(merged(merged(a, b), c), merged(a, merged(b, c))));
+  EXPECT_TRUE(equal(merged(a, b), merged(b, a)));
+  EXPECT_TRUE(equal(merged(a, Histogram::Snapshot{}), a));
+  EXPECT_EQ(merged(merged(a, b), c).count, 100u + 57u + 211u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ConcurrentWritersLoseNothing) {
+  Registry registry;
+  Counter& counter = registry.counter("test.total");
+  Histogram& histogram = registry.histogram("test.lat_seconds");
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter, &histogram, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.observe(t * 1000 + i);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max, (kThreads - 1) * 1000 + kPerThread - 1);
+  uint64_t expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kPerThread; ++i) expected_sum += t * 1000 + i;
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(Registry, HandlesAreStableAndGaugesTrackMaxima) {
+  Registry registry;
+  EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+  EXPECT_EQ(&registry.histogram("h"), &registry.histogram("h"));
+
+  Gauge& gauge = registry.gauge("g");
+  gauge.set_max(5);
+  gauge.set_max(3);  // no-op: below the running max
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.set_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Expositions
+// ---------------------------------------------------------------------------
+
+TEST(Registry, PrometheusTextIsWellFormed) {
+  Registry registry;
+  registry.counter("svc.queries_total").add(3);
+  registry.gauge("svc.depth").set(7);
+  Histogram& lat = registry.histogram("svc.query_seconds");
+  lat.observe(1500);  // 1.5us
+  lat.observe(3000000000ULL);  // 3s
+
+  const std::string text = registry.prometheus_text();
+
+  // Names: dna_ prefix, dots flattened.
+  EXPECT_NE(text.find("# TYPE dna_svc_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dna_svc_queries_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dna_svc_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("dna_svc_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dna_svc_query_seconds histogram"),
+            std::string::npos);
+  // Histogram families carry cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(text.find("dna_svc_query_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dna_svc_query_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("dna_svc_query_seconds_sum"), std::string::npos);
+
+  // Structural 0.0.4 checks: every non-comment line is "name[{labels}] value"
+  // with a parseable finite value, and bucket counts are non-decreasing.
+  uint64_t last_bucket = 0;
+  size_t lines = 0;
+  for (size_t at = 0; at < text.size();) {
+    const size_t end = text.find('\n', at);
+    ASSERT_NE(end, std::string::npos) << "exposition must end in newline";
+    const std::string line = text.substr(at, end - at);
+    at = end + 1;
+    ++lines;
+    if (line.rfind("# ", 0) == 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    EXPECT_EQ(line.rfind("dna_", 0), 0u) << line;
+    if (line.find("_bucket{le=") != std::string::npos) {
+      const uint64_t n = std::stoull(line.substr(space + 1));
+      EXPECT_GE(n, last_bucket) << "buckets must be cumulative: " << line;
+      last_bucket = line.find("+Inf") != std::string::npos ? 0 : n;
+    }
+  }
+  EXPECT_GT(lines, 8u);
+}
+
+TEST(Registry, JsonAndTextExposeEveryMetric) {
+  Registry registry;
+  registry.counter("x.count").add(11);
+  registry.histogram("x.lat_seconds").observe(2000000);  // 2ms
+
+  util::JsonWriter json;
+  json.begin_object();
+  registry.append_json(json);
+  json.end_object();
+  const std::string out = json.str();
+  EXPECT_NE(out.find("\"x.count\":11"), std::string::npos);
+  EXPECT_NE(out.find("\"x.lat_seconds\""), std::string::npos);
+  EXPECT_NE(out.find("\"p95\""), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\""), std::string::npos);
+
+  const std::string text = registry.str();
+  EXPECT_NE(text.find("x.count"), std::string::npos);
+  EXPECT_NE(text.find("x.lat_seconds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Traces: encoding, stitching, coverage
+// ---------------------------------------------------------------------------
+
+TEST(Trace, EncodeDecodeRoundTrips) {
+  Trace trace(0xdeadbeefULL);
+  trace.add("queue", 0, 120);
+  trace.add("eval", 120, 880);
+  trace.add("s1.eval", 200, 300);
+
+  const std::string wire = trace.encode();
+  EXPECT_EQ(wire.find(' '), std::string::npos) << "must be one token";
+
+  const std::optional<Trace> decoded = Trace::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id(), 0xdeadbeefULL);
+  ASSERT_EQ(decoded->spans().size(), 3u);
+  EXPECT_EQ(decoded->spans()[0].name, "queue");
+  EXPECT_EQ(decoded->spans()[1].start_ns, 120u);
+  EXPECT_EQ(decoded->spans()[2].name, "s1.eval");
+  EXPECT_EQ(decoded->end_ns(), 1000u);
+
+  EXPECT_EQ(Trace().encode(), "");  // no spans -> nothing on the wire
+  EXPECT_FALSE(Trace::decode("nonsense").has_value());
+  EXPECT_FALSE(Trace::decode("t=xyz;a:b:c").has_value());
+}
+
+TEST(Trace, AddChildRebasesAndPrefixes) {
+  Trace child(7);
+  child.add("queue", 0, 10);
+  child.add("eval", 10, 50);
+
+  Trace parent(7);
+  parent.add("s0", 100, 90);
+  parent.add_child("s0.", 100, child);
+  parent.add("total", 0, 200);
+
+  ASSERT_EQ(parent.spans().size(), 4u);
+  EXPECT_EQ(parent.spans()[1].name, "s0.queue");
+  EXPECT_EQ(parent.spans()[1].start_ns, 100u);
+  EXPECT_EQ(parent.spans()[2].name, "s0.eval");
+  EXPECT_EQ(parent.spans()[2].start_ns, 110u);
+  // The child's whole timeline fits inside the RTT leg that carried it.
+  EXPECT_LE(parent.spans()[2].start_ns + parent.spans()[2].dur_ns,
+            parent.spans()[0].start_ns + parent.spans()[0].dur_ns);
+}
+
+TEST(Trace, CoveredFractionUnionsAndClips) {
+  Trace trace(1);
+  trace.add("total", 0, 100);
+  trace.add("a", 0, 40);
+  trace.add("b", 40, 40);
+  trace.add("b.inner", 50, 10);     // nested: adds no new coverage
+  trace.add("c", 90, 1000);         // clipped to the root's end
+  EXPECT_DOUBLE_EQ(covered_fraction(trace, "total"), 0.9);
+
+  Trace gap(2);
+  gap.add("total", 0, 100);
+  gap.add("a", 0, 25);
+  EXPECT_DOUBLE_EQ(covered_fraction(gap, "total"), 0.25);
+  EXPECT_EQ(covered_fraction(gap, "missing"), 0.0);
+}
+
+TEST(Trace, TraceLogIsABoundedRing) {
+  TraceLog log(3);
+  for (uint64_t id = 1; id <= 5; ++id) log.record(Trace(id));
+  EXPECT_EQ(log.size(), 3u);
+  const std::vector<Trace> last = log.last(10);
+  ASSERT_EQ(last.size(), 3u);
+  EXPECT_EQ(last.front().id(), 3u);  // oldest retained
+  EXPECT_EQ(last.back().id(), 5u);
+  EXPECT_NE(log.json(2).find("\"traces\":["), std::string::npos);
+}
+
+TEST(Trace, IdsAreUniqueAndNonZero) {
+  uint64_t a = next_trace_id();
+  uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dna::obs
+
+namespace dna::service {
+namespace {
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()},
+          {core::Invariant::Kind::kReachable, "r0", "r3", "",
+           Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)}};
+}
+
+// ---------------------------------------------------------------------------
+// Trace tags on the query language
+// ---------------------------------------------------------------------------
+
+TEST(TraceTag, SplitsTheLeadingToken) {
+  std::string rest;
+  TraceTag tag = split_trace_tag("trace:1f reach r0 10.0.0.1", &rest);
+  EXPECT_TRUE(tag.traced);
+  EXPECT_EQ(tag.id, 0x1fu);
+  EXPECT_EQ(rest, "reach r0 10.0.0.1");
+
+  tag = split_trace_tag("trace:auto version", &rest);
+  EXPECT_TRUE(tag.traced);
+  EXPECT_EQ(tag.id, 0u);  // receiver picks
+  EXPECT_EQ(rest, "version");
+
+  tag = split_trace_tag("reach r0 10.0.0.1", &rest);
+  EXPECT_FALSE(tag.traced);
+  EXPECT_EQ(rest, "reach r0 10.0.0.1");
+
+  EXPECT_THROW(split_trace_tag("trace:zz version", &rest), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level tracing and the slow-query log
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTrace, TracedQueryReturnsQueueAndEvalSpans) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  const QueryResult result = service.query("trace:auto reach r0 172.31.1.1");
+  ASSERT_TRUE(result.ok) << result.body;
+  ASSERT_FALSE(result.trace.empty());
+
+  const std::optional<obs::Trace> trace = obs::Trace::decode(result.trace);
+  ASSERT_TRUE(trace.has_value());
+  const auto has = [&](const std::string& name) {
+    return std::any_of(trace->spans().begin(), trace->spans().end(),
+                       [&](const obs::Span& s) { return s.name == name; });
+  };
+  EXPECT_TRUE(has("queue"));
+  EXPECT_TRUE(has("eval"));
+  EXPECT_EQ(service.trace_log().size(), 1u);
+
+  // An untraced query returns no trace and records nothing.
+  const QueryResult plain = service.query("reach r0 172.31.1.1");
+  ASSERT_TRUE(plain.ok);
+  EXPECT_TRUE(plain.trace.empty());
+  EXPECT_EQ(service.trace_log().size(), 1u);
+  // The traced/untraced answers are byte-identical.
+  EXPECT_EQ(plain.body, result.body);
+}
+
+TEST(ServiceTrace, SlowQueryLogCapturesOverThresholdOnly) {
+  // Threshold 0 disables the log entirely.
+  DnaService quiet(topo::make_ring(4), ring_invariants());
+  ASSERT_TRUE(quiet.query("reach r0 172.31.1.1").ok);
+  EXPECT_EQ(quiet.trace_log().size(), 0u);
+  EXPECT_EQ(quiet.metrics().slow_queries, 0u);
+
+  // Threshold 1ns: every query is slow — traced into the log untagged.
+  ServiceOptions options;
+  options.slow_query_ns = 1;
+  DnaService noisy(topo::make_ring(4), ring_invariants(), options);
+  const QueryResult result = noisy.query("reach r0 172.31.1.1");
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.trace.empty());  // untagged: nothing on the wire
+  EXPECT_EQ(noisy.trace_log().size(), 1u);
+  EXPECT_EQ(noisy.metrics().slow_queries, 1u);
+
+  // Threshold 1h: nothing qualifies.
+  options.slow_query_ns = 3600ULL * 1000000000ULL;
+  DnaService calm(topo::make_ring(4), ring_invariants(), options);
+  ASSERT_TRUE(calm.query("reach r0 172.31.1.1").ok);
+  EXPECT_EQ(calm.trace_log().size(), 0u);
+  EXPECT_EQ(calm.metrics().slow_queries, 0u);
+}
+
+TEST(ServiceTrace, TraceAllRecordsEveryQuery) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  service.set_trace_all(true);
+  ASSERT_TRUE(service.query("version").ok);
+  ASSERT_TRUE(service.query("reach r0 172.31.1.1").ok);
+  EXPECT_EQ(service.trace_log().size(), 2u);
+  service.set_trace_all(false);
+  ASSERT_TRUE(service.query("version").ok);
+  EXPECT_EQ(service.trace_log().size(), 2u);
+}
+
+TEST(ServiceTrace, MetricsViewMatchesRegistryCounters) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  ASSERT_TRUE(service.query("version").ok);
+  ASSERT_TRUE(service.query("reach r0 172.31.1.1").ok);
+  ASSERT_FALSE(service.query("definitely not a query").ok);
+  ASSERT_GT(service.commit_text("fail_link 0").version, 1u);
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.queries_total, 3u);
+  EXPECT_EQ(metrics.queries_failed, 1u);
+  EXPECT_EQ(metrics.commits, 1u);
+  EXPECT_EQ(metrics.queries_total,
+            service.registry().counter("service.queries_total").value());
+  // The query latency histogram saw every dispatched query (the parse
+  // failure is rejected at submit, before it is ever timed).
+  EXPECT_EQ(
+      service.registry().histogram("service.query_seconds").snapshot().count,
+      2u);
+  // Commits landed in the commit histogram (seconds, sum > 0).
+  EXPECT_GT(metrics.commit_seconds_total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Session verbs: stats / trace / metrics json
+// ---------------------------------------------------------------------------
+
+/// One request against a fresh loopback session.
+QueryResult session_request(DnaService& service, const std::string& line) {
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+  QueryResult result;
+  {
+    ServiceClient client(channel.client());
+    result = client.request(line);
+    client.close();
+  }
+  server.join();
+  return result;
+}
+
+TEST(SessionVerbs, StatsJsonAndPromRoundTheRegistry) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  ASSERT_TRUE(service.query("reach r0 172.31.1.1").ok);
+
+  const QueryResult text = session_request(service, "stats");
+  ASSERT_TRUE(text.ok);
+  EXPECT_NE(text.body.find("service.queries_total"), std::string::npos);
+
+  const QueryResult json = session_request(service, "stats json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_NE(json.body.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(json.body.find("\"service.query_seconds\""), std::string::npos);
+
+  const QueryResult prom = session_request(service, "stats prom");
+  ASSERT_TRUE(prom.ok);
+  EXPECT_NE(prom.body.find("# TYPE dna_service_queries_total counter"),
+            std::string::npos);
+
+  const QueryResult metrics_json = session_request(service, "metrics json");
+  ASSERT_TRUE(metrics_json.ok);
+  EXPECT_NE(metrics_json.body.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(metrics_json.body.find("\"queries_total\":"), std::string::npos);
+}
+
+TEST(SessionVerbs, TraceVerbsToggleAndFetch) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  ASSERT_TRUE(session_request(service, "trace on").ok);
+  EXPECT_TRUE(service.trace_all());
+  ASSERT_TRUE(service.query("version").ok);
+  ASSERT_TRUE(session_request(service, "trace off").ok);
+  EXPECT_FALSE(service.trace_all());
+
+  const QueryResult last = session_request(service, "trace last 5");
+  ASSERT_TRUE(last.ok);
+  EXPECT_NE(last.body.find("\"traces\":["), std::string::npos);
+  EXPECT_NE(last.body.find("\"spans\":["), std::string::npos);
+}
+
+TEST(SessionVerbs, TracedCommitSpansTheJournalLegs) {
+  DnaService service(topo::make_ring(4), ring_invariants());
+  const QueryResult result = session_request(service, "trace:auto commit fail_link 0");
+  ASSERT_TRUE(result.ok) << result.body;
+  ASSERT_FALSE(result.trace.empty());
+  const std::optional<obs::Trace> trace = obs::Trace::decode(result.trace);
+  ASSERT_TRUE(trace.has_value());
+  const auto has = [&](const std::string& name) {
+    return std::any_of(trace->spans().begin(), trace->spans().end(),
+                       [&](const obs::Span& s) { return s.name == name; });
+  };
+  EXPECT_TRUE(has("apply"));
+  EXPECT_TRUE(has("publish"));
+}
+
+}  // namespace
+}  // namespace dna::service
+
+namespace dna::service::shard {
+namespace {
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()}};
+}
+
+// ---------------------------------------------------------------------------
+// Router → shard trace propagation
+// ---------------------------------------------------------------------------
+
+struct Deployment {
+  std::unique_ptr<DnaService> s0, s1;
+  std::unique_ptr<ShardRouter> router;
+};
+
+Deployment make_deployment() {
+  Deployment d;
+  d.s0 = std::make_unique<DnaService>(topo::make_ring(6), ring_invariants());
+  d.s1 = std::make_unique<DnaService>(topo::make_ring(6), ring_invariants());
+  std::vector<Dialer> dialers;
+  dialers.push_back(loopback_dial(*d.s0));
+  dialers.push_back(loopback_dial(*d.s1));
+  d.router = std::make_unique<ShardRouter>(std::move(dialers));
+  d.router->connect_all();
+  return d;
+}
+
+TEST(RouterTrace, RoutedQueryStitchesTheShardLegs) {
+  Deployment d = make_deployment();
+  const QueryResult result = d.router->handle("trace:auto reach r0 172.31.1.1");
+  ASSERT_TRUE(result.ok) << result.body;
+  ASSERT_FALSE(result.trace.empty());
+
+  const std::optional<obs::Trace> trace = obs::Trace::decode(result.trace);
+  ASSERT_TRUE(trace.has_value());
+
+  // One root, one RTT leg, and the shard's own legs nested under it.
+  const obs::Span* total = nullptr;
+  const obs::Span* rtt = nullptr;
+  size_t children = 0;
+  for (const obs::Span& span : trace->spans()) {
+    if (span.name == "total") total = &span;
+    if (span.name.size() == 2 && span.name[0] == 's') rtt = &span;
+    if (span.name.find('.') != std::string::npos) ++children;
+  }
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GE(children, 2u) << "expected queue+eval legs from the shard";
+  // Child spans nest inside the RTT leg that carried them, which itself
+  // nests inside the router's total.
+  for (const obs::Span& span : trace->spans()) {
+    if (span.name.find('.') == std::string::npos) continue;
+    EXPECT_EQ(span.name.rfind(rtt->name + ".", 0), 0u) << span.name;
+    EXPECT_GE(span.start_ns, rtt->start_ns) << span.name;
+    EXPECT_LE(span.start_ns + span.dur_ns, rtt->start_ns + rtt->dur_ns)
+        << span.name;
+  }
+  EXPECT_LE(rtt->start_ns + rtt->dur_ns, total->start_ns + total->dur_ns);
+
+  // The stitched trace accounts for (almost) all of the measured wall
+  // time: "route" tiles the gap up to each dispatch, the RTT legs swallow
+  // connection handling, and "reply" covers the tail — contiguous by
+  // construction.
+  EXPECT_GE(obs::covered_fraction(*trace, "total"), 0.95);
+
+  // The shard RTT histogram saw the request.
+  EXPECT_GE(d.router->registry()
+                .histogram("router." + rtt->name + ".rtt_seconds")
+                .snapshot()
+                .count,
+            1u);
+}
+
+TEST(RouterTrace, TracedCommitFansOutToEveryShard) {
+  Deployment d = make_deployment();
+  const QueryResult result = d.router->handle("trace:auto commit fail_link 0");
+  ASSERT_TRUE(result.ok) << result.body;
+  ASSERT_FALSE(result.trace.empty());
+
+  const std::optional<obs::Trace> trace = obs::Trace::decode(result.trace);
+  ASSERT_TRUE(trace.has_value());
+  const auto has_prefix = [&](const std::string& prefix) {
+    return std::any_of(
+        trace->spans().begin(), trace->spans().end(),
+        [&](const obs::Span& s) { return s.name.rfind(prefix, 0) == 0; });
+  };
+  // Both shards appear: their RTT legs and their own commit legs.
+  EXPECT_TRUE(has_prefix("s0"));
+  EXPECT_TRUE(has_prefix("s1"));
+  EXPECT_TRUE(has_prefix("s0.apply") || has_prefix("s1.apply"));
+  EXPECT_EQ(d.router->metrics().commits, 1u);
+}
+
+TEST(RouterTrace, UntracedRequestsCarryNoTraceButTraceAllLogs) {
+  Deployment d = make_deployment();
+  const QueryResult plain = d.router->handle("reach r0 172.31.1.1");
+  ASSERT_TRUE(plain.ok);
+  EXPECT_TRUE(plain.trace.empty());
+  EXPECT_EQ(d.router->trace_log().size(), 0u);
+
+  ASSERT_TRUE(d.router->handle("trace on").ok);
+  const QueryResult logged = d.router->handle("reach r0 172.31.1.1");
+  ASSERT_TRUE(logged.ok);
+  EXPECT_TRUE(logged.trace.empty());  // untagged: log-only
+  EXPECT_EQ(d.router->trace_log().size(), 1u);
+
+  // Traced and untraced bodies are byte-identical.
+  const QueryResult traced = d.router->handle("trace:auto reach r0 172.31.1.1");
+  ASSERT_TRUE(traced.ok);
+  EXPECT_EQ(traced.body, plain.body);
+}
+
+TEST(RouterTrace, RouterStatsVerbsExposeTheRegistry) {
+  Deployment d = make_deployment();
+  ASSERT_TRUE(d.router->handle("reach r0 172.31.1.1").ok);
+
+  const QueryResult stats = d.router->handle("stats");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_NE(stats.body.find("router.queries_routed"), std::string::npos);
+
+  const QueryResult prom = d.router->handle("stats prom");
+  ASSERT_TRUE(prom.ok);
+  EXPECT_NE(prom.body.find("# TYPE dna_router_queries_routed counter"),
+            std::string::npos);
+
+  const QueryResult json = d.router->handle("metrics json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_NE(json.body.find("\"queries_routed\":1"), std::string::npos);
+  EXPECT_NE(json.body.find("\"shards\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dna::service::shard

@@ -22,6 +22,7 @@
 //         --threads=N          worker threads (default: hardware)
 //         --top=K              rows to print (default 10, 0 = all)
 //         --json               machine-readable report on stdout
+//         --timing             per-worker clone/eval timing diagnostics
 //         --monolithic         evaluate scenarios monolithically
 //         --host-invariants    add reachability invariants between all
 //                              host-network (172.31/16) owners
@@ -29,7 +30,7 @@
 //   dna_cli serve (--gen=<spec> | <topo-file> <config-file>)
 //                 (--socket=PATH | --tcp=[HOST:]PORT) [--threads=N]
 //                 [--host-invariants] [--journal-dir=PATH] [--no-fsync]
-//                 [--queue-depth=N] [--keep-versions=N]
+//                 [--queue-depth=N] [--keep-versions=N] [--slow-ms=N]
 //       Run the long-lived query service (src/service/) on a unix-domain
 //       socket or a TCP port. Clients commit changes and query any number
 //       of times; the server prints its metrics after a client sends
@@ -43,6 +44,9 @@
 //       shed after a deadline instead of queueing without limit.
 //       --keep-versions pins the N most recent versions so `@<id>`-pinned
 //       queries can time-travel into recent history.
+//       --slow-ms enables the slow-query log: queries slower than N ms are
+//       warned about and their span breakdown lands in the trace log
+//       (`trace last N` retrieves it).
 //
 //   dna_cli shard-serve (--gen=<spec> | <topo> <cfg>) --tcp=[HOST:]PORT
 //                 [serve flags...]
@@ -59,23 +63,38 @@
 //       commits, and replays missed commits into restarted shards. Clients
 //       talk to it exactly like a monolithic server.
 //
-//   dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N]
+//   dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N] [--trace]
 //                 <request> [<request> ...]
 //       Send request lines to a running server (or router), one response
 //       per line printed to stdout. --version pins every request to live
-//       version N (prefixes "@N "). See src/service/query.h for the
+//       version N (prefixes "@N "); --trace asks the server to trace each
+//       request and prints the span breakdown (against a router, the trace
+//       stitches in every shard's legs). See src/service/query.h for the
 //       language, e.g.:
 //         dna_cli query --socket=/tmp/dna.sock version \
 //             "reach r0 172.31.1.1" "commit fail_link 2" "whatif fail_link 3"
 //
+//   dna_cli stats (--socket=PATH | --tcp=HOST:PORT) [--json | --prom]
+//       One-shot stats scrape of a server or router: the obs registry as
+//       human text (default), JSON, or Prometheus 0.0.4 text exposition.
+//
+//   dna_cli top (--socket=PATH | --tcp=HOST:PORT) [--interval=SECONDS]
+//                 [--count=N]
+//       Live service dashboard: samples `stats json` every interval
+//       (default 2 s) and prints one line per sample — query rate since the
+//       last sample plus latency quantiles. --count bounds the samples
+//       (default 0 = until interrupted; 1 = a single absolute snapshot).
+//
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
 
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "core/paths.h"
 #include "core/report.h"
 #include "scenario/runner.h"
@@ -240,6 +259,7 @@ int cmd_whatif(const std::vector<std::string>& args) {
   std::vector<std::string> files;
   size_t threads = 0, top_k = 10;
   bool monolithic = false, want_host_invariants = false, json = false;
+  bool timing = false;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto value_of = [&](const std::string& flag) {
@@ -259,6 +279,8 @@ int cmd_whatif(const std::vector<std::string>& args) {
       top_k = static_cast<size_t>(value);
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (arg == "--monolithic") {
       monolithic = true;
     } else if (arg == "--host-invariants") {
@@ -307,12 +329,15 @@ int cmd_whatif(const std::vector<std::string>& args) {
   scenario::ScenarioReport report = runner.run(specs, options);
 
   if (json) {
-    // Machine-readable: exactly one JSON document on stdout, nothing else.
+    // Machine-readable: exactly one JSON document on stdout, nothing else;
+    // timing diagnostics go to stderr so they cannot corrupt the document.
     std::cout << scenario::to_json(report) << "\n";
+    if (timing) std::cerr << report.timing_str();
   } else {
     std::cout << report.str(top_k)
               << "evaluated on " << report.threads << " thread(s) in "
               << report.seconds_total << " s\n";
+    if (timing) std::cout << report.timing_str();
   }
   return report.failures == 0 ? 0 : 1;
 }
@@ -354,6 +379,10 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
       const int value = as_int(arg.substr(16));
       if (value < 0) throw Error("--keep-versions must be >= 0");
       options.keep_versions = static_cast<size_t>(value);
+    } else if (starts_with(arg, "--slow-ms=")) {
+      const int value = as_int(arg.substr(10));
+      if (value < 0) throw Error("--slow-ms must be >= 0");
+      options.slow_query_ns = static_cast<uint64_t>(value) * 1000000;
     } else if (arg == "--host-invariants") {
       want_host_invariants = true;
     } else if (starts_with(arg, "--")) {
@@ -464,8 +493,22 @@ int cmd_route(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Dials a server from the shared --socket=/--tcp= flag pair.
+std::unique_ptr<service::Transport> dial_server(const std::string& socket_path,
+                                               const std::string& tcp_endpoint,
+                                               const std::string& command) {
+  if (socket_path.empty() == tcp_endpoint.empty()) {
+    throw Error(command +
+                " needs exactly one of --socket=PATH or --tcp=HOST:PORT");
+  }
+  if (!socket_path.empty()) return service::connect_unix(socket_path);
+  const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
+  return service::connect_tcp(endpoint.host, endpoint.port);
+}
+
 int cmd_query(const std::vector<std::string>& args) {
   std::string socket_path, tcp_endpoint, pin_prefix;
+  bool trace = false;
   std::vector<std::string> requests;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -477,33 +520,34 @@ int cmd_query(const std::vector<std::string>& args) {
       const int value = as_int(arg.substr(10));
       if (value <= 0) throw Error("--version must be >= 1");
       pin_prefix = "@" + std::to_string(value) + " ";
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (starts_with(arg, "--")) {
       throw Error("unknown query flag: " + arg);
     } else {
       requests.push_back(arg);
     }
   }
-  if (socket_path.empty() == tcp_endpoint.empty()) {
-    throw Error("query needs exactly one of --socket=PATH or --tcp=HOST:PORT");
-  }
   if (requests.empty()) throw Error("query needs at least one request");
 
-  std::unique_ptr<service::Transport> transport;
-  if (!socket_path.empty()) {
-    transport = service::connect_unix(socket_path);
-  } else {
-    const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
-    transport = service::connect_tcp(endpoint.host, endpoint.port);
-  }
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "query");
   service::ServiceClient client(*transport);
   bool all_ok = true;
   for (const std::string& request : requests) {
     // Session commands are not queries; pinning them would only confuse the
-    // server's command matcher.
-    const bool command = request == "metrics" || request == "shutdown" ||
-                         starts_with(request, "commit");
-    const service::QueryResult result =
-        client.request(command ? request : pin_prefix + request);
+    // server's command matcher. (Tracing still applies to commits.)
+    const std::string verb = request.substr(0, request.find(' '));
+    const bool command = verb == "metrics" || verb == "stats" ||
+                         verb == "trace" || verb == "shutdown" ||
+                         verb == "commit";
+    std::string line = command ? request : pin_prefix + request;
+    // The trace tag must lead the line, ahead of any @N pin.
+    if (trace && verb != "metrics" && verb != "stats" && verb != "trace" &&
+        verb != "shutdown") {
+      line = "trace:auto " + line;
+    }
+    const service::QueryResult result = client.request(line);
     if (result.ok) {
       std::cout << "[v" << result.version << "] " << result.body << "\n";
     } else {
@@ -511,9 +555,148 @@ int cmd_query(const std::vector<std::string>& args) {
       std::cout << "[v" << result.version << "] error: " << result.body
                 << "\n";
     }
+    if (!result.trace.empty()) {
+      if (const auto decoded = obs::Trace::decode(result.trace)) {
+        std::cout << decoded->str();
+      }
+    }
   }
   client.close();
   return all_ok ? 0 : 1;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  std::string socket_path, tcp_endpoint, form = "stats";
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (arg == "--json") {
+      form = "stats json";
+    } else if (arg == "--prom") {
+      form = "stats prom";
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown stats flag: " + arg);
+    } else {
+      throw Error("stats takes no positional arguments");
+    }
+  }
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "stats");
+  service::ServiceClient client(*transport);
+  const service::QueryResult result = client.request(form);
+  client.close();
+  if (!result.ok) {
+    std::cerr << "error: " << result.body << "\n";
+    return 1;
+  }
+  std::cout << result.body;
+  if (!result.body.empty() && result.body.back() != '\n') std::cout << "\n";
+  return 0;
+}
+
+// ---- top: a minimal live dashboard over `stats json` ----------------------
+
+/// Scans a JSON document for `"key":` and parses the number after it.
+/// Targeted key scanning (the bench baseline reader uses the same trick)
+/// keeps the CLI free of a JSON parser dependency; our own JsonWriter emits
+/// no whitespace, so the pattern is exact. Returns `fallback` if absent.
+double scan_json_number(const std::string& json, const std::string& key,
+                        double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return fallback;
+  try {
+    return std::stod(json.substr(at + needle.size()));
+  } catch (const std::logic_error&) {
+    return fallback;
+  }
+}
+
+/// The `{...}` object value following `"key":`, or "" if absent.
+std::string scan_json_object(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":{";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  size_t depth = 0;
+  for (size_t i = at + needle.size() - 1; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) {
+      return json.substr(at + needle.size() - 1, i - (at + needle.size() - 1) + 1);
+    }
+  }
+  return "";
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  std::string socket_path, tcp_endpoint;
+  double interval = 2.0;
+  size_t count = 0;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--interval=")) {
+      interval = std::stod(arg.substr(11));
+      if (interval <= 0) throw Error("--interval must be > 0");
+    } else if (starts_with(arg, "--count=")) {
+      const int value = as_int(arg.substr(8));
+      if (value < 0) throw Error("--count must be >= 0");
+      count = static_cast<size_t>(value);
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown top flag: " + arg);
+    } else {
+      throw Error("top takes no positional arguments");
+    }
+  }
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "top");
+  service::ServiceClient client(*transport);
+
+  double last_total = -1;
+  for (size_t sample = 0; count == 0 || sample < count; ++sample) {
+    if (sample > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(interval * 1000)));
+    }
+    const service::QueryResult result = client.request("stats json");
+    if (!result.ok) {
+      std::cerr << "error: " << result.body << "\n";
+      return 1;
+    }
+    // A monolithic server exposes service.*; a router exposes router.*.
+    const bool router = result.body.find("\"router.") != std::string::npos;
+    const double total =
+        router ? scan_json_number(result.body, "router.queries_routed", 0) +
+                     scan_json_number(result.body, "router.scatters", 0)
+               : scan_json_number(result.body, "service.queries_total", 0);
+    const std::string latency = scan_json_object(
+        result.body,
+        router ? "router.s0.rtt_seconds" : "service.query_seconds");
+    std::ostringstream line;
+    line << "[v" << result.version << "] queries " << total;
+    if (last_total >= 0) {
+      line << " (+" << (total - last_total) / interval << "/s)";
+    }
+    if (!latency.empty()) {
+      line << " | " << (router ? "s0 rtt" : "latency") << " p50 "
+           << scan_json_number(latency, "p50", 0) * 1e3 << " ms p95 "
+           << scan_json_number(latency, "p95", 0) * 1e3 << " ms p99 "
+           << scan_json_number(latency, "p99", 0) * 1e3 << " ms";
+    }
+    if (!router) {
+      line << " | commits " << scan_json_number(result.body,
+                                                "service.commits", 0);
+    }
+    std::cout << line.str() << "\n" << std::flush;
+    last_total = total;
+  }
+  client.close();
+  return 0;
 }
 
 int usage() {
@@ -535,7 +718,11 @@ int usage() {
       << "  dna_cli route --tcp=[HOST:]PORT"
          " --shards=HOST:PORT[,HOST:PORT...]\n"
       << "  dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N]"
-         " <request> [<request> ...]\n";
+         " [--trace] <request> [<request> ...]\n"
+      << "  dna_cli stats (--socket=PATH | --tcp=HOST:PORT)"
+         " [--json | --prom]\n"
+      << "  dna_cli top   (--socket=PATH | --tcp=HOST:PORT)"
+         " [--interval=SECS] [--count=N]\n";
   return 2;
 }
 
@@ -568,6 +755,12 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "query") {
       return cmd_query(args);
+    }
+    if (!args.empty() && args[0] == "stats") {
+      return cmd_stats(args);
+    }
+    if (!args.empty() && args[0] == "top") {
+      return cmd_top(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
