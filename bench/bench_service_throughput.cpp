@@ -78,6 +78,23 @@ void record(const std::string& name, size_t ops, double seconds,
 
 double ns_of(const std::string& name) { return g_report.ns_of(name); }
 
+/// One throughput run's latency attribution: where each query's wall time
+/// went, summed over the batch — the same queue/catchup/eval partition
+/// `dna_cli diagnose` reports, here as a function of the thread count.
+struct LegRow {
+  size_t threads = 0;
+  double queue_seconds = 0;
+  double catchup_seconds = 0;
+  double eval_seconds = 0;
+  double total_seconds = 0;  // service.query_seconds sum (submit→done)
+
+  double share(double leg) const {
+    return total_seconds > 0 ? leg / total_seconds : 0;
+  }
+};
+
+std::vector<LegRow> g_leg_rows;
+
 /// Host-to-host reachability questions derived from the snapshot itself:
 /// one "reach <src> <addr-in-dst-host-net>" per ordered owner pair.
 std::vector<std::string> make_queries(const topo::Snapshot& base,
@@ -104,9 +121,10 @@ void bench_throughput(int k, size_t num_queries) {
   std::printf("fat-tree k=%d: %zu nodes, %zu links, %zu queries per run\n", k,
               base.topology.num_nodes(), base.topology.num_links(),
               queries.size());
-  std::printf("%8s %12s %12s %10s %10s %8s %8s %8s\n", "threads", "total ms",
-              "queries/s", "speedup", "answers", "p50 ms", "p95 ms", "p99 ms");
-  bench::print_rule(85);
+  std::printf("%8s %12s %12s %10s %10s %8s %8s %8s %7s %7s %7s\n", "threads",
+              "total ms", "queries/s", "speedup", "answers", "p50 ms", "p95 ms",
+              "p99 ms", "queue%", "catchup%", "eval%");
+  bench::print_rule(110);
 
   std::vector<std::string> reference;
   double t1_ms = 0;
@@ -150,12 +168,36 @@ void bench_throughput(int k, size_t num_queries) {
     // queries are included; they are a rounding error of the batch.)
     const obs::Histogram::Snapshot lat =
         service.registry().histogram("service.query_seconds").snapshot();
+    const obs::Histogram::Snapshot::Quantiles lat_q = lat.quantiles();
     const std::string prefix = "query_t" + std::to_string(threads);
     // Percentiles depend on queueing under the chosen thread count —
     // recorded for dashboards, never gated.
-    record(prefix + "_p50", 1, lat.quantile(0.50) * 1e-9, /*gated=*/false);
-    record(prefix + "_p95", 1, lat.quantile(0.95) * 1e-9, /*gated=*/false);
-    record(prefix + "_p99", 1, lat.quantile(0.99) * 1e-9, /*gated=*/false);
+    record(prefix + "_p50", 1, lat_q.p50 * 1e-9, /*gated=*/false);
+    record(prefix + "_p95", 1, lat_q.p95 * 1e-9, /*gated=*/false);
+    record(prefix + "_p99", 1, lat_q.p99 * 1e-9, /*gated=*/false);
+
+    // Leg attribution: the queue/catchup/eval histograms partition every
+    // query's submit→done time, so their sums over the batch say where
+    // this thread count actually spent its latency budget (the warmup
+    // queries are in the sums too — same rounding error as above).
+    auto hist_sum_seconds = [&service](const char* name) {
+      return service.registry().histogram(name).snapshot().sum * 1e-9;
+    };
+    LegRow legs;
+    legs.threads = threads;
+    legs.queue_seconds = hist_sum_seconds("service.query_queue_seconds");
+    legs.catchup_seconds = hist_sum_seconds("service.replica_catchup_seconds");
+    legs.eval_seconds = hist_sum_seconds("service.query_eval_seconds");
+    legs.total_seconds = lat.sum * 1e-9;
+    g_leg_rows.push_back(legs);
+    if (lat.count > 0) {
+      record(prefix + "_leg_queue", lat.count, legs.queue_seconds,
+             /*gated=*/false);
+      record(prefix + "_leg_catchup", lat.count, legs.catchup_seconds,
+             /*gated=*/false);
+      record(prefix + "_leg_eval", lat.count, legs.eval_seconds,
+             /*gated=*/false);
+    }
 
     if (reference.empty()) {
       reference = answers;
@@ -163,11 +205,15 @@ void bench_throughput(int k, size_t num_queries) {
     }
     const bool identical = answers == reference;
     all_identical = all_identical && identical;
-    std::printf("%8zu %12.1f %12.0f %9.2fx %10s %8.2f %8.2f %8.2f\n", threads,
-                ms, queries.size() / (ms / 1e3), t1_ms / ms,
-                identical ? "identical" : "DIVERGED",
-                lat.quantile(0.50) * 1e-6, lat.quantile(0.95) * 1e-6,
-                lat.quantile(0.99) * 1e-6);
+    std::printf(
+        "%8zu %12.1f %12.0f %9.2fx %10s %8.2f %8.2f %8.2f %6.1f%% %6.1f%% "
+        "%6.1f%%\n",
+        threads, ms, queries.size() / (ms / 1e3), t1_ms / ms,
+        identical ? "identical" : "DIVERGED", lat_q.p50 * 1e-6,
+        lat_q.p95 * 1e-6, lat_q.p99 * 1e-6,
+        legs.share(legs.queue_seconds) * 100,
+        legs.share(legs.catchup_seconds) * 100,
+        legs.share(legs.eval_seconds) * 100);
   }
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("(%u hardware thread(s) available; speedup saturates there)\n\n",
@@ -379,6 +425,23 @@ void write_json(const std::string& path, bool quick) {
   json.key("bench").value("service_throughput");
   json.key("quick").value(quick);
   g_report.append_json(json);
+  // Per-thread-count latency attribution (bench_throughput): how the
+  // submit→done budget splits across the queue/catchup/eval legs — the
+  // measured face of the t1→t8 scaling collapse ROADMAP #1 tracks.
+  json.key("legs").begin_array();
+  for (const LegRow& row : g_leg_rows) {
+    json.begin_object();
+    json.key("threads").value(static_cast<unsigned long long>(row.threads));
+    json.key("queue_seconds").value(row.queue_seconds);
+    json.key("catchup_seconds").value(row.catchup_seconds);
+    json.key("eval_seconds").value(row.eval_seconds);
+    json.key("total_seconds").value(row.total_seconds);
+    json.key("queue_share").value(row.share(row.queue_seconds));
+    json.key("catchup_share").value(row.share(row.catchup_seconds));
+    json.key("eval_share").value(row.share(row.eval_seconds));
+    json.end_object();
+  }
+  json.end_array();
   json.key("speedups").begin_object();
   json.key("differential_vs_monolithic")
       .value(ns_of("commit_differential") > 0

@@ -1,0 +1,358 @@
+#include "obs/httpd.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#endif
+
+namespace dna::obs {
+
+namespace {
+
+bool is_token_char(char c) {
+  // RFC 7230 tchar, the characters a method may contain.
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+HttpParse parse_http_request(std::string_view data, HttpRequest& request,
+                             size_t& consumed) {
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return data.size() > kMaxHttpRequestBytes ? HttpParse::kBad
+                                              : HttpParse::kNeedMore;
+  }
+  if (header_end + 4 > kMaxHttpRequestBytes) return HttpParse::kBad;
+  consumed = header_end + 4;
+  const std::string_view head = data.substr(0, header_end);
+
+  // Request line: METHOD SP request-target SP HTTP/1.x
+  const size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParse::kBad;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return HttpParse::kBad;
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  for (const char c : method) {
+    if (!is_token_char(c)) return HttpParse::kBad;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return HttpParse::kBad;
+  if (target.empty() || target[0] != '/') return HttpParse::kBad;
+
+  // The plane is read-only: a request that carries a body is refused
+  // outright rather than half-parsed.
+  const std::string_view rest = head.substr(line.size());
+  for (const std::string_view header_name :
+       {"\r\ncontent-length:", "\r\nContent-Length:", "\r\nCONTENT-LENGTH:",
+        "\r\nTransfer-Encoding:", "\r\ntransfer-encoding:"}) {
+    if (rest.find(header_name) != std::string_view::npos) {
+      return HttpParse::kBad;
+    }
+  }
+
+  request = HttpRequest{};
+  request.method = std::string(method);
+  const size_t question = target.find('?');
+  request.path = std::string(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    for (const std::string& pair :
+         split(target.substr(question + 1), '&')) {
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[pair] = "";
+      } else {
+        request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+  }
+  return HttpParse::kOk;
+}
+
+std::string render_http_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+#ifndef _WIN32
+
+HttpServer::HttpServer(uint16_t port, Handler handler, const std::string& host)
+    : handler_(std::move(handler)), host_(host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("httpd: bad listen address: " + host);
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error("httpd: socket() failed: " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto fail = [&](const std::string& what) {
+    const std::string detail = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("httpd: " + what + "(" + host + ":" + std::to_string(port) +
+                ") failed: " + detail);
+  };
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+  }
+  // Same trick as TcpListener: shutdown() unblocks a parked accept();
+  // the fd stays open until destruction so no thread touches a stale fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  // Abort connections still mid-request, then join everything.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& connection : connections_) {
+      if (!connection->done.load()) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  reap(/*all=*/true);
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    // A scraper that connects and never sends must not pin a thread
+    // forever: bound both directions.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto connection = std::make_unique<Connection>();
+    connection->fd = client;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
+    reap(/*all=*/false);
+  }
+}
+
+void HttpServer::serve_connection(Connection* connection) {
+  std::string buffer;
+  HttpResponse response;
+  HttpRequest request;
+  bool have_request = false;
+  for (;;) {
+    char chunk[2048];
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, timeout, or abort mid-request
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t consumed = 0;
+    const HttpParse parsed = parse_http_request(buffer, request, consumed);
+    if (parsed == HttpParse::kNeedMore) continue;
+    if (parsed == HttpParse::kBad) {
+      response = HttpResponse{400, "text/plain; charset=utf-8",
+                              "bad request\n"};
+    } else if (request.method != "GET" && request.method != "HEAD") {
+      response = HttpResponse{405, "text/plain; charset=utf-8",
+                              "method not allowed\n"};
+    } else {
+      response = handler_(request);
+      if (request.method == "HEAD") response.body.clear();
+    }
+    have_request = true;
+    break;
+  }
+  if (have_request) {
+    const std::string wire = render_http_response(response);
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(connection->fd, wire.data() + sent,
+                               wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+  }
+  ::close(connection->fd);
+  connection->fd = -1;
+  connection->done.store(true);
+}
+
+void HttpServer::reap(bool all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (all || connections_[i]->done.load()) {
+        finished.push_back(std::move(connections_[i]));
+        connections_.erase(connections_.begin() +
+                           static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+#else  // _WIN32: mirror net/tcp.cc — socket servers are POSIX-only.
+
+HttpServer::HttpServer(uint16_t, Handler, const std::string&) {
+  throw Error("HTTP endpoint is not available on this platform");
+}
+HttpServer::~HttpServer() = default;
+void HttpServer::start() {}
+void HttpServer::stop() {}
+void HttpServer::accept_loop() {}
+void HttpServer::serve_connection(Connection*) {}
+void HttpServer::reap(bool) {}
+
+#endif
+
+HttpServer::Handler make_obs_handler(ObsEndpoints endpoints) {
+  return [endpoints = std::move(endpoints)](const HttpRequest& request) {
+    HttpResponse response;
+    auto missing = [&response]() {
+      response.status = 404;
+      response.body = "not found\n";
+      return response;
+    };
+    if (request.path == "/metrics") {
+      if (!endpoints.prometheus) return missing();
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = endpoints.prometheus();
+      return response;
+    }
+    if (request.path == "/stats.json") {
+      if (!endpoints.stats_json) return missing();
+      response.content_type = "application/json";
+      response.body = endpoints.stats_json();
+      return response;
+    }
+    if (request.path == "/healthz") {
+      if (!endpoints.health) return missing();
+      const auto [ok, detail] = endpoints.health();
+      response.status = ok ? 200 : 503;
+      response.body = detail + "\n";
+      return response;
+    }
+    if (request.path == "/traces") {
+      if (!endpoints.traces) return missing();
+      long long n = 50;
+      const std::string raw = request.param("n");
+      if (!raw.empty()) n = parse_int(raw);
+      if (n < 0) {
+        response.status = 400;
+        response.body = "bad n\n";
+        return response;
+      }
+      response.content_type = "application/json";
+      response.body = endpoints.traces(n);
+      return response;
+    }
+    if (request.path == "/flight") {
+      if (!endpoints.flight) return missing();
+      long long window_ms = 0;
+      long long max_samples = 0;
+      const std::string ms = request.param("ms");
+      if (!ms.empty()) window_ms = parse_int(ms);
+      const std::string max = request.param("max");
+      if (!max.empty()) max_samples = parse_int(max);
+      if (window_ms < 0 || max_samples < 0) {
+        response.status = 400;
+        response.body = "bad window\n";
+        return response;
+      }
+      response.content_type = "application/json";
+      response.body = endpoints.flight(window_ms, max_samples);
+      return response;
+    }
+    if (request.path == "/") {
+      response.body =
+          "dna observability plane\n"
+          "  /metrics     Prometheus 0.0.4 exposition\n"
+          "  /stats.json  full stats document\n"
+          "  /healthz     liveness (200 ok / 503 unhealthy)\n"
+          "  /traces?n=N  recent query traces (JSON)\n"
+          "  /flight?ms=W&max=M  flight-recorder window (JSON)\n";
+      return response;
+    }
+    return missing();
+  };
+}
+
+}  // namespace dna::obs

@@ -1,0 +1,145 @@
+// A small, dependency-free HTTP/1.1 endpoint for the observability plane.
+//
+// Scrapers (Prometheus, curl, dashboards) speak HTTP, not the framed query
+// protocol — so every serving process can open a side port that exposes the
+// same telemetry the `stats` / `trace` / `flight` verbs serve:
+//
+//   HttpServer http(0 /* ephemeral */, make_obs_handler(endpoints));
+//   http.start();
+//   ... curl http://127.0.0.1:<http.port()>/metrics ...
+//
+// Scope is deliberately tiny: GET (and HEAD) only, one request per
+// connection (Connection: close), no TLS, bound to 127.0.0.1 by default —
+// the same "private fabric, never the open internet" stance as the shard
+// transport. Request parsing is a pure function (parse_http_request) so the
+// grammar corner cases — bad method line, partial reads, oversized
+// requests — are unit-testable without sockets.
+//
+// Layering: obs/ sits below service/, so this server owns its own POSIX
+// listening socket instead of reusing service::TcpListener; the service
+// layer hands in behaviour via ObsEndpoints callbacks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dna::obs {
+
+struct HttpRequest {
+  std::string method;               // "GET", "POST", ... (uppercase token)
+  std::string path;                 // "/metrics" (target before '?')
+  std::map<std::string, std::string> query;  // "?n=50&json=1" -> {n:50,...}
+
+  /// The query parameter's value, or `fallback` when absent.
+  std::string param(const std::string& name, std::string fallback = "") const {
+    const auto it = query.find(name);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Outcome of feeding a (possibly partial) receive buffer to the parser.
+enum class HttpParse {
+  kNeedMore,  // no complete header block yet — keep reading
+  kOk,        // request parsed; `consumed` bytes belong to it
+  kBad,       // malformed or oversized — answer 400 and close
+};
+
+/// Hard cap on a request's header block; beyond it parsing fails kBad.
+inline constexpr size_t kMaxHttpRequestBytes = 8192;
+
+/// Parses one request from the front of `data` (everything received so
+/// far). On kOk fills `request` and sets `consumed` to the bytes the
+/// request occupied. Bodies are not supported (the plane is read-only);
+/// a request advertising Content-Length is kBad.
+HttpParse parse_http_request(std::string_view data, HttpRequest& request,
+                             size_t& consumed);
+
+/// Serializes status line + headers + body (HTTP/1.1, Connection: close).
+std::string render_http_response(const HttpResponse& response);
+
+/// A minimal threaded HTTP server: accept loop on a background thread, one
+/// short-lived thread per connection, one request per connection.
+class HttpServer {
+ public:
+  /// Must not throw; runs on a per-connection thread.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds and listens (port 0 = ephemeral, read back via port()).
+  /// Throws dna::Error on bind failure. Serving starts with start().
+  explicit HttpServer(uint16_t port, Handler handler,
+                      const std::string& host = "127.0.0.1");
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Starts the accept loop on a background thread (idempotent).
+  void start();
+  /// Closes the listener, aborts live connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// The actually bound port.
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+  void reap(bool all);
+
+  Handler handler_;
+  std::string host_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex mutex_;  // guards connections_ and started_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool started_ = false;
+  std::thread accept_thread_;
+};
+
+/// The data sources behind the standard endpoints. Each callback is
+/// optional; a missing one turns its endpoint into a 404. Callbacks run on
+/// connection threads and must be thread-safe.
+struct ObsEndpoints {
+  /// /metrics — Prometheus 0.0.4 text (Registry::prometheus_text()).
+  std::function<std::string()> prometheus;
+  /// /stats.json — the full JSON stats document (the `stats json` verb).
+  std::function<std::string()> stats_json;
+  /// /healthz — liveness verdict: ok=true serves 200, ok=false 503; the
+  /// string is the body detail either way.
+  std::function<std::pair<bool, std::string>()> health;
+  /// /traces?n=N — recent traces as JSON (TraceLog::json(n)).
+  std::function<std::string(size_t n)> traces;
+  /// /flight?ms=W&max=M — flight-recorder window (FlightRecorder::json),
+  /// W milliseconds back from now (0 = everything retained).
+  std::function<std::string(uint64_t window_ms, size_t max_samples)> flight;
+};
+
+/// Routes /metrics, /stats.json, /healthz, /traces, /flight (plus a "/"
+/// index listing them) onto `endpoints`; anything else is 404.
+HttpServer::Handler make_obs_handler(ObsEndpoints endpoints);
+
+}  // namespace dna::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -115,6 +116,18 @@ double Histogram::Snapshot::quantile(double q) const {
   return static_cast<double>(max);
 }
 
+Histogram::Snapshot::Quantiles Histogram::Snapshot::quantiles() const {
+  Quantiles q;
+  q.p50 = quantile(0.50);
+  // Interpolated quantiles are monotone in rank by construction, but clamp
+  // anyway: the shards are read without a barrier, so a snapshot taken
+  // mid-merge can hold a count/bucket combination no single instant ever
+  // had, and the triple the dashboards print must still be ordered.
+  q.p95 = std::max(q.p50, quantile(0.95));
+  q.p99 = std::max(q.p95, quantile(0.99));
+  return q;
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -177,10 +190,11 @@ std::string Registry::str() const {
     const double scale = unit_scale(histogram->unit());
     out << name << " count " << snap.count;
     if (snap.count > 0) {
+      const Histogram::Snapshot::Quantiles q = snap.quantiles();
       out << " mean " << format_double(snap.mean() * scale) << " p50 "
-          << format_double(snap.quantile(0.50) * scale) << " p95 "
-          << format_double(snap.quantile(0.95) * scale) << " p99 "
-          << format_double(snap.quantile(0.99) * scale) << " max "
+          << format_double(q.p50 * scale) << " p95 "
+          << format_double(q.p95 * scale) << " p99 "
+          << format_double(q.p99 * scale) << " max "
           << format_double(static_cast<double>(snap.max) * scale);
     }
     out << "\n";
@@ -205,9 +219,10 @@ void Registry::append_json(util::JsonWriter& json) const {
     json.key("sum").value(static_cast<double>(snap.sum) * scale);
     json.key("max").value(static_cast<double>(snap.max) * scale);
     json.key("mean").value(snap.mean() * scale);
-    json.key("p50").value(snap.quantile(0.50) * scale);
-    json.key("p95").value(snap.quantile(0.95) * scale);
-    json.key("p99").value(snap.quantile(0.99) * scale);
+    const Histogram::Snapshot::Quantiles q = snap.quantiles();
+    json.key("p50").value(q.p50 * scale);
+    json.key("p95").value(q.p95 * scale);
+    json.key("p99").value(q.p99 * scale);
     json.key("buckets").begin_array();
     for (size_t b = 0; b < Histogram::kBuckets; ++b) {
       if (snap.buckets[b] == 0) continue;
@@ -264,6 +279,29 @@ std::string Registry::prometheus_text() const {
     out << prom << "_count " << snap.count << "\n";
   }
   return out.str();
+}
+
+std::vector<std::pair<std::string, double>> Registry::sample() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  // The maps are std::map, so each family is already name-sorted; families
+  // are emitted in a fixed order and the final sort merges them. Sorted
+  // output lets the recorder diff consecutive samples with one linear walk.
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, static_cast<double>(gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    const double scale = unit_scale(histogram->unit());
+    out.emplace_back(name + ".count", static_cast<double>(snap.count));
+    out.emplace_back(name + ".sum", static_cast<double>(snap.sum) * scale);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Registry& Registry::global() {

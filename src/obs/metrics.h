@@ -34,6 +34,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/json.h"
 
@@ -173,6 +175,15 @@ class Histogram {
     /// within the covering bucket; 0 when empty. Error is bounded by the
     /// bucket's octave.
     double quantile(double q) const;
+    /// The three quantiles every exposition reports, computed in one pass
+    /// and clamped so p50 <= p95 <= p99 holds even when concurrent shard
+    /// merges or interpolation rounding would let them cross.
+    struct Quantiles {
+      double p50 = 0;
+      double p95 = 0;
+      double p99 = 0;
+    };
+    Quantiles quantiles() const;
     double mean() const { return count == 0 ? 0 : double(sum) / double(count); }
   };
 
@@ -229,6 +240,14 @@ class Registry {
   /// Prometheus text exposition (version 0.0.4): one HELP/TYPE block per
   /// family, names prefixed "dna_" with dots flattened to underscores.
   std::string prometheus_text() const;
+
+  /// One flat scalar per metric, sorted by name — the shape the flight
+  /// recorder (recorder.h) delta-compresses into its ring. Counters and
+  /// gauges appear under their own names; a histogram contributes
+  /// "<name>.count" (observations so far) and "<name>.sum" (in exposition
+  /// units, i.e. seconds for kNanos), which is what windowed rate and mean
+  /// computations over two samples need.
+  std::vector<std::pair<std::string, double>> sample() const;
 
   static Registry& global();
 

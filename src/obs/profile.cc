@@ -1,0 +1,139 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dna::obs {
+
+namespace {
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string percent(double fraction) { return fixed(fraction * 100.0, 1) + "%"; }
+
+}  // namespace
+
+double amdahl_serial_fraction(size_t threads, double speedup) {
+  if (threads <= 1 || speedup <= 0) return 1.0;
+  const double n = static_cast<double>(threads);
+  const double s = (n / speedup - 1.0) / (n - 1.0);
+  if (s < 0) return 0;
+  if (s > 1) return 1;
+  return s;
+}
+
+void finalize_diagnosis(DiagnosisReport& report) {
+  report.qps_seq = report.seconds_seq > 0
+                       ? static_cast<double>(report.queries_seq) /
+                             report.seconds_seq
+                       : 0;
+  report.qps_flood = report.seconds_flood > 0
+                         ? static_cast<double>(report.queries_flood) /
+                               report.seconds_flood
+                         : 0;
+  report.speedup = report.qps_seq > 0 ? report.qps_flood / report.qps_seq : 0;
+  report.serial_fraction =
+      amdahl_serial_fraction(report.threads, report.speedup);
+
+  double attributed = 0;
+  for (DiagnosisReport::Leg& leg : report.legs) {
+    leg.share =
+        report.wall_seconds > 0 ? leg.seconds / report.wall_seconds : 0;
+    attributed += leg.seconds;
+  }
+  report.coverage =
+      report.wall_seconds > 0 ? attributed / report.wall_seconds : 0;
+  std::stable_sort(report.legs.begin(), report.legs.end(),
+                   [](const DiagnosisReport::Leg& a,
+                      const DiagnosisReport::Leg& b) {
+                     return a.seconds > b.seconds;
+                   });
+  report.dominant = report.legs.empty() ? "" : report.legs.front().name;
+
+  std::ostringstream verdict;
+  if (report.speedup >= 1.0) {
+    verdict << "flooding " << report.threads << " threads gives "
+            << fixed(report.speedup, 2)
+            << "x sequential throughput (implied serial fraction "
+            << fixed(report.serial_fraction, 2) << ")";
+  } else {
+    verdict << "parallelism HURTS: " << report.threads
+            << " concurrent threads reach only " << fixed(report.speedup, 2)
+            << "x sequential throughput (implied serial fraction "
+            << fixed(report.serial_fraction, 2) << " — the scaling collapse)";
+  }
+  if (!report.dominant.empty()) {
+    verdict << "; dominant leg is '" << report.dominant << "' at "
+            << percent(report.legs.front().share)
+            << " of per-query wall time";
+  }
+  if (report.lock_wait_seconds > 0.001) {
+    verdict << "; commit-lock wait " << fixed(report.lock_wait_seconds, 3)
+            << "s during the load";
+  }
+  verdict << ".";
+  report.verdict = verdict.str();
+}
+
+std::string DiagnosisReport::str() const {
+  std::ostringstream out;
+  out << "diagnose " << component << ": " << threads << " threads, "
+      << queries_seq << " sequential + " << queries_flood
+      << " flooded queries\n";
+  out << "  sequential  " << fixed(qps_seq, 0) << " qps ("
+      << fixed(seconds_seq, 3) << "s)\n";
+  out << "  flooded     " << fixed(qps_flood, 0) << " qps ("
+      << fixed(seconds_flood, 3) << "s)  speedup " << fixed(speedup, 2)
+      << "x  serial fraction " << fixed(serial_fraction, 2) << "\n";
+  out << "  leg                      seconds    share\n";
+  for (const Leg& leg : legs) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-24s %8.4f  %6s\n",
+                  leg.name.c_str(), leg.seconds, percent(leg.share).c_str());
+    out << line;
+  }
+  out << "  coverage " << percent(coverage) << " of "
+      << fixed(wall_seconds, 3) << "s measured wall time\n";
+  out << "  commit-lock wait " << fixed(lock_wait_seconds, 4)
+      << "s; max queue depth " << max_queue_depth << "\n";
+  out << "  verdict: " << verdict << "\n";
+  return out.str();
+}
+
+void DiagnosisReport::append_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("component").value(component);
+  json.key("threads").value(static_cast<unsigned long long>(threads));
+  json.key("queries_seq").value(static_cast<unsigned long long>(queries_seq));
+  json.key("queries_flood")
+      .value(static_cast<unsigned long long>(queries_flood));
+  json.key("seconds_seq").value(seconds_seq);
+  json.key("seconds_flood").value(seconds_flood);
+  json.key("qps_seq").value(qps_seq);
+  json.key("qps_flood").value(qps_flood);
+  json.key("speedup").value(speedup);
+  json.key("serial_fraction").value(serial_fraction);
+  json.key("wall_seconds").value(wall_seconds);
+  json.key("coverage").value(coverage);
+  json.key("lock_wait_seconds").value(lock_wait_seconds);
+  json.key("max_queue_depth").value(static_cast<long long>(max_queue_depth));
+  json.key("legs").begin_array();
+  for (const Leg& leg : legs) {
+    json.begin_object();
+    json.key("name").value(leg.name);
+    json.key("seconds").value(leg.seconds);
+    json.key("share").value(leg.share);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("dominant").value(dominant);
+  json.key("verdict").value(verdict);
+  json.end_object();
+}
+
+}  // namespace dna::obs

@@ -1,0 +1,130 @@
+// Contention profiling for the serving tier.
+//
+// Two pieces:
+//
+//   * TimedMutex — a std::mutex that accounts how long callers waited to
+//     acquire it. The uncontended path is one try_lock (no clock read);
+//     only a blocked acquisition pays two now_ns() calls. The service's
+//     commit path runs under one of these, which is how `diagnose` can
+//     say "writers spent X s waiting on the commit lock" instead of
+//     guessing.
+//
+//   * DiagnosisReport — the Amdahl-style attribution `diagnose` emits
+//     after a two-phase self-load (sequential, then flooded at N
+//     threads). The measured speedup S inverts to an implied serial
+//     fraction s = (N/S - 1)/(N - 1), and the per-leg histogram deltas
+//     (queue / catchup / eval for the service; per-shard RTT for the
+//     router) attribute the per-query wall time to named legs. The
+//     report is the artifact ROADMAP item 1 asks for: it names the
+//     dominant serial leg of the t1→t8 scaling collapse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace dna::obs {
+
+/// A BasicLockable std::mutex wrapper that counts acquisitions, contended
+/// acquisitions, and total nanoseconds spent blocked in lock(). Readers
+/// (stats expositions, diagnose) load the relaxed atomics without taking
+/// the lock.
+class TimedMutex {
+ public:
+  void lock() {
+    if (mutex_.try_lock()) {
+      locks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const uint64_t start = now_ns();
+    mutex_.lock();
+    wait_ns_.fetch_add(elapsed_ns(start, now_ns()),
+                       std::memory_order_relaxed);
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    locks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void unlock() { mutex_.unlock(); }
+
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    locks_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Total acquisitions (contended or not).
+  uint64_t locks() const { return locks_.load(std::memory_order_relaxed); }
+  /// Acquisitions that blocked.
+  uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  /// Total nanoseconds callers spent blocked in lock().
+  uint64_t wait_ns() const { return wait_ns_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mutex_;
+  std::atomic<uint64_t> locks_{0};
+  std::atomic<uint64_t> contended_{0};
+  std::atomic<uint64_t> wait_ns_{0};
+};
+
+/// What `diagnose` measured and concluded. Filled by the component
+/// (DnaService / ShardRouter) from its own self-load, finished by
+/// finalize_diagnosis().
+struct DiagnosisReport {
+  /// One attributed slice of per-query wall time.
+  struct Leg {
+    std::string name;    // "catchup", "queue", "eval", "shard 0 rtt", ...
+    double seconds = 0;  // summed across all flood-phase queries
+    double share = 0;    // seconds / wall_seconds, filled by finalize
+  };
+
+  std::string component;  // "service" or "router"
+  size_t threads = 0;     // flood-phase concurrency N
+
+  uint64_t queries_seq = 0;
+  uint64_t queries_flood = 0;
+  double seconds_seq = 0;    // wall time of the sequential phase
+  double seconds_flood = 0;  // wall time of the flooded phase
+  double qps_seq = 0;
+  double qps_flood = 0;
+  double speedup = 0;          // qps_flood / qps_seq
+  double serial_fraction = 0;  // Amdahl inversion of speedup at N
+
+  /// Sum over flood-phase queries of per-query submit→done time — the
+  /// denominator every leg share is measured against.
+  double wall_seconds = 0;
+  double coverage = 0;  // sum(leg.seconds) / wall_seconds
+
+  double lock_wait_seconds = 0;  // commit-lock wait during the load
+  int64_t max_queue_depth = 0;   // dispatcher backlog peak during the load
+
+  std::vector<Leg> legs;  // sorted by seconds descending after finalize
+  std::string dominant;   // legs.front().name
+  std::string verdict;    // one-paragraph human attribution
+
+  /// The human attribution table `dna_cli diagnose` prints.
+  std::string str() const;
+  /// The same report as a JSON object (appended as an object value; the
+  /// caller owns surrounding keys).
+  void append_json(util::JsonWriter& json) const;
+};
+
+/// Amdahl inversion: measured speedup S at N threads implies serial
+/// fraction s solving S = 1/(s + (1-s)/N), i.e. s = (N/S - 1)/(N - 1),
+/// clamped to [0,1]. S <= 1 — parallelism not helping or actively
+/// hurting, the collapse regime — clamps to 1.
+double amdahl_serial_fraction(size_t threads, double speedup);
+
+/// Finishes a report whose counters and legs[].seconds are filled:
+/// derives qps/speedup/serial_fraction, computes each leg's share of
+/// wall_seconds, sorts legs descending, names the dominant leg, and
+/// writes the verdict paragraph.
+void finalize_diagnosis(DiagnosisReport& report);
+
+}  // namespace dna::obs

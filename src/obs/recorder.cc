@@ -1,0 +1,172 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/json.h"
+
+namespace dna::obs {
+
+namespace {
+// Events are rarer and smaller than samples; a fixed bound keeps a
+// misbehaving tier (every query slow) from growing the ring unbounded.
+constexpr size_t kMaxEvents = 256;
+}  // namespace
+
+FlightRecorder::FlightRecorder(const Registry& registry)
+    : FlightRecorder(registry, Options{}) {}
+
+FlightRecorder::FlightRecorder(const Registry& registry, Options options)
+    : registry_(registry), options_(options) {}
+
+FlightRecorder::~FlightRecorder() { stop(); }
+
+void FlightRecorder::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void FlightRecorder::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void FlightRecorder::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    sample_locked(lock);
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_requested_; });
+  }
+}
+
+void FlightRecorder::sample_now() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  sample_locked(lock);
+}
+
+void FlightRecorder::sample_locked(std::unique_lock<std::mutex>& lock) {
+  // Registry::sample() takes the registry's own mutex; drop ours while it
+  // runs so a slow exposition elsewhere can't stall recorder queries.
+  lock.unlock();
+  const std::vector<std::pair<std::string, double>> flat = registry_.sample();
+  const uint64_t t = now_ns();
+  lock.lock();
+
+  Delta delta;
+  // Concurrent sample_now()/mark_event() calls race through the unlocked
+  // capture above; keep the stored timeline monotone regardless of the
+  // order they reacquire the lock.
+  delta.t_ns = ring_.empty() ? t : std::max(t, ring_.back().t_ns);
+  for (const auto& [name, value] : flat) {
+    auto [it, inserted] = name_ids_.emplace(
+        name, static_cast<uint32_t>(names_.size()));
+    if (inserted) names_.push_back(name);
+    const uint32_t id = it->second;
+    const auto prev = last_.find(id);
+    if (prev == last_.end() || prev->second != value) {
+      delta.changed.emplace_back(id, value);
+      last_[id] = value;
+    }
+  }
+  ring_.push_back(std::move(delta));
+  while (ring_.size() > options_.capacity) {
+    // Fold the evicted sample into the base so every retained sample
+    // still reconstructs exactly.
+    for (const auto& [id, value] : ring_.front().changed) base_[id] = value;
+    ring_.pop_front();
+  }
+}
+
+void FlightRecorder::mark_event(const std::string& kind,
+                                const std::string& detail) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    events_.push_back(Event{now_ns(), kind, detail});
+    while (events_.size() > kMaxEvents) events_.pop_front();
+  }
+  sample_now();
+}
+
+std::vector<FlightRecorder::Sample> FlightRecorder::window(
+    uint64_t start_ns, uint64_t end_ns) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  std::map<uint32_t, double> state = base_;
+  for (const Delta& delta : ring_) {
+    for (const auto& [id, value] : delta.changed) state[id] = value;
+    if (delta.t_ns < start_ns || delta.t_ns > end_ns) continue;
+    Sample sample;
+    sample.t_ns = delta.t_ns;
+    sample.values.reserve(state.size());
+    for (const auto& [id, value] : state) {
+      sample.values.emplace_back(names_[id], value);
+    }
+    // `state` is keyed by intern id (insertion order), not name order;
+    // present sorted by name like Registry::sample().
+    std::sort(sample.values.begin(), sample.values.end());
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return std::vector<Event>(events_.begin(), events_.end());
+}
+
+std::string FlightRecorder::json(uint64_t start_ns, uint64_t end_ns,
+                                 size_t max_samples) const {
+  std::vector<Sample> samples = window(start_ns, end_ns);
+  if (max_samples > 0 && samples.size() > max_samples) {
+    samples.erase(samples.begin(),
+                  samples.end() - static_cast<ptrdiff_t>(max_samples));
+  }
+  const std::vector<Event> evs = events();
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("interval_ms")
+      .value(static_cast<unsigned long long>(options_.interval_ms));
+  json.key("samples").begin_array();
+  for (const Sample& sample : samples) {
+    json.begin_object();
+    json.key("t_ns").value(static_cast<unsigned long long>(sample.t_ns));
+    json.key("values").begin_object();
+    for (const auto& [name, value] : sample.values) {
+      json.key(name).value(value);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("events").begin_array();
+  for (const Event& event : evs) {
+    if (event.t_ns < start_ns || event.t_ns > end_ns) continue;
+    json.begin_object();
+    json.key("t_ns").value(static_cast<unsigned long long>(event.t_ns));
+    json.key("kind").value(event.kind);
+    json.key("detail").value(event.detail);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+size_t FlightRecorder::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace dna::obs

@@ -1,0 +1,129 @@
+// Flight recorder: a bounded, delta-compressed timeline of Registry
+// samples.
+//
+// A background thread snapshots the component's Registry every
+// `interval_ms` into a ring of at most `capacity` samples. Consecutive
+// samples are stored as deltas against the previous one (metric names
+// interned once, only changed values kept), and evicted samples fold
+// into a base map, so any retained sample can still be reconstructed
+// exactly. That makes "what did the tier look like between t0 and t1" a
+// cheap query — the distribution-over-time view the statistical framing
+// in PAPERS.md argues for, instead of a single point-in-time scrape.
+//
+// Besides the steady cadence, components mark notable moments —
+// slow-query and shard-death events — via mark_event(), which records
+// the event and forces an immediate out-of-cadence sample so the ring
+// holds a data point at the instant things went wrong.
+//
+// All query methods are safe concurrently with the sampler thread; the
+// ring is mutex-guarded (cold path — samples are small and seconds
+// apart).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dna::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    uint64_t interval_ms = 250;  // sampling cadence
+    size_t capacity = 2048;      // retained samples; ~8.5 min at 250ms
+  };
+
+  /// The recorder samples `registry`, which must outlive it. (Two
+  /// overloads, not a defaulted Options argument: a nested aggregate's
+  /// member initializers are unusable in default arguments while the
+  /// enclosing class is still incomplete.)
+  explicit FlightRecorder(const Registry& registry);
+  FlightRecorder(const Registry& registry, Options options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Starts the background sampler thread (idempotent).
+  void start();
+  /// Stops and joins the sampler thread (idempotent; also run by the
+  /// destructor).
+  void stop();
+
+  /// Takes one sample immediately. Used by the sampler thread, by
+  /// mark_event(), and directly by tests that want deterministic
+  /// timelines without a thread.
+  void sample_now();
+
+  /// Records an out-of-band event ("slow_query", "shard_death", ...)
+  /// and forces an immediate sample, so the ring holds the tier's exact
+  /// state at the moment of the event.
+  void mark_event(const std::string& kind, const std::string& detail);
+
+  /// One fully reconstructed sample: every metric's value at t_ns,
+  /// sorted by name.
+  struct Sample {
+    uint64_t t_ns = 0;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  struct Event {
+    uint64_t t_ns = 0;
+    std::string kind;
+    std::string detail;
+  };
+
+  /// Reconstructs all retained samples with start_ns <= t_ns <= end_ns,
+  /// oldest first. Pass (0, UINT64_MAX) for everything retained.
+  std::vector<Sample> window(uint64_t start_ns, uint64_t end_ns) const;
+
+  /// Retained events, oldest first (bounded like the sample ring).
+  std::vector<Event> events() const;
+
+  /// The /flight payload: {"interval_ms":..,"samples":[{"t_ns":..,
+  /// "values":{..}}..],"events":[..]} for the window, capped to the most
+  /// recent `max_samples` samples (0 = no cap).
+  std::string json(uint64_t start_ns, uint64_t end_ns,
+                   size_t max_samples = 0) const;
+
+  /// Retained sample count.
+  size_t size() const;
+  uint64_t interval_ms() const { return options_.interval_ms; }
+
+ private:
+  /// A stored sample: time plus only the values that changed since the
+  /// previous stored sample (interned name id -> new value).
+  struct Delta {
+    uint64_t t_ns = 0;
+    std::vector<std::pair<uint32_t, double>> changed;
+  };
+
+  void sample_locked(std::unique_lock<std::mutex>& lock);
+  void run();
+
+  const Registry& registry_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  std::vector<std::string> names_;            // intern table, id = index
+  std::map<std::string, uint32_t> name_ids_;  // reverse lookup
+  std::map<uint32_t, double> base_;  // state just before ring_.front()
+  std::map<uint32_t, double> last_;  // state as of ring_.back()
+  std::deque<Delta> ring_;
+  std::deque<Event> events_;
+};
+
+}  // namespace dna::obs

@@ -1,0 +1,19 @@
+// The liveness verdict shared by every serving role.
+//
+// One shape for "should a load balancer keep sending here": the service
+// (journal alive, dispatcher running), the shard router (every shard
+// connected), and the /healthz endpoint + `healthz` verb all speak it.
+// ok=false renders as HTTP 503 / "unhealthy: <detail>"; the detail string
+// is human-facing either way.
+#pragma once
+
+#include <string>
+
+namespace dna::service {
+
+struct Health {
+  bool ok = false;
+  std::string detail;
+};
+
+}  // namespace dna::service

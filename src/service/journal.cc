@@ -281,6 +281,9 @@ void Journal::append_frame(std::string_view frame) {
 
 void Journal::append_commit(uint64_t version,
                             const std::string& change_text) {
+  if (fail_appends_) {
+    throw Error("journal append failed (injected fault)");
+  }
   append_frame(encode_record_frame(encode_commit_record(version, change_text)));
 }
 

@@ -108,6 +108,12 @@ class Journal {
   /// under the configured fsync policy. Throws dna::Error on I/O failure.
   void append_commit(uint64_t version, const std::string& change_text);
 
+  /// Fault injection: when set, every append_commit throws as if the disk
+  /// failed (before writing anything). Tests use this to flip the
+  /// service's health — permission tricks don't work when the suite runs
+  /// as root, and a real device error is not reproducible.
+  void set_fail_appends(bool fail) { fail_appends_ = fail; }
+
   /// Observes every append's fsync duration (nanoseconds) into `histogram`
   /// (nullptr detaches). The owning service points this at its registry;
   /// the journal itself stays free of any obs dependency beyond the hook.
@@ -151,6 +157,7 @@ class Journal {
   bool torn_tail_ = false;
   size_t tail_valid_bytes_ = 0;  // clean prefix of the last segment
   int fd_ = -1;                  // tail segment, open for append
+  bool fail_appends_ = false;    // fault injection (set_fail_appends)
   obs::Histogram* fsync_histogram_ = nullptr;
   uint64_t last_fsync_ns_ = 0;
 };

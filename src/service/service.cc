@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -31,8 +32,10 @@ DnaService::DnaService(topo::Snapshot base,
       ctr_batches_(registry_.counter("service.batches")),
       ctr_commits_(registry_.counter("service.commits")),
       ctr_slow_queries_(registry_.counter("service.slow_queries")),
+      ctr_journal_errors_(registry_.counter("service.journal_errors")),
       gauge_max_batch_(registry_.gauge("service.max_batch")),
       gauge_max_queue_depth_(registry_.gauge("service.max_queue_depth")),
+      gauge_queue_depth_(registry_.gauge("service.queue_depth")),
       hist_queue_wait_(registry_.histogram("service.query_queue_seconds")),
       hist_catchup_(registry_.histogram("service.replica_catchup_seconds")),
       hist_eval_(registry_.histogram("service.query_eval_seconds")),
@@ -65,6 +68,7 @@ DnaService::DnaService(topo::Snapshot base,
       journal_->compact(store_.head_id(), *store_.head()->snapshot);
     }
   }
+  start_ns_ = obs::now_ns();
   dispatcher_ = std::thread(&DnaService::dispatcher_loop, this);
 }
 
@@ -193,6 +197,7 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
     queue_.push_back(Pending{std::move(query), std::move(version),
                              std::move(promise), submit_ns});
     gauge_max_queue_depth_.set_max(static_cast<int64_t>(queue_.size()));
+    gauge_queue_depth_.set(static_cast<int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return future;
@@ -241,7 +246,7 @@ CommitResult DnaService::commit(const core::ChangePlan& plan,
 
 CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
                                      core::Mode mode, obs::Trace* trace) {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  std::lock_guard<obs::TimedMutex> lock(commit_mutex_);
   Stopwatch stopwatch;
   const uint64_t epoch_ns = obs::now_ns();
   core::NetworkDiff diff;
@@ -264,6 +269,10 @@ CommitResult DnaService::commit_impl(const core::ChangePlan& effective,
     try {
       journal_->append_commit(store_.next_id(), effective.description());
     } catch (...) {
+      // Durability is gone: flip health so load balancers stop sending
+      // writes here, and rebuild the writer at the unchanged head.
+      journal_failed_.store(true, std::memory_order_relaxed);
+      ctr_journal_errors_.add();
       writer_ = make_engine(*store_.head()->snapshot);
       throw;
     }
@@ -358,6 +367,7 @@ void DnaService::dispatcher_loop() {
           ++it;
         }
       }
+      gauge_queue_depth_.set(static_cast<int64_t>(queue_.size()));
     }
     // The batch freed queue slots; wake submitters parked at the bound.
     space_cv_.notify_all();
@@ -397,6 +407,14 @@ void DnaService::dispatcher_loop() {
       hist_queue_wait_.observe(queue_ns);
       hist_eval_.observe(eval_ns);
       hist_query_total_.observe(total_ns);
+      // Profiler accounting: the worker's own slot, relaxed adds only.
+      WorkerState& worker_state = workers_[worker];
+      worker_state.tasks.fetch_add(1, std::memory_order_relaxed);
+      worker_state.busy_ns.fetch_add(obs::elapsed_ns(start_ns, done_ns),
+                                     std::memory_order_relaxed);
+      worker_state.catchup_ns.fetch_add(catchup_ns,
+                                        std::memory_order_relaxed);
+      worker_state.eval_ns.fetch_add(eval_ns, std::memory_order_relaxed);
 
       const bool slow =
           options_.slow_query_ns > 0 && total_ns >= options_.slow_query_ns;
@@ -412,6 +430,11 @@ void DnaService::dispatcher_loop() {
           DNA_WARN("slow query (" << total_ns / 1000000.0 << " ms >= "
                                   << options_.slow_query_ns / 1000000.0
                                   << " ms): " << pending.query.text);
+          if (obs::FlightRecorder* recorder = flight_recorder()) {
+            // Auto-dump: force an out-of-cadence sample so the ring holds
+            // the tier's state at the moment the query degraded.
+            recorder->mark_event("slow_query", pending.query.text);
+          }
         }
         trace_log_.record(std::move(trace));
       }
@@ -459,6 +482,127 @@ ServiceMetrics DnaService::metrics() const {
   copy.versions_retired = store_.versions_retired();
   copy.versions_live = store_.versions_live();
   return copy;
+}
+
+Health DnaService::health() const {
+  Health health;
+  bool accepting;
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    accepting = !stopping_;
+    depth = queue_.size();
+  }
+  const bool journal_ok = !journal_failed_.load(std::memory_order_relaxed);
+  health.ok = accepting && journal_ok;
+  std::ostringstream detail;
+  if (!journal_ok) {
+    detail << "unhealthy: journal append failed ("
+           << ctr_journal_errors_.value()
+           << " errors) — commits are no longer durable";
+  } else if (!accepting) {
+    detail << "unhealthy: service is shutting down";
+  } else {
+    detail << "ok: head v" << store_.head()->id << ", " << pool_.num_workers()
+           << " workers, queue depth " << depth;
+    if (journal_) detail << ", journal at segment " << journal_->segment_count();
+  }
+  health.detail = detail.str();
+  return health;
+}
+
+std::vector<DnaService::WorkerStats> DnaService::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const WorkerState& state : workers_) {
+    WorkerStats stats;
+    stats.tasks = state.tasks.load(std::memory_order_relaxed);
+    stats.busy_seconds =
+        static_cast<double>(state.busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    stats.catchup_seconds =
+        static_cast<double>(state.catchup_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    stats.eval_seconds =
+        static_cast<double>(state.eval_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+double DnaService::uptime_seconds() const {
+  return static_cast<double>(obs::elapsed_ns(start_ns_, obs::now_ns())) * 1e-9;
+}
+
+obs::DiagnosisReport DnaService::diagnose(size_t queries_per_phase) {
+  obs::DiagnosisReport report;
+  report.component = "service";
+  const size_t threads = std::max<size_t>(2, pool_.num_workers());
+  report.threads = threads;
+  // A network-wide check: topology-independent (always parses, always
+  // applies) and heavy enough that evaluation, catch-up, and queueing all
+  // show up — the same shape the t1→t8 bench collapse was measured on.
+  const std::string probe = "check loopfree";
+
+  const auto hist_sum_seconds = [](const obs::Histogram& histogram) {
+    return static_cast<double>(histogram.snapshot().sum) * 1e-9;
+  };
+
+  // Phase 1 — strictly sequential: one query in flight at a time. This is
+  // the single-thread baseline the flood phase's speedup is measured
+  // against.
+  const uint64_t seq_start_ns = obs::now_ns();
+  for (size_t i = 0; i < queries_per_phase; ++i) query(probe);
+  report.queries_seq = queries_per_phase;
+  report.seconds_seq =
+      static_cast<double>(obs::elapsed_ns(seq_start_ns, obs::now_ns())) * 1e-9;
+
+  // Leg baselines: deltas across the flood phase attribute only what the
+  // flood did, even on a service that has been serving for hours.
+  const double queue0 = hist_sum_seconds(hist_queue_wait_);
+  const double catchup0 = hist_sum_seconds(hist_catchup_);
+  const double eval0 = hist_sum_seconds(hist_eval_);
+  const double total0 = hist_sum_seconds(hist_query_total_);
+  const uint64_t lock_wait0 = commit_mutex_.wait_ns();
+
+  // Phase 2 — flooded: `threads` submitters drive the same number of
+  // queries concurrently, the worst case the t8 bench row measures.
+  std::atomic<long long> remaining{
+      static_cast<long long>(queries_per_phase)};
+  const uint64_t flood_start_ns = obs::now_ns();
+  std::vector<std::thread> submitters;
+  submitters.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    submitters.emplace_back([this, &probe, &remaining] {
+      for (;;) {
+        if (remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+        query(probe);
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  report.queries_flood = queries_per_phase;
+  report.seconds_flood =
+      static_cast<double>(obs::elapsed_ns(flood_start_ns, obs::now_ns())) *
+      1e-9;
+
+  // Attribution: queue + catchup + eval partition each query's
+  // submit→done time exactly (dispatcher_loop's accounting), so the legs
+  // cover the measured wall time by construction.
+  report.wall_seconds = hist_sum_seconds(hist_query_total_) - total0;
+  report.legs.push_back(
+      {"queue (dispatch wait)", hist_sum_seconds(hist_queue_wait_) - queue0, 0});
+  report.legs.push_back(
+      {"catchup (replica advance)", hist_sum_seconds(hist_catchup_) - catchup0,
+       0});
+  report.legs.push_back(
+      {"eval (query execution)", hist_sum_seconds(hist_eval_) - eval0, 0});
+  report.lock_wait_seconds =
+      static_cast<double>(commit_mutex_.wait_ns() - lock_wait0) * 1e-9;
+  report.max_queue_depth = gauge_max_queue_depth_.value();
+  obs::finalize_diagnosis(report);
+  return report;
 }
 
 void DnaService::shutdown() {

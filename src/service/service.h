@@ -47,11 +47,17 @@
 #include "core/engine.h"
 #include "core/invariants.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "service/health.h"
 #include "service/journal.h"
 #include "service/query.h"
 #include "service/version.h"
 #include "util/threadpool.h"
+
+namespace dna::obs {
+class FlightRecorder;  // recorder.h; the service only holds a pointer
+}  // namespace dna::obs
 
 namespace dna::service {
 
@@ -196,8 +202,52 @@ class DnaService {
   /// Commits replayed from the journal during construction (0 without one).
   size_t recovered_commits() const { return recovered_commits_; }
   bool journaling() const { return journal_ != nullptr; }
+  /// The commit journal (nullptr without one). Exposed for fault-injection
+  /// tests (Journal::set_fail_appends) and diagnostics.
+  Journal* journal() { return journal_.get(); }
   /// Pending (submitted, not yet dispatched) queries right now.
   size_t queue_depth() const;
+
+  // ---- observability plane -------------------------------------------------
+
+  /// Liveness: ok while the dispatcher accepts queries and the journal (if
+  /// configured) has never failed an append. What /healthz serves.
+  Health health() const;
+
+  /// Commit-path lock contention (the profiler's writer-side view).
+  const obs::TimedMutex& commit_lock() const { return commit_mutex_; }
+
+  /// Per-worker profiler accounting since construction. Busy is the
+  /// worker's total task wall time; catch-up and eval partition it. Idle
+  /// is uptime minus busy, computed by the caller against uptime_seconds().
+  struct WorkerStats {
+    uint64_t tasks = 0;
+    double busy_seconds = 0;
+    double catchup_seconds = 0;
+    double eval_seconds = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+  double uptime_seconds() const;
+
+  /// Attaches a flight recorder (owned by the caller, outliving the
+  /// service or detached with nullptr first). The service marks
+  /// "slow_query" events into it so the ring auto-dumps a sample at the
+  /// moment things degraded.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+  obs::FlightRecorder* flight_recorder() const {
+    return recorder_.load(std::memory_order_acquire);
+  }
+
+  /// Runs a short self-load — `queries_per_phase` probe queries strictly
+  /// sequentially, then the same number flooded from num_workers()
+  /// submitter threads — and attributes the measured per-query wall time
+  /// to the queue/catchup/eval legs from the service's own histograms.
+  /// The Amdahl-style verdict names the dominant serial leg of the
+  /// scaling collapse (ROADMAP item 1). Safe against a live service;
+  /// the probe load is real load.
+  obs::DiagnosisReport diagnose(size_t queries_per_phase = 300);
 
   /// Stops accepting queries, drains the pending queue (every outstanding
   /// future resolves), and joins the dispatcher. Idempotent; called by the
@@ -214,6 +264,13 @@ class DnaService {
   struct WorkerState {
     std::unique_ptr<core::DnaEngine> engine;
     uint64_t version_id = 0;
+    // Profiler accounting (relaxed adds on the worker's own entry; the
+    // vector is sized once at construction and never reallocates, so the
+    // atomics never move).
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> catchup_ns{0};
+    std::atomic<uint64_t> eval_ns{0};
+    std::atomic<uint64_t> tasks{0};
   };
 
   void dispatcher_loop();
@@ -259,8 +316,10 @@ class DnaService {
   obs::Counter& ctr_batches_;
   obs::Counter& ctr_commits_;
   obs::Counter& ctr_slow_queries_;
+  obs::Counter& ctr_journal_errors_;
   obs::Gauge& gauge_max_batch_;
   obs::Gauge& gauge_max_queue_depth_;
+  obs::Gauge& gauge_queue_depth_;
   obs::Histogram& hist_queue_wait_;
   obs::Histogram& hist_catchup_;
   obs::Histogram& hist_eval_;
@@ -270,8 +329,14 @@ class DnaService {
   obs::Histogram& hist_journal_append_;
   obs::TraceLog trace_log_;
   std::atomic<bool> trace_all_{false};
+  std::atomic<obs::FlightRecorder*> recorder_{nullptr};
+  std::atomic<bool> journal_failed_{false};
+  uint64_t start_ns_ = 0;  // construction instant, for uptime/idle
 
-  std::mutex commit_mutex_;  // serializes writers
+  // Serializes writers; instrumented so `diagnose` can report how long
+  // commits spent waiting on each other (std::lock_guard still works —
+  // TimedMutex is BasicLockable).
+  obs::TimedMutex commit_mutex_;
   std::unique_ptr<core::DnaEngine> writer_;  // resident engine at head
 
   mutable std::mutex queue_mutex_;

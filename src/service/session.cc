@@ -1,7 +1,9 @@
 #include "service/session.h"
 
 #include <sstream>
+#include <vector>
 
+#include "obs/recorder.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -68,6 +70,62 @@ QueryResult ServerSession::handle(const std::string& request) {
       QueryResult result;
       result.version = service_.head()->id;
       result.body = service_.trace_log().json(static_cast<size_t>(n));
+      return result;
+    }
+    if (line == "healthz") {
+      const Health health = service_.health();
+      QueryResult result;
+      result.ok = health.ok;
+      result.version = service_.head()->id;
+      result.body = health.detail;
+      return result;
+    }
+    if (line == "diagnose" || starts_with(line, "diagnose ")) {
+      std::vector<std::string> args = split_ws(line);
+      bool json_output = false;
+      size_t queries = 300;
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "json") {
+          json_output = true;
+          continue;
+        }
+        const long long n = parse_int(args[i]);
+        if (n < 0) throw Error("diagnose: bad query count '" + args[i] + "'");
+        queries = static_cast<size_t>(n);
+      }
+      const obs::DiagnosisReport report = service_.diagnose(queries);
+      QueryResult result;
+      result.version = service_.head()->id;
+      if (json_output) {
+        util::JsonWriter json;
+        report.append_json(json);
+        result.body = json.str();
+      } else {
+        result.body = report.str();
+      }
+      return result;
+    }
+    if (line == "flight" || starts_with(line, "flight ")) {
+      obs::FlightRecorder* recorder = service_.flight_recorder();
+      if (recorder == nullptr) {
+        throw Error("no flight recorder attached (serve --flight-ms=N)");
+      }
+      std::vector<std::string> args = split_ws(line);
+      long long window_ms = 0;  // 0 = everything retained
+      long long max_samples = 0;
+      if (args.size() > 1) window_ms = parse_int(args[1]);
+      if (args.size() > 2) max_samples = parse_int(args[2]);
+      if (window_ms < 0 || max_samples < 0) {
+        throw Error("flight: usage is `flight [window-ms] [max-samples]`");
+      }
+      const uint64_t now = obs::now_ns();
+      const uint64_t span = static_cast<uint64_t>(window_ms) * 1'000'000u;
+      const uint64_t start =
+          window_ms == 0 ? 0 : (span >= now ? 0 : now - span);
+      QueryResult result;
+      result.version = service_.head()->id;
+      result.body = recorder->json(start, ~uint64_t{0},
+                                   static_cast<size_t>(max_samples));
       return result;
     }
     if (line == "shutdown") {

@@ -12,6 +12,13 @@
 //                        human text, JSON, or Prometheus 0.0.4 exposition
 //   trace on|off         trace every query into the server's trace log
 //   trace last <n>       the newest n completed traces, as JSON
+//   healthz              liveness verdict (ok=false when the journal has
+//                        failed or the service is shutting down)
+//   diagnose [n] [json]  run the contention self-load (n queries per
+//                        phase) and return the Amdahl attribution report
+//   flight [ms] [max]    flight-recorder window as JSON: the last `ms`
+//                        milliseconds (0/omitted = everything retained),
+//                        capped to the newest `max` samples
 //   shutdown             acknowledge, then ask the host to stop serving
 //
 // ServiceClient is the matching caller: one request() per line, blocking

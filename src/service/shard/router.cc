@@ -1,8 +1,11 @@
 #include "service/shard/router.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
+#include "obs/recorder.h"
 #include "service/query.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -17,7 +20,8 @@ ShardRouter::ShardRouter(std::vector<Dialer> dialers)
       ctr_commits_(registry_.counter("router.commits")),
       ctr_shard_errors_(registry_.counter("router.shard_errors")),
       ctr_reconnects_(registry_.counter("router.reconnects")),
-      ctr_replayed_commits_(registry_.counter("router.replayed_commits")) {
+      ctr_replayed_commits_(registry_.counter("router.replayed_commits")),
+      hist_request_(registry_.histogram("router.request_seconds")) {
   DNA_CHECK_MSG(!dialers.empty(), "a router needs at least one shard");
   shards_.reserve(dialers.size());
   hist_shard_rtt_.reserve(dialers.size());
@@ -139,6 +143,12 @@ QueryResult ShardRouter::request_on(size_t index, const std::string& line,
     }
   }
   ctr_shard_errors_.add();
+  if (obs::FlightRecorder* recorder = flight_recorder()) {
+    // Auto-dump: pin a sample of the router's state at the moment the
+    // shard was declared unreachable.
+    recorder->mark_event(
+        "shard_death", "shard " + std::to_string(index) + ": " + detail);
+  }
   throw Error("shard " + std::to_string(index) + " unavailable: " + detail);
 }
 
@@ -184,7 +194,7 @@ QueryResult ShardRouter::request_observed(size_t index,
 
 QueryResult ShardRouter::handle_commit(const std::string& line,
                                        TraceCtx* ctx) {
-  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  std::lock_guard<obs::TimedMutex> commit_lock(commit_mutex_);
   const std::string change_text(trim(line.substr(6)));
 
   QueryResult first_ok;
@@ -259,7 +269,7 @@ QueryResult ShardRouter::handle_scatter(const std::string& line,
   // Under the commit lock so no fan-out lands mid-scatter: every partition
   // answers at the same version, keeping the merge equal to one monolithic
   // evaluation of the same line.
-  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  std::lock_guard<obs::TimedMutex> commit_lock(commit_mutex_);
   const size_t n = shards_.size();
   std::vector<QueryResult> parts;
   parts.reserve(n);
@@ -315,6 +325,15 @@ bool ShardRouter::shutdown_requested() const {
 }
 
 QueryResult ShardRouter::handle(const std::string& request) {
+  const uint64_t start_ns = obs::now_ns();
+  QueryResult result = handle_request(request);
+  // Whole-request wall time — the denominator `diagnose` attributes the
+  // per-shard RTT legs against.
+  hist_request_.observe(obs::elapsed_ns(start_ns, obs::now_ns()));
+  return result;
+}
+
+QueryResult ShardRouter::handle_request(const std::string& request) {
   // Strip a leading trace tag so commands still match behind it. A traced
   // request gets a router-level trace whose "total" span is the router's
   // whole wall time for the request; per-shard legs stitch in underneath.
@@ -410,6 +429,71 @@ QueryResult ShardRouter::handle_line(const std::string& trimmed,
       }
       return result;
     }
+    if (trimmed == "healthz") {
+      const Health verdict = health();
+      QueryResult result;
+      result.ok = verdict.ok;
+      result.body = verdict.detail;
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (trimmed == "diagnose" || starts_with(trimmed, "diagnose ")) {
+      std::vector<std::string> args = split_ws(trimmed);
+      bool json_output = false;
+      size_t queries = 60;
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "json") {
+          json_output = true;
+          continue;
+        }
+        const long long n = parse_int(args[i]);
+        if (n < 0) throw Error("diagnose: bad query count '" + args[i] + "'");
+        queries = static_cast<size_t>(n);
+      }
+      const obs::DiagnosisReport report = diagnose(queries);
+      QueryResult result;
+      if (json_output) {
+        util::JsonWriter json;
+        report.append_json(json);
+        result.body = json.str();
+      } else {
+        result.body = report.str();
+      }
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
+    if (trimmed == "flight" || starts_with(trimmed, "flight ")) {
+      obs::FlightRecorder* recorder = flight_recorder();
+      if (recorder == nullptr) {
+        throw Error("no flight recorder attached (route --flight-ms=N)");
+      }
+      std::vector<std::string> args = split_ws(trimmed);
+      long long window_ms = 0;
+      long long max_samples = 0;
+      if (args.size() > 1) window_ms = parse_int(args[1]);
+      if (args.size() > 2) max_samples = parse_int(args[2]);
+      if (window_ms < 0 || max_samples < 0) {
+        throw Error("flight: usage is `flight [window-ms] [max-samples]`");
+      }
+      const uint64_t now = obs::now_ns();
+      const uint64_t span = static_cast<uint64_t>(window_ms) * 1'000'000u;
+      const uint64_t start =
+          window_ms == 0 ? 0 : (span >= now ? 0 : now - span);
+      QueryResult result;
+      result.body = recorder->json(start, ~uint64_t{0},
+                                   static_cast<size_t>(max_samples));
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        result.version = head_version_;
+      }
+      return result;
+    }
     if (trimmed == "shutdown") return handle_shutdown();
     if (starts_with(trimmed, "commit ") || trimmed == "commit") {
       return handle_commit(trimmed, ctx);
@@ -457,6 +541,107 @@ QueryResult ShardRouter::handle_line(const std::string& trimmed,
     failed.body = e.what();
     return failed;
   }
+}
+
+Health ShardRouter::health() const {
+  Health verdict;
+  size_t connected = 0;
+  std::vector<size_t> down;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> shard_lock(shards_[i]->mutex);
+    if (shards_[i]->client != nullptr) {
+      ++connected;
+    } else {
+      down.push_back(i);
+    }
+  }
+  uint64_t head;
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    head = head_version_;
+  }
+  verdict.ok = connected == shards_.size();
+  std::ostringstream detail;
+  if (verdict.ok) {
+    detail << "ok: " << connected << "/" << shards_.size()
+           << " shards connected, head v" << head;
+  } else {
+    detail << "unhealthy: shard";
+    for (const size_t index : down) detail << " " << index;
+    detail << " down (" << connected << "/" << shards_.size()
+           << " connected), head v" << head;
+  }
+  verdict.detail = detail.str();
+  return verdict;
+}
+
+obs::DiagnosisReport ShardRouter::diagnose(size_t queries_per_phase) {
+  obs::DiagnosisReport report;
+  report.component = "router";
+  const size_t threads = std::max<size_t>(2, shards_.size());
+  report.threads = threads;
+  // The network-global check: on a multi-shard deployment it scatters to
+  // every shard, exercising the router's fan-out, the per-shard RTTs, and
+  // the scatter serialization all at once.
+  const std::string probe = "check loopfree";
+
+  const auto hist_sum_seconds = [](const obs::Histogram& histogram) {
+    return static_cast<double>(histogram.snapshot().sum) * 1e-9;
+  };
+
+  // Phase 1 — strictly sequential.
+  const uint64_t seq_start_ns = obs::now_ns();
+  for (size_t i = 0; i < queries_per_phase; ++i) handle(probe);
+  report.queries_seq = queries_per_phase;
+  report.seconds_seq =
+      static_cast<double>(obs::elapsed_ns(seq_start_ns, obs::now_ns())) * 1e-9;
+
+  // Leg baselines, so the attribution covers the flood phase only.
+  const double wall0 = hist_sum_seconds(hist_request_);
+  std::vector<double> rtt0(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    rtt0[i] = hist_sum_seconds(*hist_shard_rtt_[i]);
+  }
+  const uint64_t lock_wait0 = commit_mutex_.wait_ns();
+
+  // Phase 2 — flooded.
+  std::atomic<long long> remaining{
+      static_cast<long long>(queries_per_phase)};
+  const uint64_t flood_start_ns = obs::now_ns();
+  std::vector<std::thread> submitters;
+  submitters.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    submitters.emplace_back([this, &probe, &remaining] {
+      for (;;) {
+        if (remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+        handle(probe);
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  report.queries_flood = queries_per_phase;
+  report.seconds_flood =
+      static_cast<double>(obs::elapsed_ns(flood_start_ns, obs::now_ns())) *
+      1e-9;
+
+  // Attribution: each request's wall time (hist_request_) decomposes into
+  // the per-shard RTTs it waited on plus the router's own routing/merge
+  // work — the remainder leg, which also absorbs scatter-lock waits.
+  report.wall_seconds = hist_sum_seconds(hist_request_) - wall0;
+  double rtt_total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const double rtt = hist_sum_seconds(*hist_shard_rtt_[i]) - rtt0[i];
+    rtt_total += rtt;
+    report.legs.push_back(
+        {"shard " + std::to_string(i) + " rtt", rtt, 0});
+  }
+  report.legs.push_back(
+      {"route (fan-out + merge)",
+       std::max(0.0, report.wall_seconds - rtt_total), 0});
+  report.lock_wait_seconds =
+      static_cast<double>(commit_mutex_.wait_ns() - lock_wait0) * 1e-9;
+  obs::finalize_diagnosis(report);
+  return report;
 }
 
 RouterMetrics ShardRouter::metrics() const {

@@ -38,11 +38,17 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "service/health.h"
 #include "service/protocol.h"
 #include "service/session.h"
 #include "service/shard/partition.h"
 #include "service/transport.h"
+
+namespace dna::obs {
+class FlightRecorder;  // recorder.h; the router only holds a pointer
+}  // namespace dna::obs
 
 namespace dna::service::shard {
 
@@ -110,6 +116,30 @@ class ShardRouter {
   }
   bool trace_all() const { return trace_all_.load(std::memory_order_relaxed); }
 
+  // ---- observability plane -------------------------------------------------
+
+  /// Liveness: ok while every shard holds a live connection. A shard that
+  /// failed a request drops its connection, flipping this to unhealthy
+  /// until the next successful use re-dials it. What /healthz serves.
+  Health health() const;
+
+  /// Attaches a flight recorder (caller-owned); the router marks
+  /// "shard_death" events into it when a request fails on an unreachable
+  /// shard.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+  obs::FlightRecorder* flight_recorder() const {
+    return recorder_.load(std::memory_order_acquire);
+  }
+
+  /// The router-tier twin of DnaService::diagnose(): drives
+  /// `queries_per_phase` network-global checks sequentially, then the same
+  /// number flooded, and attributes each request's wall time to per-shard
+  /// RTT legs plus the router's own routing/merge work. Names which shard
+  /// (or the router itself) the scatter pipeline serializes on.
+  obs::DiagnosisReport diagnose(size_t queries_per_phase = 60);
+
  private:
   struct Shard {
     Dialer dial;
@@ -151,6 +181,9 @@ class ShardRouter {
   void ensure_connected(Shard& shard, size_t index);
   void disconnect(Shard& shard);
 
+  /// handle() minus the whole-request timing: trace-tag stripping and the
+  /// stitched-trace lifecycle.
+  QueryResult handle_request(const std::string& request);
   /// handle() after trace-tag stripping: command matching, routing, and
   /// the telemetry hooks. `ctx` is non-null for a traced request.
   QueryResult handle_line(const std::string& line, TraceCtx* ctx);
@@ -173,7 +206,9 @@ class ShardRouter {
   std::vector<HistoryEntry> history_;
   uint64_t head_version_ = 0;
 
-  std::mutex commit_mutex_;  // serializes commits (and scatters) router-wide
+  // Serializes commits (and scatters) router-wide; instrumented so
+  // `diagnose` can report how long requests waited on it.
+  obs::TimedMutex commit_mutex_;
   bool shutdown_requested_ = false;  // guarded by history_mutex_
 
   // ---- telemetry (obs/): handles resolved at construction, written with
@@ -185,9 +220,11 @@ class ShardRouter {
   obs::Counter& ctr_shard_errors_;
   obs::Counter& ctr_reconnects_;
   obs::Counter& ctr_replayed_commits_;
+  obs::Histogram& hist_request_;  // whole-request wall time (handle())
   std::vector<obs::Histogram*> hist_shard_rtt_;  // by shard index
   obs::TraceLog trace_log_;
   std::atomic<bool> trace_all_{false};
+  std::atomic<obs::FlightRecorder*> recorder_{nullptr};
 };
 
 /// Pumps one client connection against a ShardRouter: framed request lines

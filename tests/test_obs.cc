@@ -66,6 +66,57 @@ TEST(Histogram, QuantileIsBoundedByTheCoveringOctave) {
   EXPECT_EQ(Histogram::Snapshot{}.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinTheBucket) {
+  // A uniform mass across one octave: higher quantiles must land
+  // strictly deeper into the bucket, not all at the same bound.
+  Histogram::Snapshot snap;
+  for (uint64_t v = 512; v < 1024; ++v) snap.add(v);
+  const double p50 = snap.quantile(0.50);
+  const double p95 = snap.quantile(0.95);
+  const double p99 = snap.quantile(0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  // Linear interpolation of a uniform octave puts p50 near the middle.
+  EXPECT_NEAR(p50, 768.0, 64.0);
+}
+
+TEST(Histogram, QuantilesTripleIsClampedMonotone) {
+  // quantiles() must satisfy p50 <= p95 <= p99 on any snapshot — including
+  // adversarial ones a concurrent shard merge could briefly expose.
+  const auto check = [](const Histogram::Snapshot& snap, const char* what) {
+    const Histogram::Snapshot::Quantiles q = snap.quantiles();
+    EXPECT_LE(q.p50, q.p95) << what;
+    EXPECT_LE(q.p95, q.p99) << what;
+    // And each matches its single-quantile counterpart or the clamp.
+    EXPECT_GE(q.p50, 0.0) << what;
+  };
+  check(Histogram::Snapshot{}, "empty");
+  Histogram::Snapshot point;
+  for (int i = 0; i < 100; ++i) point.add(1000);
+  check(point, "point mass");
+  Histogram::Snapshot uniform;
+  for (uint64_t v = 0; v < 100000; v += 7) uniform.add(v);
+  check(uniform, "uniform");
+  // A torn snapshot: bucket counts that disagree with `count` (as a racing
+  // merge can produce) must still come out ordered.
+  Histogram::Snapshot torn = uniform;
+  torn.count = uniform.count / 2;
+  check(torn, "torn");
+}
+
+TEST(Histogram, ExpositionsUseTheClampedQuantiles) {
+  // str() and the JSON/Prometheus expositions all report quantiles from
+  // the same clamped triple, so p50 <= p95 <= p99 holds everywhere.
+  Registry registry;
+  Histogram& hist = registry.histogram("x.seconds");
+  for (uint64_t v = 1; v < 5000; v *= 3) hist.observe(v);
+  const Histogram::Snapshot::Quantiles q = hist.snapshot().quantiles();
+  EXPECT_LE(q.p50, q.p95);
+  EXPECT_LE(q.p95, q.p99);
+  const std::string text = registry.str();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+}
+
 TEST(Histogram, SnapshotMergeIsCommutativeAssociativeWithIdentity) {
   // Three deterministic value streams (LCG), merged in every order.
   const auto stream = [](uint64_t seed, size_t n) {

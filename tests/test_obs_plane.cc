@@ -1,0 +1,444 @@
+// The observability plane's contract: the flight recorder's
+// delta-compressed ring reconstructs every retained sample exactly (even
+// after eviction folds history into the base), window queries select by
+// time, and mark_event() pins an out-of-cadence sample at the moment of
+// the event; the HTTP parser accepts exactly the read-only GET/HEAD
+// grammar (partial reads resume, bodies and garbage are refused);
+// a live HttpServer serves /metrics byte-identical to the registry's own
+// Prometheus exposition, flips /healthz between 200 and 503 with the
+// component, and survives concurrent scrapes; and TimedMutex's contention
+// accounting observes what actually happened under racing threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/httpd.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
+#include "service/net/tcp.h"
+#include "service/transport.h"
+
+namespace dna::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: delta ring
+// ---------------------------------------------------------------------------
+
+double value_of(const FlightRecorder::Sample& sample, const std::string& name) {
+  for (const auto& [key, value] : sample.values) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "sample has no metric " << name;
+  return -1;
+}
+
+TEST(FlightRecorder, SamplesReconstructExactlyAcrossDeltas) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  Gauge& gauge = registry.gauge("test.gauge");
+  FlightRecorder recorder(registry);
+
+  counter.add(1);
+  gauge.set(5);
+  recorder.sample_now();
+  counter.add(1);  // gauge unchanged: second delta omits it
+  recorder.sample_now();
+  gauge.set(7);  // counter unchanged this time
+  recorder.sample_now();
+
+  const auto samples = recorder.window(0, ~uint64_t{0});
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(value_of(samples[0], "test.counter"), 1);
+  EXPECT_EQ(value_of(samples[0], "test.gauge"), 5);
+  EXPECT_EQ(value_of(samples[1], "test.counter"), 2);
+  EXPECT_EQ(value_of(samples[1], "test.gauge"), 5);
+  EXPECT_EQ(value_of(samples[2], "test.counter"), 2);
+  EXPECT_EQ(value_of(samples[2], "test.gauge"), 7);
+  // Timeline is monotone and values are sorted by name like
+  // Registry::sample().
+  EXPECT_LE(samples[0].t_ns, samples[1].t_ns);
+  EXPECT_LE(samples[1].t_ns, samples[2].t_ns);
+  for (const auto& sample : samples) {
+    EXPECT_TRUE(std::is_sorted(sample.values.begin(), sample.values.end()));
+  }
+}
+
+TEST(FlightRecorder, EvictionFoldsIntoBaseAndKeepsReconstructionExact) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder recorder(registry, options);
+
+  for (int i = 1; i <= 10; ++i) {
+    counter.add(1);  // counter value is i at sample i
+    recorder.sample_now();
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  const auto samples = recorder.window(0, ~uint64_t{0});
+  ASSERT_EQ(samples.size(), 4u);
+  // The retained window is samples 7..10; each reconstructs its exact
+  // value even though 1..6 now only exist folded into the base.
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(value_of(samples[i], "test.counter"), 7.0 + double(i));
+  }
+}
+
+TEST(FlightRecorder, WindowSelectsByTimestamp) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  FlightRecorder recorder(registry);
+  for (int i = 0; i < 5; ++i) {
+    counter.add(1);
+    recorder.sample_now();
+  }
+  const auto all = recorder.window(0, ~uint64_t{0});
+  ASSERT_EQ(all.size(), 5u);
+  const uint64_t mid = all[2].t_ns;
+  // [mid, mid] keeps exactly the samples stamped at mid (at least the one
+  // we picked; equal stamps can only come from the monotonicity clamp).
+  const auto exact = recorder.window(mid, mid);
+  ASSERT_GE(exact.size(), 1u);
+  for (const auto& sample : exact) EXPECT_EQ(sample.t_ns, mid);
+  // Everything after mid excludes the first samples.
+  const auto tail = recorder.window(mid + 1, ~uint64_t{0});
+  for (const auto& sample : tail) EXPECT_GT(sample.t_ns, mid);
+  EXPECT_LT(tail.size(), all.size());
+}
+
+TEST(FlightRecorder, MarkEventRecordsAndForcesASample) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  FlightRecorder recorder(registry);
+  counter.add(42);
+  EXPECT_EQ(recorder.size(), 0u);
+  recorder.mark_event("slow_query", "check loopfree");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "slow_query");
+  EXPECT_EQ(events[0].detail, "check loopfree");
+  // The forced sample captured the registry at the moment of the event.
+  const auto samples = recorder.window(0, ~uint64_t{0});
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(value_of(samples[0], "test.counter"), 42);
+  // And the JSON payload carries both.
+  const std::string json = recorder.json(0, ~uint64_t{0});
+  EXPECT_NE(json.find("\"slow_query\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.counter\":42"), std::string::npos);
+}
+
+TEST(FlightRecorder, JsonCapsToTheMostRecentSamples) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  FlightRecorder recorder(registry);
+  for (int i = 0; i < 6; ++i) {
+    counter.add(1);
+    recorder.sample_now();
+  }
+  const std::string capped = recorder.json(0, ~uint64_t{0}, 2);
+  // Only the newest two samples survive the cap: values 5 and 6.
+  EXPECT_EQ(capped.find("\"test.counter\":4"), std::string::npos);
+  EXPECT_NE(capped.find("\"test.counter\":5"), std::string::npos);
+  EXPECT_NE(capped.find("\"test.counter\":6"), std::string::npos);
+}
+
+TEST(FlightRecorder, BackgroundThreadSamplesOnItsOwn) {
+  Registry registry;
+  registry.counter("test.counter").add(1);
+  FlightRecorder::Options options;
+  options.interval_ms = 5;
+  FlightRecorder recorder(registry, options);
+  recorder.start();
+  // The sampler takes one sample immediately, then every 5 ms.
+  for (int spin = 0; spin < 200 && recorder.size() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  recorder.stop();
+  EXPECT_GE(recorder.size(), 3u);
+  recorder.start();  // restart after stop works
+  recorder.stop();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP request parsing
+// ---------------------------------------------------------------------------
+
+TEST(HttpParser, ParsesMethodPathAndQueryParameters) {
+  HttpRequest request;
+  size_t consumed = 0;
+  const std::string wire =
+      "GET /traces?n=5&json=1&flag HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(parse_http_request(wire, request, consumed), HttpParse::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/traces");
+  EXPECT_EQ(request.param("n"), "5");
+  EXPECT_EQ(request.param("json"), "1");
+  EXPECT_EQ(request.param("flag"), "");
+  EXPECT_EQ(request.param("absent", "fallback"), "fallback");
+}
+
+TEST(HttpParser, PartialRequestNeedsMoreUntilTheBlankLine) {
+  HttpRequest request;
+  size_t consumed = 0;
+  const std::string wire = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  // Every proper prefix (short of the full terminator) asks for more.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_EQ(parse_http_request(wire.substr(0, n), request, consumed),
+              HttpParse::kNeedMore)
+        << "prefix length " << n;
+  }
+  EXPECT_EQ(parse_http_request(wire, request, consumed), HttpParse::kOk);
+  // Pipelined bytes after the request are not consumed.
+  EXPECT_EQ(parse_http_request(wire + "GET /x", request, consumed),
+            HttpParse::kOk);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpParser, RejectsMalformedRequestLines) {
+  HttpRequest request;
+  size_t consumed = 0;
+  const std::vector<std::string> bad = {
+      "garbage\r\n\r\n",                      // no method/target split
+      " GET /metrics HTTP/1.1\r\n\r\n",       // empty method
+      "GET  HTTP/1.1\r\n\r\n",                // empty target
+      "G@T /metrics HTTP/1.1\r\n\r\n",        // method with a non-tchar
+      "GET metrics HTTP/1.1\r\n\r\n",         // target not starting at /
+      "GET /metrics HTTP/2.0\r\n\r\n",        // unsupported version
+      "GET /metrics\r\n\r\n",                 // missing version
+  };
+  for (const std::string& wire : bad) {
+    EXPECT_EQ(parse_http_request(wire, request, consumed), HttpParse::kBad)
+        << wire;
+  }
+}
+
+TEST(HttpParser, RejectsBodiesAndOversizedRequests) {
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(parse_http_request(
+                "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc", request,
+                consumed),
+            HttpParse::kBad);
+  EXPECT_EQ(parse_http_request(
+                "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                request, consumed),
+            HttpParse::kBad);
+  // An unterminated header block larger than the cap is refused, not
+  // buffered forever.
+  const std::string oversized =
+      "GET /x HTTP/1.1\r\nX: " + std::string(kMaxHttpRequestBytes, 'a');
+  EXPECT_EQ(parse_http_request(oversized, request, consumed), HttpParse::kBad);
+  // So is a terminated one whose block exceeds the cap.
+  const std::string big_terminated = "GET /x HTTP/1.1\r\nX: " +
+                                     std::string(kMaxHttpRequestBytes, 'a') +
+                                     "\r\n\r\n";
+  EXPECT_EQ(parse_http_request(big_terminated, request, consumed),
+            HttpParse::kBad);
+}
+
+TEST(HttpParser, RenderedResponsesCarryLengthAndClose) {
+  HttpResponse response;
+  response.status = 503;
+  response.body = "unhealthy\n";
+  const std::string wire = render_http_response(response);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u);
+  EXPECT_NE(wire.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 10), "unhealthy\n");
+}
+
+// ---------------------------------------------------------------------------
+// Live HttpServer
+// ---------------------------------------------------------------------------
+
+/// A one-shot raw HTTP client over the repo's own TCP transport: sends
+/// `wire` and drains until the server closes (Connection: close).
+std::string http_exchange(uint16_t port, const std::string& wire) {
+  auto transport = service::connect_tcp("127.0.0.1", port);
+  transport->send(wire);
+  transport->close_send();
+  std::string response;
+  char chunk[2048];
+  while (const size_t n = transport->recv(chunk, sizeof(chunk))) {
+    response.append(chunk, n);
+  }
+  return response;
+}
+
+std::string http_get(uint16_t port, const std::string& target,
+                     const std::string& method = "GET") {
+  return http_exchange(
+      port, method + " " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+struct PlaneFixture {
+  Registry registry;
+  std::atomic<bool> healthy{true};
+  FlightRecorder recorder{registry};
+  HttpServer server;
+
+  PlaneFixture()
+      : server(0, make_obs_handler(make_endpoints())) {
+    registry.counter("plane.requests").add(3);
+    registry.histogram("plane.latency_seconds").observe(1500);
+    server.start();
+  }
+
+  ObsEndpoints make_endpoints() {
+    ObsEndpoints endpoints;
+    endpoints.prometheus = [this] { return registry.prometheus_text(); };
+    endpoints.health = [this] {
+      return std::make_pair(healthy.load(),
+                            std::string(healthy.load() ? "ok" : "degraded"));
+    };
+    endpoints.flight = [this](uint64_t, size_t max) {
+      return recorder.json(0, ~uint64_t{0}, max);
+    };
+    // stats_json and traces left unset: those endpoints must 404.
+    return endpoints;
+  }
+};
+
+TEST(HttpServer, MetricsMatchesThePrometheusExpositionExactly) {
+  PlaneFixture plane;
+  const std::string response = http_get(plane.server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_EQ(body_of(response), plane.registry.prometheus_text());
+}
+
+TEST(HttpServer, HealthzFlipsBetween200And503) {
+  PlaneFixture plane;
+  const std::string up = http_get(plane.server.port(), "/healthz");
+  EXPECT_EQ(up.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(body_of(up), "ok\n");
+  plane.healthy.store(false);
+  const std::string down = http_get(plane.server.port(), "/healthz");
+  EXPECT_EQ(down.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u);
+  EXPECT_EQ(body_of(down), "degraded\n");
+  plane.healthy.store(true);
+  EXPECT_EQ(http_get(plane.server.port(), "/healthz")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+}
+
+TEST(HttpServer, RoutesStatusesAndMissingEndpoints) {
+  PlaneFixture plane;
+  const uint16_t port = plane.server.port();
+  // The index lists the endpoints.
+  EXPECT_NE(body_of(http_get(port, "/")).find("/metrics"), std::string::npos);
+  // Unknown path and unconfigured endpoints are 404.
+  EXPECT_EQ(http_get(port, "/nope").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_get(port, "/stats.json").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_get(port, "/traces").rfind("HTTP/1.1 404", 0), 0u);
+  // Writes are refused: POST carrying no body is still not GET/HEAD.
+  EXPECT_EQ(http_get(port, "/metrics", "POST").rfind("HTTP/1.1 405", 0), 0u);
+  // Garbage is a clean 400, not a hang.
+  EXPECT_EQ(http_exchange(port, "garbage\r\n\r\n").rfind("HTTP/1.1 400", 0),
+            0u);
+  // Bad query parameters on /flight are 400.
+  EXPECT_EQ(http_get(port, "/flight?ms=soon").rfind("HTTP/1.1 400", 0), 0u);
+  // HEAD answers the header block with an empty body.
+  const std::string head = http_get(port, "/metrics", "HEAD");
+  EXPECT_EQ(head.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(body_of(head), "");
+}
+
+TEST(HttpServer, FlightEndpointServesTheRecorderWindow) {
+  PlaneFixture plane;
+  plane.recorder.mark_event("slow_query", "probe");
+  const std::string response = http_get(plane.server.port(), "/flight?max=1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("\"samples\""), std::string::npos);
+  EXPECT_NE(body.find("\"slow_query\""), std::string::npos);
+  EXPECT_NE(body.find("\"plane.requests\":3"), std::string::npos);
+}
+
+TEST(HttpServer, SurvivesConcurrentScrapes) {
+  PlaneFixture plane;
+  const uint16_t port = plane.server.port();
+  const std::string expected = plane.registry.prometheus_text();
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 8; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        const std::string response = http_get(port, "/metrics");
+        if (response.rfind("HTTP/1.1 200 OK\r\n", 0) == 0 &&
+            body_of(response) == expected) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : scrapers) thread.join();
+  EXPECT_EQ(ok.load(), 40);
+}
+
+// ---------------------------------------------------------------------------
+// TimedMutex contention accounting
+// ---------------------------------------------------------------------------
+
+TEST(TimedMutex, UncontendedLocksAreCountedWithoutWait) {
+  TimedMutex mutex;
+  for (int i = 0; i < 10; ++i) {
+    std::lock_guard<TimedMutex> guard(mutex);
+  }
+  EXPECT_EQ(mutex.locks(), 10u);
+  EXPECT_EQ(mutex.contended(), 0u);
+  EXPECT_EQ(mutex.wait_ns(), 0u);
+}
+
+TEST(TimedMutex, ContendedLocksAccumulateWaitTime) {
+  TimedMutex mutex;
+  std::atomic<bool> holder_ready{false};
+  std::thread holder([&] {
+    std::lock_guard<TimedMutex> guard(mutex);
+    holder_ready.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  while (!holder_ready.load()) std::this_thread::yield();
+  {
+    std::lock_guard<TimedMutex> guard(mutex);  // must wait out the holder
+  }
+  holder.join();
+  EXPECT_EQ(mutex.locks(), 2u);
+  EXPECT_GE(mutex.contended(), 1u);
+  // The waiter slept most of the holder's 50 ms nap; allow wide margin
+  // for scheduling, but the wait must be visible.
+  EXPECT_GE(mutex.wait_ns(), 1000000u);  // >= 1 ms
+}
+
+TEST(TimedMutex, ManyThreadsAgreeOnTheLockCount) {
+  TimedMutex mutex;
+  uint64_t shared = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        std::lock_guard<TimedMutex> guard(mutex);
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(shared, 4000u);
+  EXPECT_EQ(mutex.locks(), 4000u);
+}
+
+}  // namespace
+}  // namespace dna::obs

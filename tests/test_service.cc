@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <thread>
@@ -15,6 +17,8 @@
 #include "core/change.h"
 #include "core/paths.h"
 #include "dataplane/properties.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
 #include "service/protocol.h"
 #include "service/query.h"
 #include "service/service.h"
@@ -592,6 +596,166 @@ TEST(Service, KeepVersionsPinsRecentHistoryWithoutReaders) {
     EXPECT_EQ(pinned.version, id);
   }
   EXPECT_FALSE(service.query("@2 version").ok);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane: health, worker stats, diagnose
+// ---------------------------------------------------------------------------
+
+struct ObsTempDir {
+  std::string path;
+  ObsTempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "dna_obs_XXXXXX");
+    const char* created = ::mkdtemp(tmpl.data());
+    if (created == nullptr) throw Error("mkdtemp failed for " + tmpl);
+    path = created;
+  }
+  ~ObsTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(Observability, HealthFlipsWhenTheJournalFailsAnAppend) {
+  ObsTempDir dir;
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.journal_dir = dir.path;
+  DnaService service(topo::make_ring(4), ring_invariants(), options);
+
+  Health healthy = service.health();
+  EXPECT_TRUE(healthy.ok);
+  EXPECT_NE(healthy.detail.find("ok"), std::string::npos);
+  EXPECT_NE(healthy.detail.find("journal"), std::string::npos);
+
+  // Inject a journal fault: the commit throws, publishes nothing, and
+  // health flips — durability is gone, stop sending writes here.
+  ASSERT_NE(service.journal(), nullptr);
+  service.journal()->set_fail_appends(true);
+  EXPECT_THROW(service.commit_text("link_cost 0 7"), Error);
+  EXPECT_EQ(service.head()->id, 1u);
+  const Health unhealthy = service.health();
+  EXPECT_FALSE(unhealthy.ok);
+  EXPECT_NE(unhealthy.detail.find("journal append failed"), std::string::npos);
+  // Queries still answer (the service is degraded, not dead).
+  EXPECT_TRUE(service.query("version").ok);
+}
+
+TEST(Observability, HealthReportsShutdown) {
+  DnaService service(topo::make_line(3), {}, {.num_threads = 1});
+  EXPECT_TRUE(service.health().ok);
+  service.shutdown();
+  const Health health = service.health();
+  EXPECT_FALSE(health.ok);
+  EXPECT_NE(health.detail.find("shutting down"), std::string::npos);
+}
+
+TEST(Observability, HealthzVerbMirrorsHealthOverTheWire) {
+  DnaService service(topo::make_ring(4), ring_invariants(),
+                     {.num_threads = 1});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+  ServiceClient client(channel.client());
+  const QueryResult result = client.request("healthz");
+  EXPECT_TRUE(result.ok);
+  EXPECT_NE(result.body.find("ok"), std::string::npos);
+  client.request("shutdown");
+  server.join();
+}
+
+TEST(Observability, WorkerStatsPartitionBusyTime) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.query("check loopfree").ok);
+  }
+  const auto stats = service.worker_stats();
+  ASSERT_EQ(stats.size(), service.num_workers());
+  uint64_t tasks = 0;
+  for (const auto& worker : stats) {
+    tasks += worker.tasks;
+    // catch-up and eval partition busy: their sum cannot exceed it (both
+    // are measured inside the busy span).
+    EXPECT_LE(worker.catchup_seconds + worker.eval_seconds,
+              worker.busy_seconds + 1e-6);
+    if (worker.tasks > 0) EXPECT_GT(worker.busy_seconds, 0.0);
+  }
+  EXPECT_GE(tasks, 20u);
+  EXPECT_GT(service.uptime_seconds(), 0.0);
+}
+
+TEST(Observability, DiagnoseAttributesTheCollapseWithHighCoverage) {
+  DnaService service(topo::make_fattree(4), {}, {.num_threads = 2});
+  const obs::DiagnosisReport report = service.diagnose(/*queries_per_phase=*/40);
+
+  EXPECT_EQ(report.component, "service");
+  EXPECT_GE(report.threads, 2u);
+  EXPECT_EQ(report.queries_seq, 40u);
+  EXPECT_EQ(report.queries_flood, 40u);
+  EXPECT_GT(report.seconds_seq, 0.0);
+  EXPECT_GT(report.seconds_flood, 0.0);
+  EXPECT_GT(report.qps_seq, 0.0);
+  EXPECT_GT(report.qps_flood, 0.0);
+  EXPECT_GT(report.speedup, 0.0);
+  EXPECT_GE(report.serial_fraction, 0.0);
+  EXPECT_LE(report.serial_fraction, 1.0);
+
+  // The acceptance bar: the queue/catchup/eval legs partition submit→done
+  // exactly, so attribution must cover >= 90% of measured wall time.
+  ASSERT_FALSE(report.legs.empty());
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GE(report.coverage, 0.9);
+  EXPECT_FALSE(report.dominant.empty());
+  EXPECT_EQ(report.dominant, report.legs.front().name);
+  // Legs are sorted descending and shares are sane.
+  for (size_t i = 1; i < report.legs.size(); ++i) {
+    EXPECT_GE(report.legs[i - 1].seconds, report.legs[i].seconds);
+  }
+  for (const auto& leg : report.legs) {
+    EXPECT_GE(leg.share, 0.0);
+  }
+  // The human rendering names the verdict and the dominant leg.
+  const std::string text = report.str();
+  EXPECT_NE(text.find(report.dominant), std::string::npos);
+  EXPECT_FALSE(report.verdict.empty());
+  // And the JSON form is a well-formed object carrying the same verdict.
+  util::JsonWriter json;
+  report.append_json(json);
+  EXPECT_NE(json.str().find("\"dominant\""), std::string::npos);
+}
+
+TEST(Observability, DiagnoseVerbAnswersOverTheWire) {
+  DnaService service(topo::make_ring(6), ring_invariants(),
+                     {.num_threads = 2});
+  LoopbackChannel channel;
+  ServerSession session(service, channel.server());
+  std::thread server([&session] { session.run(); });
+  ServiceClient client(channel.client());
+  const QueryResult human = client.request("diagnose 10");
+  EXPECT_TRUE(human.ok) << human.body;
+  EXPECT_NE(human.body.find("verdict"), std::string::npos);
+  const QueryResult json = client.request("diagnose 10 json");
+  EXPECT_TRUE(json.ok) << json.body;
+  EXPECT_NE(json.body.find("\"dominant\""), std::string::npos);
+  client.request("shutdown");
+  server.join();
+}
+
+TEST(Observability, SlowQueriesMarkEventsIntoTheFlightRecorder) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.slow_query_ns = 1;  // everything is slow
+  DnaService service(topo::make_ring(4), ring_invariants(), options);
+  obs::FlightRecorder recorder(service.registry());
+  service.set_flight_recorder(&recorder);
+  ASSERT_TRUE(service.query("check loopfree").ok);
+  service.set_flight_recorder(nullptr);
+  const auto events = recorder.events();
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "slow_query");
+  EXPECT_GE(recorder.size(), 1u);  // the auto-dumped sample
 }
 
 TEST(Session, ShutdownRequestStopsTheSession) {

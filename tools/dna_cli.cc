@@ -47,6 +47,14 @@
 //       --slow-ms enables the slow-query log: queries slower than N ms are
 //       warned about and their span breakdown lands in the trace log
 //       (`trace last N` retrieves it).
+//       --http=PORT opens the HTTP observability plane on 127.0.0.1:PORT
+//       (0 = ephemeral, printed at startup): GET /metrics (Prometheus
+//       0.0.4), /stats.json, /healthz (200 ok / 503 unhealthy), /traces?n=N
+//       and /flight?ms=W&max=M. --flight-ms=N attaches a flight recorder
+//       that samples the registry every N ms into a bounded delta-
+//       compressed ring (--flight-cap=S samples, default 2048), queryable
+//       over /flight or the `flight` verb and auto-sampled at slow-query
+//       and shard-death moments.
 //
 //   dna_cli shard-serve (--gen=<spec> | <topo> <cfg>) --tcp=[HOST:]PORT
 //                 [serve flags...]
@@ -57,6 +65,7 @@
 //       replays whatever it missed.
 //
 //   dna_cli route --tcp=[HOST:]PORT --shards=HOST:PORT[,HOST:PORT...]
+//                 [--http=PORT] [--flight-ms=N] [--flight-cap=S]
 //       Run the shard router (src/service/shard/): owns the topology-hash
 //       partition map over the listed shards, routes single-source queries
 //       to the owning shard, scatter/gathers global checks, broadcasts
@@ -84,16 +93,38 @@
 //       (default 2 s) and prints one line per sample — query rate since the
 //       last sample plus latency quantiles. --count bounds the samples
 //       (default 0 = until interrupted; 1 = a single absolute snapshot).
+//       A counter reset (server restart between samples) prints as
+//       `(reset)` instead of a bogus negative rate.
+//
+//   dna_cli dash (--socket=PATH | --tcp=HOST:PORT) [--interval=SECONDS]
+//                 [--count=N] [--no-clear]
+//       Live terminal dashboard over `stats json`: throughput and commit
+//       rates, queue depth, per-leg latency quantiles (queue wait, replica
+//       catch-up, eval, total), slow-query and journal-error counters —
+//       redrawn in place every interval. Against a router it shows routed/
+//       scatter rates and per-shard RTT quantiles instead.
+//
+//   dna_cli diagnose (--socket=PATH | --tcp=HOST:PORT) [--queries=N]
+//                 [--json]
+//       Ask a running server (or router) to profile itself: the `diagnose`
+//       verb drives N probe queries strictly sequentially, then the same N
+//       flooded across its workers, and replies with an Amdahl-style
+//       attribution report — per-leg shares of the flood's wall time, the
+//       measured speedup, the inferred serial fraction, and a verdict
+//       naming the leg that dominates the scaling collapse (ROADMAP #1).
 //
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <thread>
 
 #include "core/engine.h"
+#include "obs/httpd.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "core/paths.h"
 #include "core/report.h"
@@ -105,6 +136,7 @@
 #include "service/transport.h"
 #include "topo/generators.h"
 #include "topo/textio.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 using namespace dna;
@@ -344,6 +376,100 @@ int cmd_whatif(const std::vector<std::string>& args) {
 
 // ---- serve / query --------------------------------------------------------
 
+/// Shared --http= / --flight-ms= / --flight-cap= knobs of the serving
+/// commands (serve, shard-serve, route).
+struct ObsPlaneOptions {
+  int http_port = -1;        // -1 = no HTTP endpoint; 0 = ephemeral
+  uint64_t flight_ms = 0;    // 0 = no flight recorder
+  size_t flight_cap = 2048;  // retained recorder samples
+
+  /// Consumes the flag if it is one of ours; returns whether it was.
+  bool parse_flag(const std::string& arg) {
+    if (starts_with(arg, "--http=")) {
+      const int value = as_int(arg.substr(7));
+      if (value < 0 || value > 65535) throw Error("--http needs a port");
+      http_port = value;
+      return true;
+    }
+    if (starts_with(arg, "--flight-ms=")) {
+      const int value = as_int(arg.substr(12));
+      if (value <= 0) throw Error("--flight-ms must be > 0");
+      flight_ms = static_cast<uint64_t>(value);
+      return true;
+    }
+    if (starts_with(arg, "--flight-cap=")) {
+      const int value = as_int(arg.substr(13));
+      if (value <= 0) throw Error("--flight-cap must be > 0");
+      flight_cap = static_cast<size_t>(value);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// The running observability side-plane of one serving process: an optional
+/// flight recorder plus an optional HTTP endpoint over the component's
+/// registry, trace log, and health callback. Stop with shutdown() before
+/// the component it observes goes away.
+struct ObsPlane {
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::HttpServer> http;
+
+  void shutdown() {
+    if (http) http->stop();
+    if (recorder) recorder->stop();
+  }
+};
+
+/// Builds, starts, and announces the side-plane. `health` must be
+/// thread-safe; the recorder (when enabled) is started but the caller still
+/// attaches it to the component (set_flight_recorder) so events flow.
+ObsPlane start_obs_plane(const ObsPlaneOptions& options,
+                         const obs::Registry& registry, obs::TraceLog& traces,
+                         std::function<std::pair<bool, std::string>()> health) {
+  ObsPlane plane;
+  if (options.flight_ms > 0) {
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.interval_ms = options.flight_ms;
+    recorder_options.capacity = options.flight_cap;
+    plane.recorder =
+        std::make_unique<obs::FlightRecorder>(registry, recorder_options);
+    plane.recorder->start();
+    std::cout << "flight recorder: every " << options.flight_ms << " ms, "
+              << options.flight_cap << " samples retained\n";
+  }
+  if (options.http_port >= 0) {
+    obs::ObsEndpoints endpoints;
+    endpoints.prometheus = [&registry] { return registry.prometheus_text(); };
+    endpoints.stats_json = [&registry] {
+      util::JsonWriter json;
+      json.begin_object();
+      registry.append_json(json);
+      json.end_object();
+      return json.str();
+    };
+    endpoints.health = std::move(health);
+    endpoints.traces = [&traces](size_t n) { return traces.json(n); };
+    if (plane.recorder) {
+      obs::FlightRecorder* recorder = plane.recorder.get();
+      endpoints.flight = [recorder](uint64_t window_ms, size_t max_samples) {
+        const uint64_t now = obs::now_ns();
+        const uint64_t span = window_ms * 1000000ull;
+        const uint64_t start = (window_ms == 0 || span > now) ? 0 : now - span;
+        return recorder->json(start, ~uint64_t{0}, max_samples);
+      };
+    }
+    plane.http = std::make_unique<obs::HttpServer>(
+        static_cast<uint16_t>(options.http_port),
+        obs::make_obs_handler(std::move(endpoints)));
+    plane.http->start();
+    std::cout << "observability on http://" << plane.http->host() << ":"
+              << plane.http->port()
+              << "/ (metrics, stats.json, healthz, traces, flight)\n";
+  }
+  return plane;
+}
+
 /// serve and shard-serve share everything but the banner and the required
 /// listener kind: a shard is a full DnaService that must speak TCP so a
 /// router (and its peers' operators) can reach it.
@@ -351,10 +477,13 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
   std::string gen, socket_path, tcp_endpoint;
   std::vector<std::string> files;
   service::ServiceOptions options;
+  ObsPlaneOptions obs_options;
   bool want_host_invariants = false;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    if (starts_with(arg, "--gen=")) {
+    if (obs_options.parse_flag(arg)) {
+      continue;
+    } else if (starts_with(arg, "--gen=")) {
       gen = arg.substr(6);
     } else if (starts_with(arg, "--socket=")) {
       socket_path = arg.substr(9);
@@ -419,6 +548,16 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
               << "\n";
   }
 
+  ObsPlane obs_plane = start_obs_plane(
+      obs_options, dna_service.registry(), dna_service.trace_log(),
+      [&dna_service] {
+        const service::Health health = dna_service.health();
+        return std::make_pair(health.ok, health.detail);
+      });
+  if (obs_plane.recorder) {
+    dna_service.set_flight_recorder(obs_plane.recorder.get());
+  }
+
   std::unique_ptr<service::Listener> listener;
   std::string where;
   if (!socket_path.empty()) {
@@ -443,6 +582,10 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
                                   return session.shutdown_requested();
                                 });
   server.run();
+  // The plane reads the service's registry; stop it (and detach the
+  // recorder) before the service winds down.
+  dna_service.set_flight_recorder(nullptr);
+  obs_plane.shutdown();
   dna_service.shutdown();
   std::cout << dna_service.metrics().str();
   return 0;
@@ -450,9 +593,12 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
 
 int cmd_route(const std::vector<std::string>& args) {
   std::string tcp_endpoint, shard_list;
+  ObsPlaneOptions obs_options;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    if (starts_with(arg, "--tcp=")) {
+    if (obs_options.parse_flag(arg)) {
+      continue;
+    } else if (starts_with(arg, "--tcp=")) {
       tcp_endpoint = arg.substr(6);
     } else if (starts_with(arg, "--shards=")) {
       shard_list = arg.substr(9);
@@ -477,6 +623,15 @@ int cmd_route(const std::vector<std::string>& args) {
   std::cout << "routing over " << router.num_shards() << " shard(s) ("
             << reachable << " reachable), topology-hash partition\n";
 
+  ObsPlane obs_plane = start_obs_plane(
+      obs_options, router.registry(), router.trace_log(), [&router] {
+        const service::Health health = router.health();
+        return std::make_pair(health.ok, health.detail);
+      });
+  if (obs_plane.recorder) {
+    router.set_flight_recorder(obs_plane.recorder.get());
+  }
+
   const service::HostPort endpoint = service::parse_hostport(tcp_endpoint);
   service::TcpListener listener(endpoint.port, endpoint.host);
   std::cout << "routing on " << listener.host() << ":" << listener.port()
@@ -489,6 +644,8 @@ int cmd_route(const std::vector<std::string>& args) {
         return session.shutdown_requested();
       });
   server.run();
+  router.set_flight_recorder(nullptr);
+  obs_plane.shutdown();
   std::cout << router.metrics().str();
   return 0;
 }
@@ -680,7 +837,15 @@ int cmd_top(const std::vector<std::string>& args) {
     std::ostringstream line;
     line << "[v" << result.version << "] queries " << total;
     if (last_total >= 0) {
-      line << " (+" << (total - last_total) / interval << "/s)";
+      // Counters are monotone within one server lifetime; a negative delta
+      // means the process restarted between samples. Flag the reset
+      // instead of printing a nonsense negative rate, and let the next
+      // sample re-baseline.
+      if (total < last_total) {
+        line << " (reset)";
+      } else {
+        line << " (+" << (total - last_total) / interval << "/s)";
+      }
     }
     if (!latency.empty()) {
       line << " | " << (router ? "s0 rtt" : "latency") << " p50 "
@@ -699,6 +864,185 @@ int cmd_top(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- dash: a full-screen live view over `stats json` ----------------------
+
+/// One latency-table row: label, p50/p95/p99 in ms, observation count —
+/// from the histogram object at `key` in the stats document ("" if absent).
+std::string dash_latency_row(const std::string& json, const std::string& key,
+                             const std::string& label) {
+  const std::string hist = scan_json_object(json, key);
+  if (hist.empty()) return "";
+  std::ostringstream row;
+  row << "  " << std::left << std::setw(20) << label << std::right
+      << std::fixed << std::setprecision(2);
+  for (const char* quantile : {"p50", "p95", "p99"}) {
+    row << std::setw(10) << scan_json_number(hist, quantile, 0) * 1e3;
+  }
+  row << std::setw(10)
+      << static_cast<long long>(scan_json_number(hist, "count", 0)) << "\n";
+  return row.str();
+}
+
+int cmd_dash(const std::vector<std::string>& args) {
+  std::string socket_path, tcp_endpoint;
+  double interval = 2.0;
+  size_t count = 0;
+  bool clear = true;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--interval=")) {
+      interval = std::stod(arg.substr(11));
+      if (interval <= 0) throw Error("--interval must be > 0");
+    } else if (starts_with(arg, "--count=")) {
+      const int value = as_int(arg.substr(8));
+      if (value < 0) throw Error("--count must be >= 0");
+      count = static_cast<size_t>(value);
+    } else if (arg == "--no-clear") {
+      clear = false;
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown dash flag: " + arg);
+    } else {
+      throw Error("dash takes no positional arguments");
+    }
+  }
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "dash");
+  service::ServiceClient client(*transport);
+
+  double last_queries = -1, last_commits = -1, last_scatters = -1;
+  for (size_t sample = 0; count == 0 || sample < count; ++sample) {
+    if (sample > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(interval * 1000)));
+    }
+    const service::QueryResult result = client.request("stats json");
+    if (!result.ok) {
+      std::cerr << "error: " << result.body << "\n";
+      return 1;
+    }
+    const std::string& body = result.body;
+    const bool router = body.find("\"router.") != std::string::npos;
+    auto num = [&body](const std::string& key) {
+      return scan_json_number(body, key, 0);
+    };
+    // Rate since the previous sample, re-baselining after a counter reset
+    // (server restart) — same contract as `top`.
+    auto rate = [interval](double current, double& last) {
+      std::ostringstream out;
+      if (last >= 0 && current >= last) {
+        out << " (+" << std::fixed << std::setprecision(1)
+            << (current - last) / interval << "/s)";
+      } else if (last >= 0) {
+        out << " (reset)";
+      }
+      last = current;
+      return out.str();
+    };
+
+    std::ostringstream screen;
+    screen << "dna dash — " << (router ? "router" : "service") << " v"
+           << result.version << " · every " << interval << " s · sample "
+           << sample + 1 << (count > 0 ? "/" + std::to_string(count) : "")
+           << "\n\n";
+    if (router) {
+      screen << "  routed   "
+             << static_cast<long long>(num("router.queries_routed"))
+             << rate(num("router.queries_routed"), last_queries)
+             << "   scatters "
+             << static_cast<long long>(num("router.scatters"))
+             << rate(num("router.scatters"), last_scatters) << "\n"
+             << "  commits  " << static_cast<long long>(num("router.commits"))
+             << rate(num("router.commits"), last_commits)
+             << "   shard errors "
+             << static_cast<long long>(num("router.shard_errors"))
+             << "   reconnects "
+             << static_cast<long long>(num("router.reconnects")) << "\n\n";
+      screen << "  latency (ms)            p50       p95       p99     count\n"
+             << dash_latency_row(body, "router.request_seconds", "request");
+      for (size_t shard = 0; shard < 64; ++shard) {
+        const std::string row = dash_latency_row(
+            body, "router.s" + std::to_string(shard) + ".rtt_seconds",
+            "s" + std::to_string(shard) + " rtt");
+        if (row.empty()) break;
+        screen << row;
+      }
+    } else {
+      screen << "  queries  "
+             << static_cast<long long>(num("service.queries_total"))
+             << rate(num("service.queries_total"), last_queries)
+             << "   failed " << static_cast<long long>(num("service.queries_failed"))
+             << "   shed " << static_cast<long long>(num("service.queries_shed"))
+             << "   slow " << static_cast<long long>(num("service.slow_queries"))
+             << "\n"
+             << "  commits  " << static_cast<long long>(num("service.commits"))
+             << rate(num("service.commits"), last_commits)
+             << "   queue depth "
+             << static_cast<long long>(num("service.queue_depth")) << " (max "
+             << static_cast<long long>(num("service.max_queue_depth")) << ")"
+             << "   journal errors "
+             << static_cast<long long>(num("service.journal_errors"))
+             << "\n\n";
+      screen << "  latency (ms)            p50       p95       p99     count\n"
+             << dash_latency_row(body, "service.query_queue_seconds",
+                                 "queue wait")
+             << dash_latency_row(body, "service.replica_catchup_seconds",
+                                 "replica catch-up")
+             << dash_latency_row(body, "service.query_eval_seconds", "eval")
+             << dash_latency_row(body, "service.query_seconds", "total")
+             << dash_latency_row(body, "service.commit_seconds", "commit");
+    }
+    // Home + clear-to-end keeps the redraw flicker-free; --no-clear (and
+    // single-shot mode) just appends, which is what scripts and CI want.
+    if (clear && count != 1) std::cout << "\x1b[H\x1b[J";
+    std::cout << screen.str() << std::flush;
+  }
+  client.close();
+  return 0;
+}
+
+int cmd_diagnose(const std::vector<std::string>& args) {
+  std::string socket_path, tcp_endpoint;
+  size_t queries = 0;  // 0 = the server's default phase size
+  bool json = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--queries=")) {
+      const int value = as_int(arg.substr(10));
+      if (value <= 0) throw Error("--queries must be > 0");
+      queries = static_cast<size_t>(value);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown diagnose flag: " + arg);
+    } else {
+      throw Error("diagnose takes no positional arguments");
+    }
+  }
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "diagnose");
+  service::ServiceClient client(*transport);
+  std::string request = "diagnose";
+  if (queries > 0) request += " " + std::to_string(queries);
+  if (json) request += " json";
+  const service::QueryResult result = client.request(request);
+  client.close();
+  if (!result.ok) {
+    std::cerr << "error: " << result.body << "\n";
+    return 1;
+  }
+  std::cout << result.body;
+  if (!result.body.empty() && result.body.back() != '\n') std::cout << "\n";
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -712,17 +1056,23 @@ int usage() {
       << "  dna_cli serve (--gen=<spec> | <topo> <cfg>)"
          " (--socket=PATH | --tcp=[HOST:]PORT) [--threads=N]"
          " [--host-invariants] [--journal-dir=PATH] [--no-fsync]"
-         " [--queue-depth=N] [--keep-versions=N]\n"
+         " [--queue-depth=N] [--keep-versions=N] [--slow-ms=N]"
+         " [--http=PORT] [--flight-ms=N] [--flight-cap=S]\n"
       << "  dna_cli shard-serve (--gen=<spec> | <topo> <cfg>)"
          " --tcp=[HOST:]PORT [serve flags...]\n"
       << "  dna_cli route --tcp=[HOST:]PORT"
-         " --shards=HOST:PORT[,HOST:PORT...]\n"
+         " --shards=HOST:PORT[,HOST:PORT...]"
+         " [--http=PORT] [--flight-ms=N] [--flight-cap=S]\n"
       << "  dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N]"
          " [--trace] <request> [<request> ...]\n"
       << "  dna_cli stats (--socket=PATH | --tcp=HOST:PORT)"
          " [--json | --prom]\n"
       << "  dna_cli top   (--socket=PATH | --tcp=HOST:PORT)"
-         " [--interval=SECS] [--count=N]\n";
+         " [--interval=SECS] [--count=N]\n"
+      << "  dna_cli dash  (--socket=PATH | --tcp=HOST:PORT)"
+         " [--interval=SECS] [--count=N] [--no-clear]\n"
+      << "  dna_cli diagnose (--socket=PATH | --tcp=HOST:PORT)"
+         " [--queries=N] [--json]\n";
   return 2;
 }
 
@@ -761,6 +1111,12 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "top") {
       return cmd_top(args);
+    }
+    if (!args.empty() && args[0] == "dash") {
+      return cmd_dash(args);
+    }
+    if (!args.empty() && args[0] == "diagnose") {
+      return cmd_diagnose(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
