@@ -36,6 +36,7 @@
 //                          are recorded but never gated — they measure the
 //                          disk, not the code.
 //   (positional: [k] [queries], kept for compatibility)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -364,6 +365,78 @@ void bench_sharded(int k, size_t num_queries) {
   }
 }
 
+/// The availability bill: tail latency of a replicated (R=2) two-shard
+/// fabric when one shard dies cold mid-stream. A single client streams
+/// queries through the router; halfway in, shard 1's host is stopped.
+/// Every query must still answer — the router fails the dead replica over
+/// to the survivor — and the rows compare the steady-state window's p99
+/// with the degraded window's (which includes the kill itself, i.e. the
+/// first query that eats the dead-connection error plus the re-dial).
+void bench_failover(int k, size_t num_queries) {
+  namespace shard = service::shard;
+  const topo::Snapshot base = topo::make_fattree(k);
+  const std::vector<std::string> queries = make_queries(base, num_queries);
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  std::vector<shard::Dialer> dialers;
+  for (size_t i = 0; i < 2; ++i) {
+    shard::ShardHostOptions options;
+    options.service.num_threads = 1;
+    hosts.push_back(std::make_unique<shard::ShardHost>(
+        base, std::vector<core::Invariant>{}, options));
+    dialers.push_back(hosts.back()->dialer());
+  }
+  shard::ShardRouter router(std::move(dialers), {.replicas = 2});
+  if (router.connect_all() != 2) {
+    std::fprintf(stderr, "FAIL: failover bench could not reach every shard\n");
+    std::exit(1);
+  }
+  // Warm both replicas (base verification) outside the timing.
+  for (const std::string& query : queries) {
+    if (!router.handle(query).ok) std::exit(1);
+  }
+
+  std::vector<double> steady, degraded;
+  const size_t half = queries.size() / 2;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i == half) hosts[1]->stop();  // kill, no drain: sockets die live
+    Stopwatch stopwatch;
+    const service::QueryResult result = router.handle(queries[i]);
+    const double ms = stopwatch.elapsed_ms();
+    if (!result.ok) {
+      std::fprintf(stderr, "FAIL: query failed during failover: %s\n",
+                   result.body.c_str());
+      std::exit(1);
+    }
+    (i < half ? steady : degraded).push_back(ms);
+  }
+
+  auto percentile = [](std::vector<double> window, double p) {
+    std::sort(window.begin(), window.end());
+    const size_t rank = static_cast<size_t>(p * (window.size() - 1) + 0.5);
+    return window[std::min(rank, window.size() - 1)];
+  };
+  const double steady_p99 = percentile(steady, 0.99);
+  const double degraded_p99 = percentile(degraded, 0.99);
+  const double worst = *std::max_element(degraded.begin(), degraded.end());
+  std::printf(
+      "failover, fat-tree k=%d: R=2 router, shard 1 stopped mid-stream "
+      "(%zu queries, 0 failed)\n",
+      k, queries.size());
+  std::printf("%24s %10s %10s %10s\n", "window", "p50 ms", "p99 ms",
+              "worst ms");
+  bench::print_rule(58);
+  std::printf("%24s %10.3f %10.3f %10.3f\n", "steady (2/2 up)",
+              percentile(steady, 0.50), steady_p99,
+              *std::max_element(steady.begin(), steady.end()));
+  std::printf("%24s %10.3f %10.3f %10.3f\n", "degraded (1/2 up)",
+              percentile(degraded, 0.50), degraded_p99, worst);
+  std::printf("first answer after the kill took %.3f ms\n\n", degraded[0]);
+  // Wall-clock latencies of a live TCP fabric — recorded, never gated.
+  record("failover_p99_steady", 1, steady_p99 * 1e-3, /*gated=*/false);
+  record("failover_p99_degraded", 1, degraded_p99 * 1e-3, /*gated=*/false);
+  record("failover_first_after_kill", 1, degraded[0] * 1e-3, /*gated=*/false);
+}
+
 /// The durability bill: identical differential commits through the
 /// write-ahead journal, without and with per-commit fsync.
 void bench_journal_commit(int k, int trials) {
@@ -442,6 +515,19 @@ void write_json(const std::string& path, bool quick) {
     json.end_object();
   }
   json.end_array();
+  // The failover row (bench_failover): what a kill -9'd replica costs the
+  // tail — degraded-window p99 (including the first query that eats the
+  // dead connection) against the steady-state p99.
+  json.key("failover").begin_object();
+  json.key("p99_steady_ms").value(ns_of("failover_p99_steady") * 1e-6);
+  json.key("p99_degraded_ms").value(ns_of("failover_p99_degraded") * 1e-6);
+  json.key("first_after_kill_ms")
+      .value(ns_of("failover_first_after_kill") * 1e-6);
+  json.key("p99_degraded_vs_steady")
+      .value(ns_of("failover_p99_steady") > 0
+                 ? ns_of("failover_p99_degraded") / ns_of("failover_p99_steady")
+                 : 0);
+  json.end_object();
   json.key("speedups").begin_object();
   json.key("differential_vs_monolithic")
       .value(ns_of("commit_differential") > 0
@@ -509,6 +595,7 @@ int main(int argc, char** argv) {
   const int trials = quick ? 3 : 5;
   bench_throughput(k, num_queries);
   bench_sharded(k, quick ? num_queries / 2 : num_queries);
+  bench_failover(k, quick ? num_queries / 2 : num_queries);
   bench_live_commit(k, trials);
   bench_journal_commit(k, trials);
   write_json(json_path, quick);

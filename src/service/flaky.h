@@ -1,0 +1,75 @@
+// FlakyTransport: a seeded fault-injection decorator over any Transport.
+//
+// Wraps a real transport and misbehaves on a deterministic schedule —
+// drop the link on a send or recv with a configured probability, delay
+// operations, or hard-fail after exactly k bytes have been sent (the
+// mid-commit torn-connection case). Once any injected fault fires the
+// link is dead: the inner transport is aborted (so the peer observes a
+// clean connection loss, exactly like a killed process) and every later
+// operation throws.
+//
+// Shared by tests/test_shard.cc and tests/test_net.cc: the router's
+// failover must keep answers byte-identical to a monolith, and commits
+// must stay exactly-once, no matter where in the byte stream the fault
+// lands. Seeded (Rng) so every failure a test finds is replayable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "service/transport.h"
+#include "util/rng.h"
+
+namespace dna::service {
+
+struct FlakyOptions {
+  /// Deterministic schedule seed.
+  uint64_t seed = 1;
+  /// Probability that any given send() tears the link down.
+  double send_drop_chance = 0;
+  /// Probability that any given recv() tears the link down.
+  double recv_drop_chance = 0;
+  /// With `delay_chance`, sleep `delay_us` microseconds before an
+  /// operation — latency injection without killing the link.
+  double delay_chance = 0;
+  uint64_t delay_us = 0;
+  /// Hard failure once this many cumulative bytes have been sent; the
+  /// send that crosses the threshold delivers the prefix up to it and
+  /// then fails — a mid-frame torn write. 0 disables.
+  size_t fail_after_bytes = 0;
+};
+
+class FlakyTransport : public Transport {
+ public:
+  FlakyTransport(std::unique_ptr<Transport> inner, FlakyOptions options)
+      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+  void send(std::string_view bytes) override;
+  size_t recv(char* buffer, size_t max) override;
+  void close_send() override;
+  void abort() override;
+
+  /// Cumulative bytes handed to the inner send before any fault.
+  size_t bytes_sent() const;
+  /// True once an injected fault has fired (the link is dead for good).
+  bool fault_fired() const;
+
+ private:
+  /// Marks the link dead, aborts the inner transport, and throws.
+  [[noreturn]] void fail(const char* what);
+  void maybe_delay();
+
+  std::unique_ptr<Transport> inner_;
+  FlakyOptions options_;
+  mutable std::mutex mutex_;  // rng + counters; send/recv race by design
+  Rng rng_;
+  size_t sent_ = 0;
+  bool dead_ = false;
+};
+
+/// Convenience factory for dialers: wrap(inner, options).
+std::unique_ptr<Transport> make_flaky(std::unique_ptr<Transport> inner,
+                                      FlakyOptions options);
+
+}  // namespace dna::service

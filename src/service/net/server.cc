@@ -1,5 +1,7 @@
 #include "service/net/server.h"
 
+#include <chrono>
+
 namespace dna::service {
 
 SessionServer::SessionServer(Listener& listener, Handler handler)
@@ -43,8 +45,26 @@ void SessionServer::run() {
       raw->done.store(true);
     });
   }
-  // Listener closed: evict sessions still connected (an idle client must
-  // not be able to hang shutdown), then join everything.
+  // Listener closed: drain first — give in-flight requests up to the
+  // configured grace to finish on their own — then evict whatever is still
+  // connected (an idle client must not be able to hang shutdown), and join
+  // everything.
+  const uint64_t grace_ms = drain_grace_ms_.load();
+  if (grace_ms > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(grace_ms);
+    for (;;) {
+      bool busy = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& connection : connections_) {
+          if (!connection->done.load()) busy = true;
+        }
+      }
+      if (!busy || std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& connection : connections_) {

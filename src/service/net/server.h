@@ -55,6 +55,13 @@ class SessionServer {
   /// thread if start() was used. Idempotent, callable from any thread.
   void stop();
 
+  /// Graceful drain: once the listener closes (a shutdown request, or an
+  /// external close such as a SIGTERM handler), run() waits up to this
+  /// long for in-flight sessions to finish on their own before aborting
+  /// the stragglers. 0 (the default) evicts immediately — the historical
+  /// behavior. Callable from any thread; stop() still aborts immediately.
+  void set_drain_grace_ms(uint64_t ms) { drain_grace_ms_.store(ms); }
+
   /// True once some session requested shutdown (vs an external stop()).
   bool shutdown_requested() const { return shutdown_requested_.load(); }
 
@@ -73,6 +80,7 @@ class SessionServer {
   std::mutex mutex_;  // guards connections_
   std::vector<std::unique_ptr<Connection>> connections_;
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<uint64_t> drain_grace_ms_{0};
   std::thread background_;
 };
 

@@ -31,6 +31,7 @@ DnaService::DnaService(topo::Snapshot base,
       ctr_queries_shed_(registry_.counter("service.queries_shed")),
       ctr_batches_(registry_.counter("service.batches")),
       ctr_commits_(registry_.counter("service.commits")),
+      ctr_seeds_(registry_.counter("service.snapshot_seeds")),
       ctr_slow_queries_(registry_.counter("service.slow_queries")),
       ctr_journal_errors_(registry_.counter("service.journal_errors")),
       gauge_max_batch_(registry_.gauge("service.max_batch")),
@@ -242,6 +243,43 @@ CommitResult DnaService::commit(const core::ChangePlan& plan,
     return commit_impl(*reparsed, mode);
   }
   return commit_impl(plan, mode);
+}
+
+uint64_t DnaService::install_snapshot(const topo::Snapshot& snapshot,
+                                      uint64_t version) {
+  std::lock_guard<obs::TimedMutex> lock(commit_mutex_);
+  const uint64_t head_id = store_.head_id();
+  // Exactly-once by version id: a seed the service already reached (its
+  // own journal recovery, an earlier seed, or commits that passed it)
+  // changes nothing.
+  if (version <= head_id) return head_id;
+
+  // The seed replaces all history, so durability is a compaction: one
+  // snapshot segment pinning the model at `version`, written (and synced)
+  // before any reader can observe the jumped head — the commit path's
+  // journal-before-publish contract.
+  if (journal_) {
+    try {
+      journal_->compact(version, snapshot);
+    } catch (...) {
+      journal_failed_.store(true, std::memory_order_relaxed);
+      ctr_journal_errors_.add();
+      throw;
+    }
+  }
+
+  // Rebuild (and re-verify) the writer at the seeded model; a snapshot
+  // that fails base verification throws here, before publication, leaving
+  // the old head serving. Reader replicas advance differentially to the
+  // new head on their next query.
+  writer_ = make_engine(snapshot);
+  Version provenance;
+  provenance.change_description =
+      "seed (snapshot clone at v" + std::to_string(version) + ")";
+  provenance.semantically_empty = false;
+  store_.publish_at(version, writer_->snapshot(), provenance);
+  ctr_seeds_.add();
+  return version;
 }
 
 CommitResult DnaService::commit_impl(const core::ChangePlan& effective,

@@ -178,6 +178,16 @@ class DnaService {
   CommitResult commit_text(const std::string& change_text,
                            obs::Trace* trace = nullptr);
 
+  /// Journal-seeded warm-up (the `seed` verb): installs a full model cloned
+  /// from a peer as version `version`, jumping the id sequence forward so
+  /// this service's ids line up with the deployment's. The snapshot is
+  /// compacted into the journal *before* publication (same durability
+  /// contract as commits), the writer engine rebuilds (and re-verifies) at
+  /// the seeded model, and reader replicas catch up differentially on
+  /// their next query. Idempotent: a seed at or behind the current head is
+  /// a no-op. Returns the head id after the call. Serialized with commits.
+  uint64_t install_snapshot(const topo::Snapshot& snapshot, uint64_t version);
+
   // ---- introspection -------------------------------------------------------
 
   VersionHandle head() const { return store_.head(); }
@@ -315,6 +325,7 @@ class DnaService {
   obs::Counter& ctr_queries_shed_;
   obs::Counter& ctr_batches_;
   obs::Counter& ctr_commits_;
+  obs::Counter& ctr_seeds_;
   obs::Counter& ctr_slow_queries_;
   obs::Counter& ctr_journal_errors_;
   obs::Gauge& gauge_max_batch_;

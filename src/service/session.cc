@@ -11,6 +11,19 @@
 namespace dna::service {
 
 QueryResult ServerSession::handle(const std::string& request) {
+  // `seed <payload>` carries a snapshot record whose bytes are significant
+  // to the last newline, so it is matched against the *untrimmed* request
+  // (everything below trims); the payload is exactly what a peer's `sync`
+  // returned.
+  {
+    std::string_view raw = request;
+    while (!raw.empty() && (raw.front() == ' ' || raw.front() == '\t')) {
+      raw.remove_prefix(1);
+    }
+    if (starts_with(raw, "seed ")) {
+      return handle_seed(std::string(raw.substr(5)));
+    }
+  }
   // Strip a leading trace tag so commands still match behind it; reader
   // queries keep the original line (parse_query strips the tag itself).
   std::string line;
@@ -128,6 +141,17 @@ QueryResult ServerSession::handle(const std::string& request) {
                                    static_cast<size_t>(max_samples));
       return result;
     }
+    if (line == "sync") {
+      // Journal-seeded cloning, source side: stream the whole model at the
+      // head version as one snapshot record (the journal's own payload
+      // format), so a lagging or brand-new peer can `seed` itself to this
+      // service's exact state and version id.
+      const VersionHandle head = service_.head();
+      QueryResult result;
+      result.version = head->id;
+      result.body = encode_snapshot_record(head->id, *head->snapshot);
+      return result;
+    }
     if (line == "shutdown") {
       shutdown_requested_ = true;
       QueryResult result;
@@ -160,6 +184,26 @@ QueryResult ServerSession::handle(const std::string& request) {
     return failed;
   }
   return service_.query(std::string(trim(request)));
+}
+
+QueryResult ServerSession::handle_seed(const std::string& payload) {
+  QueryResult result;
+  try {
+    const JournalRecord record = decode_record(payload);
+    if (record.kind != JournalRecord::Kind::kSnapshot) {
+      throw Error("seed: payload is not a snapshot record");
+    }
+    const uint64_t head =
+        service_.install_snapshot(record.snapshot, record.version);
+    result.version = head;
+    result.body = head == record.version
+                      ? "seeded at version " + std::to_string(head)
+                      : "already at version " + std::to_string(head);
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.body = e.what();
+  }
+  return result;
 }
 
 void ServerSession::run() {

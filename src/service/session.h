@@ -19,6 +19,12 @@
 //   flight [ms] [max]    flight-recorder window as JSON: the last `ms`
 //                        milliseconds (0/omitted = everything retained),
 //                        capped to the newest `max` samples
+//   sync                 stream the head model as one journal snapshot
+//                        record — the source side of journal-seeded
+//                        warm-up (a peer installs it via `seed`)
+//   seed <record>        install a snapshot record obtained from a peer's
+//                        `sync`, jumping this service to the peer's
+//                        version id (idempotent at or behind the head)
 //   shutdown             acknowledge, then ask the host to stop serving
 //
 // ServiceClient is the matching caller: one request() per line, blocking
@@ -48,6 +54,9 @@ class ServerSession {
 
  private:
   QueryResult handle(const std::string& request);
+  /// The `seed` verb: decode a snapshot record and install it. `payload`
+  /// is byte-exact (taken from the untrimmed request).
+  QueryResult handle_seed(const std::string& payload);
 
   DnaService& service_;
   Transport& transport_;

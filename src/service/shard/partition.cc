@@ -1,5 +1,7 @@
 #include "service/shard/partition.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace dna::service::shard {
@@ -14,12 +16,76 @@ uint64_t stable_name_hash(std::string_view name) {
 }
 
 uint32_t shard_of(std::string_view node_name, uint32_t count) {
-  DNA_CHECK_MSG(count >= 1, "partition count must be >= 1");
-  return static_cast<uint32_t>(stable_name_hash(node_name) % count);
+  return PartitionMap(count).owner_of(node_name);
 }
 
-PartitionMap::PartitionMap(uint32_t count) : count_(count) {
+namespace {
+
+/// Finalizer applied to every hash before it lands on the ring (vnode
+/// points and name lookups alike). FNV-1a is stable but weakly mixed for
+/// the short, similar strings we feed it ("shard-3#17", "node-42"): whole
+/// families land in correlated regions of the 64-bit space, which skews
+/// both balance and the ~1/(N+1) growth-remap bound. The splitmix64
+/// finalizer scrambles those correlations away; being a fixed bijection it
+/// keeps the map deterministic and a pure function of the shard count.
+uint64_t ring_point(uint64_t digest) {
+  digest ^= digest >> 30;
+  digest *= 0xbf58476d1ce4e5b9ULL;
+  digest ^= digest >> 27;
+  digest *= 0x94d049bb133111ebULL;
+  digest ^= digest >> 31;
+  return digest;
+}
+
+}  // namespace
+
+PartitionMap::PartitionMap(uint32_t count, uint32_t replicas)
+    : count_(count), replicas_(std::max<uint32_t>(1, replicas)) {
   DNA_CHECK_MSG(count >= 1, "partition count must be >= 1");
+  if (replicas_ > count_) replicas_ = count_;
+  ring_.reserve(static_cast<size_t>(count_) * kVirtualNodes);
+  for (uint32_t shard = 0; shard < count_; ++shard) {
+    for (uint32_t vnode = 0; vnode < kVirtualNodes; ++vnode) {
+      // The vnode label is derived from the shard *index*, never the shard
+      // count, so growing the deployment adds points without moving any
+      // existing one — the consistent-hashing property.
+      const std::string label =
+          "shard-" + std::to_string(shard) + "#" + std::to_string(vnode);
+      ring_.push_back({ring_point(stable_name_hash(label)), shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    // Ties broken by shard index so the ring order is total and identical
+    // everywhere (FNV collisions are unlikely but must not be ambiguous).
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+size_t PartitionMap::ring_lower_bound(uint64_t point) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VNode& vnode, uint64_t p) { return vnode.point < p; });
+  return it == ring_.end() ? 0 : static_cast<size_t>(it - ring_.begin());
+}
+
+uint32_t PartitionMap::owner_of(std::string_view node_name) const {
+  return ring_[ring_lower_bound(ring_point(stable_name_hash(node_name)))].shard;
+}
+
+std::vector<uint32_t> PartitionMap::replicas_of(
+    std::string_view node_name) const {
+  std::vector<uint32_t> shards;
+  shards.reserve(replicas_);
+  size_t cursor = ring_lower_bound(ring_point(stable_name_hash(node_name)));
+  for (size_t step = 0; step < ring_.size() && shards.size() < replicas_;
+       ++step) {
+    const uint32_t shard = ring_[cursor].shard;
+    if (std::find(shards.begin(), shards.end(), shard) == shards.end()) {
+      shards.push_back(shard);
+    }
+    cursor = cursor + 1 == ring_.size() ? 0 : cursor + 1;
+  }
+  return shards;
 }
 
 std::vector<bool> PartitionMap::owned_nodes(const topo::Topology& topology,

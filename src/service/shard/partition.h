@@ -1,19 +1,35 @@
-// The shard tier's partition map: which shard owns which network region.
+// The shard tier's partition map: which shards own which network region.
 //
-// Ownership is by topology hash — a stable FNV-1a over the node *name*, mod
-// the shard count. Hashing names (not ids) makes the map a pure function of
-// the topology and the shard count: every process that knows N computes the
-// identical map with no coordination, it survives router and shard restarts,
-// and it is independent of node-id numbering. The analyses the service runs
-// decompose per source region (the differential-network-analysis literature
-// leans on the same decomposition), so:
+// Ownership is by consistent hashing — a fixed ring of virtual nodes, 64
+// per shard, placed at stable points (FNV-1a through a splitmix64
+// finalizer, see partition.cc) derived from the shard index;
+// a node name hashes onto the ring and is owned by the first vnodes
+// clockwise from its point. Hashing names (not ids) and deriving vnode
+// points from shard indices makes the map a pure function of the topology
+// and the shard count: every process that knows N computes the identical
+// map with no coordination, it survives router and shard restarts, and it
+// is independent of node-id numbering. The ring buys two properties the
+// old hash-mod-N map lacked:
 //
-//  * single-source queries (reach/paths, src-ful checks) route to the one
-//    shard owning the source node, and
+//  * R replicas per partition: replicas_of() walks the ring clockwise and
+//    collects the first R *distinct* shards — a deterministic preference
+//    list the router fails over along when the primary is unreachable.
+//  * Minimal re-mapping: growing the deployment from N to N+1 shards only
+//    moves the ring arcs the new shard's vnodes claim (~1/(N+1) of all
+//    nodes); every other node keeps its owner.
+//
+// The analyses the service runs decompose per source region (the
+// differential-network-analysis literature leans on the same
+// decomposition), so:
+//
+//  * single-source queries (reach/paths, src-ful checks) route to the
+//    shards replicating the source node, primary first, and
 //  * network-global checks (loopfree) scatter as per-partition scopes
-//    ("part i/n <query>", query.h) whose verdicts AND together — each shard
-//    vouches for ingress in its own region, and the union of regions is the
-//    whole network.
+//    ("part i/n <query>", query.h) whose verdicts AND together — each
+//    shard vouches for ingress in its own region, and the union of regions
+//    is the whole network. Scope i's *primary* evaluator is shard i, but
+//    any replica can evaluate it: the scope names a source filter
+//    (owned_nodes), not a data placement.
 #pragma once
 
 #include <cstdint>
@@ -29,34 +45,60 @@ namespace dna::service::shard {
 /// platforms and standard-library implementations).
 uint64_t stable_name_hash(std::string_view name);
 
-/// The shard (in 0..count-1) owning `node_name` in a `count`-way partition.
-/// count must be >= 1.
+/// The shard (in 0..count-1) owning `node_name` in a `count`-way partition
+/// — the ring walk, as a free function for one-off lookups. count must be
+/// >= 1. Builds the ring per call; hold a PartitionMap for repeated use.
 uint32_t shard_of(std::string_view node_name, uint32_t count);
 
-/// A fixed `count`-way partition of node ownership.
+/// A fixed `count`-way consistent-hash partition of node ownership, with
+/// `replicas` preferred shards per node (clamped to count).
 class PartitionMap {
  public:
-  explicit PartitionMap(uint32_t count);
+  /// Virtual nodes per shard. Fixed forever: changing it re-maps every
+  /// deployment's ownership, which is exactly what the ring exists to
+  /// avoid.
+  static constexpr uint32_t kVirtualNodes = 64;
+
+  /// The ring is a function of `count` alone — `replicas` only sizes the
+  /// preference lists — so a PartitionMap(n) on a shard agrees with a
+  /// PartitionMap(n, R) on the router about who owns what.
+  explicit PartitionMap(uint32_t count, uint32_t replicas = 1);
 
   uint32_t count() const { return count_; }
-  uint32_t owner_of(std::string_view node_name) const {
-    return shard_of(node_name, count_);
-  }
+  /// Effective replication factor: min(requested, count).
+  uint32_t replicas() const { return replicas_; }
+
+  /// The primary owner: first distinct shard clockwise from the node's
+  /// ring point.
+  uint32_t owner_of(std::string_view node_name) const;
+  /// The full preference list: replicas() distinct shards in ring order,
+  /// primary first. The router tries them in order on failover.
+  std::vector<uint32_t> replicas_of(std::string_view node_name) const;
+  /// Primary ownership (what scoped checks evaluate under).
   bool owns(uint32_t index, std::string_view node_name) const {
     return owner_of(node_name) == index;
   }
 
-  /// Per-node ownership flags for partition `index` of `topology` — the
-  /// source filter a scoped (part i/n) check evaluates under.
+  /// Per-node primary-ownership flags for partition `index` of `topology`
+  /// — the source filter a scoped (part i/n) check evaluates under.
   std::vector<bool> owned_nodes(const topo::Topology& topology,
                                 uint32_t index) const;
 
-  /// Nodes per shard for `topology` — the balance diagnostic printed by
-  /// `dna_cli route`.
+  /// Primary nodes per shard for `topology` — the balance diagnostic
+  /// printed by `dna_cli route`.
   std::vector<size_t> histogram(const topo::Topology& topology) const;
 
  private:
+  /// Index into ring_ of the first vnode at or clockwise after `point`.
+  size_t ring_lower_bound(uint64_t point) const;
+
+  struct VNode {
+    uint64_t point = 0;
+    uint32_t shard = 0;
+  };
+  std::vector<VNode> ring_;  // sorted by (point, shard)
   uint32_t count_;
+  uint32_t replicas_;
 };
 
 }  // namespace dna::service::shard

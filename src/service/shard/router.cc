@@ -13,21 +13,34 @@
 
 namespace dna::service::shard {
 
-ShardRouter::ShardRouter(std::vector<Dialer> dialers)
-    : partition_(static_cast<uint32_t>(dialers.size())),
+ShardRouter::ShardRouter(std::vector<Dialer> dialers, RouterOptions options)
+    : options_(options),
+      partition_(static_cast<uint32_t>(dialers.size()),
+                 std::max<uint32_t>(1, options.replicas)),
       ctr_queries_routed_(registry_.counter("router.queries_routed")),
       ctr_scatters_(registry_.counter("router.scatters")),
       ctr_commits_(registry_.counter("router.commits")),
+      ctr_degraded_commits_(registry_.counter("router.degraded_commits")),
       ctr_shard_errors_(registry_.counter("router.shard_errors")),
+      ctr_failovers_(registry_.counter("router.failovers")),
       ctr_reconnects_(registry_.counter("router.reconnects")),
       ctr_replayed_commits_(registry_.counter("router.replayed_commits")),
+      ctr_syncs_(registry_.counter("router.syncs")),
+      ctr_breaker_opens_(registry_.counter("router.breaker_opens")),
       hist_request_(registry_.histogram("router.request_seconds")) {
   DNA_CHECK_MSG(!dialers.empty(), "a router needs at least one shard");
+  // Clamp the knobs to the deployment: R and quorum can never exceed the
+  // shard count, and a quorum of zero would make "committed" meaningless.
+  options_.replicas = partition_.replicas();
+  options_.quorum = std::max<uint32_t>(
+      1, std::min<uint32_t>(options_.quorum,
+                            static_cast<uint32_t>(dialers.size())));
   shards_.reserve(dialers.size());
   hist_shard_rtt_.reserve(dialers.size());
   for (Dialer& dialer : dialers) {
     auto shard = std::make_unique<Shard>();
     shard->dial = std::move(dialer);
+    shard->jitter = Rng(options_.jitter_seed + shards_.size());
     shards_.push_back(std::move(shard));
     hist_shard_rtt_.push_back(&registry_.histogram(
         "router.s" + std::to_string(hist_shard_rtt_.size()) + ".rtt_seconds"));
@@ -43,12 +56,13 @@ size_t ShardRouter::connect_all() {
     std::lock_guard<std::mutex> lock(shard.mutex);
     try {
       ensure_connected(shard, i);
+      breaker_success(shard);
       ++reachable;
     } catch (const Error& e) {
-      // A version mismatch the catch-up cannot repair is divergence, not
-      // unavailability — surface it instead of serving a split-brain tier.
-      if (std::string(e.what()).find("diverged") != std::string::npos ||
-          std::string(e.what()).find("gap") != std::string::npos) {
+      // A version mismatch neither replay nor sync can repair is
+      // divergence, not unavailability — surface it instead of serving a
+      // split-brain tier.
+      if (std::string(e.what()).find("diverged") != std::string::npos) {
         throw;
       }
       disconnect(shard);
@@ -56,12 +70,89 @@ size_t ShardRouter::connect_all() {
       disconnect(shard);
     }
   }
+  // Probing raises the deployment head to the max acked version seen; a
+  // shard connected *before* a later probe raised the head would serve
+  // stale answers. Drop such connections — their next use replays or
+  // syncs up to the head first.
+  uint64_t head;
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    head = head_version_;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    if (shard->client && shard->version < head) disconnect(*shard);
+  }
   return reachable;
 }
 
 void ShardRouter::disconnect(Shard& shard) {
   shard.client.reset();
   shard.transport.reset();
+}
+
+bool ShardRouter::breaker_open(const Shard& shard) const {
+  return shard.breaker_open_until_ns > obs::now_ns();
+}
+
+void ShardRouter::breaker_success(Shard& shard) {
+  shard.breaker_failures = 0;
+  shard.breaker_open_until_ns = 0;
+}
+
+void ShardRouter::breaker_failure(Shard& shard) {
+  if (shard.breaker_failures == 0) ctr_breaker_opens_.add();
+  ++shard.breaker_failures;
+  // Bounded exponential backoff: initial << (failures-1), capped, plus
+  // deterministic jitter in [0, 50%] so a fleet of routers doesn't re-dial
+  // a recovering shard in lock-step.
+  const uint32_t exponent = std::min<uint32_t>(shard.breaker_failures - 1, 20);
+  uint64_t backoff_ms = options_.backoff_initial_ms << exponent;
+  backoff_ms = std::min(backoff_ms, options_.backoff_max_ms);
+  backoff_ms += shard.jitter.below(backoff_ms / 2 + 1);
+  shard.breaker_open_until_ns = obs::now_ns() + backoff_ms * 1'000'000u;
+}
+
+std::vector<size_t> ShardRouter::scope_candidates(size_t primary) const {
+  const size_t n = shards_.size();
+  std::vector<size_t> candidates;
+  candidates.reserve(options_.replicas);
+  for (uint32_t k = 0; k < options_.replicas; ++k) {
+    candidates.push_back((primary + k) % n);
+  }
+  return candidates;
+}
+
+std::vector<size_t> ShardRouter::node_candidates(std::string_view name) const {
+  const std::vector<uint32_t> replicas = partition_.replicas_of(name);
+  return std::vector<size_t>(replicas.begin(), replicas.end());
+}
+
+std::string ShardRouter::fetch_sync_payload(size_t lagging_index,
+                                            uint64_t head) {
+  // Donor selection under try_lock only: the caller holds the lagging
+  // shard's mutex, and blocking on another shard's mutex here could
+  // deadlock against a thread doing the same in the other direction. A
+  // donor must already be connected *at the head* — a lagging donor would
+  // clone us sideways, not forward.
+  for (size_t j = 0; j < shards_.size(); ++j) {
+    if (j == lagging_index) continue;
+    Shard& donor = *shards_[j];
+    std::unique_lock<std::mutex> donor_lock(donor.mutex, std::try_to_lock);
+    if (!donor_lock.owns_lock()) continue;
+    if (!donor.client || donor.version < head) continue;
+    try {
+      const QueryResult snapshot = donor.client->request("sync");
+      if (!snapshot.ok) continue;
+      // The payload rides inside a `seed <payload>` request frame; a model
+      // too large for one frame cannot be streamed this way.
+      if (snapshot.body.size() + 5 > kMaxFramePayload) return "";
+      return snapshot.body;
+    } catch (const std::exception&) {
+      disconnect(donor);
+    }
+  }
+  return "";
 }
 
 void ShardRouter::ensure_connected(Shard& shard, size_t index) {
@@ -77,27 +168,58 @@ void ShardRouter::ensure_connected(Shard& shard, size_t index) {
   shard.ever_connected = true;
   shard.version = probe.version;
 
-  std::vector<HistoryEntry> missed;
-  {
+  const auto plan_catchup = [&](uint64_t from, std::vector<HistoryEntry>* out,
+                                uint64_t* head) {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
-    if (head_version_ == 0) head_version_ = shard.version;  // first contact
+    // Any acked version is evidence the deployment reached it: the head is
+    // the max over everything the router has seen, so a fresh router
+    // learns the head from whichever shard answers first and heals the
+    // stragglers against it.
+    if (shard.version > head_version_) head_version_ = shard.version;
+    out->clear();
     for (const HistoryEntry& entry : history_) {
-      if (entry.version > shard.version) missed.push_back(entry);
+      if (entry.version > from) out->push_back(entry);
     }
-    const uint64_t after_replay =
-        missed.empty() ? shard.version : missed.back().version;
-    if (after_replay < head_version_) {
+    *head = head_version_;
+  };
+
+  std::vector<HistoryEntry> missed;
+  uint64_t head = 0;
+  plan_catchup(shard.version, &missed, &head);
+  const uint64_t covered = missed.empty() ? shard.version
+                                          : missed.back().version;
+  if (covered < head) {
+    // The commit history cannot reach the head from where this shard is —
+    // a fresh (or wiped) shard joining a deployment with prior history, or
+    // a router restart that emptied the history. Journal-seeded warm-up:
+    // clone a head-version peer's compacted snapshot into the shard, then
+    // replay whatever tail the history still holds.
+    const std::string payload = fetch_sync_payload(index, head);
+    if (payload.empty()) {
       throw Error("shard " + std::to_string(index) + " is at version " +
                   std::to_string(shard.version) + " but the deployment is at " +
-                  std::to_string(head_version_) +
-                  " — history gap the router cannot replay");
+                  std::to_string(head) +
+                  " — history gap and no sync donor available");
     }
+    const QueryResult seeded = shard.client->request("seed " + payload);
+    if (!seeded.ok) {
+      throw Error("journal-seeded sync of shard " + std::to_string(index) +
+                  " failed: " + seeded.body);
+    }
+    shard.version = seeded.version;
+    ctr_syncs_.add();
+    if (obs::FlightRecorder* recorder = flight_recorder()) {
+      recorder->mark_event("shard_sync",
+                           "shard " + std::to_string(index) + " seeded at v" +
+                               std::to_string(seeded.version));
+    }
+    plan_catchup(shard.version, &missed, &head);
   }
 
   // Reconnect-and-replay: re-commit, in order, everything the shard missed
   // while it was down. Version ids make this exactly-once — a commit the
-  // shard applied before crashing is already reflected in its journaled
-  // head, so it was filtered out above.
+  // shard applied before crashing (or received inside the seed) is already
+  // reflected in its acked head, so it was filtered out above.
   for (const HistoryEntry& entry : missed) {
     const QueryResult replayed =
         shard.client->request("commit " + entry.change_text);
@@ -126,7 +248,9 @@ QueryResult ShardRouter::request_on(size_t index, const std::string& line,
   const bool had_connection = shard.client != nullptr;
   std::string detail;
   try {
-    return request_locked(shard, index, line);
+    QueryResult result = request_locked(shard, index, line);
+    breaker_success(shard);
+    return result;
   } catch (const std::exception& e) {
     disconnect(shard);
     detail = e.what();
@@ -136,12 +260,15 @@ QueryResult ShardRouter::request_on(size_t index, const std::string& line,
   // on a fresh dial is the shard being down — no point repeating it.
   if (retry_once && had_connection) {
     try {
-      return request_locked(shard, index, line);
+      QueryResult result = request_locked(shard, index, line);
+      breaker_success(shard);
+      return result;
     } catch (const std::exception& e) {
       disconnect(shard);
       detail = e.what();
     }
   }
+  breaker_failure(shard);
   ctr_shard_errors_.add();
   if (obs::FlightRecorder* recorder = flight_recorder()) {
     // Auto-dump: pin a sample of the router's state at the moment the
@@ -192,6 +319,57 @@ QueryResult ShardRouter::request_observed(size_t index,
   return result;
 }
 
+QueryResult ShardRouter::request_failover(
+    const std::vector<size_t>& candidates, const std::string& line,
+    TraceCtx* ctx) {
+  // Deterministic preference order (the ECMP model: many candidate
+  // next-hops, fixed selection, failover on withdrawal). An open breaker
+  // skips the candidate without paying a dial.
+  std::string detail;
+  std::vector<size_t> skipped;
+  for (size_t rank = 0; rank < candidates.size(); ++rank) {
+    const size_t index = candidates[rank];
+    {
+      std::lock_guard<std::mutex> lock(shards_[index]->mutex);
+      if (breaker_open(*shards_[index])) {
+        skipped.push_back(index);
+        continue;
+      }
+    }
+    try {
+      QueryResult result =
+          request_observed(index, line, /*retry_once=*/true, ctx);
+      if (rank > 0) {
+        ctr_failovers_.add();
+        if (obs::FlightRecorder* recorder = flight_recorder()) {
+          recorder->mark_event(
+              "failover", "shard " + std::to_string(candidates.front()) +
+                              " -> " + std::to_string(index));
+        }
+      }
+      return result;
+    } catch (const std::exception& e) {
+      if (!detail.empty()) detail += "; ";
+      detail += e.what();
+    }
+  }
+  // Last resort: backoff rate-limits dialing, but it must never turn the
+  // only remaining replica into a refusal — when nothing else answered,
+  // the skipped candidates get one attempt regardless of their breaker.
+  for (const size_t index : skipped) {
+    try {
+      QueryResult result =
+          request_observed(index, line, /*retry_once=*/true, ctx);
+      if (index != candidates.front()) ctr_failovers_.add();
+      return result;
+    } catch (const std::exception& e) {
+      if (!detail.empty()) detail += "; ";
+      detail += e.what();
+    }
+  }
+  throw Error("no replica reachable (" + detail + ")");
+}
+
 QueryResult ShardRouter::handle_commit(const std::string& line,
                                        TraceCtx* ctx) {
   std::lock_guard<obs::TimedMutex> commit_lock(commit_mutex_);
@@ -200,7 +378,9 @@ QueryResult ShardRouter::handle_commit(const std::string& line,
   QueryResult first_ok;
   bool have_ok = false;
   uint64_t committed = 0;
+  size_t acks = 0;
   std::string unavailable_detail;
+  std::vector<size_t> lagging;
   for (size_t i = 0; i < shards_.size(); ++i) {
     QueryResult result;
     try {
@@ -210,6 +390,7 @@ QueryResult ShardRouter::handle_commit(const std::string& line,
       result = request_observed(i, line, /*retry_once=*/false, ctx);
     } catch (const std::exception& e) {
       unavailable_detail = e.what();
+      lagging.push_back(i);
       continue;  // the shard catches up from history when it returns
     }
     if (!result.ok) {
@@ -235,6 +416,7 @@ QueryResult ShardRouter::handle_commit(const std::string& line,
                       std::to_string(committed);
       return diverged;
     }
+    ++acks;
     std::lock_guard<std::mutex> shard_lock(shards_[i]->mutex);
     shards_[i]->version = result.version;
   }
@@ -246,6 +428,10 @@ QueryResult ShardRouter::handle_commit(const std::string& line,
                   ")";
     return failed;
   }
+  // The deployment advanced on at least one shard, so the history must
+  // record the commit whether or not the quorum was met — catch-up
+  // (replay/sync by version id) is what reconverges the stragglers, and it
+  // can only replay what the history holds.
   {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
     history_.push_back({committed, change_text});
@@ -260,62 +446,121 @@ QueryResult ShardRouter::handle_commit(const std::string& line,
     std::lock_guard<std::mutex> shard_lock(shard->mutex);
     if (shard->client && shard->version < committed) disconnect(*shard);
   }
+  if (acks < options_.quorum) {
+    // Quorum shortfall: the change exists at `committed` on the acking
+    // shards and *will* converge via catch-up, but the deployment cannot
+    // promise the configured redundancy — surface a typed failure instead
+    // of overstating durability.
+    QueryResult failed;
+    failed.ok = false;
+    failed.version = committed;
+    failed.body = "commit under-replicated: " + std::to_string(acks) + "/" +
+                  std::to_string(options_.quorum) +
+                  " acks at version " + std::to_string(committed) +
+                  " (stragglers will catch up; last error: " +
+                  unavailable_detail + ")";
+    return failed;
+  }
   ctr_commits_.add();
+  if (!lagging.empty()) ctr_degraded_commits_.add();
   return first_ok;
 }
 
-QueryResult ShardRouter::handle_scatter(const std::string& line,
-                                        TraceCtx* ctx) {
+QueryResult ShardRouter::handle_scatter(const std::string& line, TraceCtx* ctx,
+                                        bool retried) {
   // Under the commit lock so no fan-out lands mid-scatter: every partition
   // answers at the same version, keeping the merge equal to one monolithic
   // evaluation of the same line.
   std::lock_guard<obs::TimedMutex> commit_lock(commit_mutex_);
   const size_t n = shards_.size();
-  std::vector<QueryResult> parts;
-  parts.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    const std::string scoped = "part " + std::to_string(i) + "/" +
-                               std::to_string(n) + " " + line;
-    parts.push_back(request_observed(i, scoped, /*retry_once=*/true, ctx));
-  }
-  ctr_scatters_.add();
-  for (const QueryResult& part : parts) {
-    if (!part.ok) return part;  // deterministic evaluation error
-  }
-  for (const QueryResult& part : parts) {
-    if (part.version != parts.front().version) {
+  for (;;) {
+    std::vector<QueryResult> parts;
+    parts.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Scope i names a source filter, not a data placement: any replica
+      // can evaluate it, so the scope fails over along (i, i+1, ...) mod n.
+      const std::string scoped = "part " + std::to_string(i) + "/" +
+                                 std::to_string(n) + " " + line;
+      parts.push_back(request_failover(scope_candidates(i), scoped, ctx));
+    }
+    ctr_scatters_.add();
+    for (const QueryResult& part : parts) {
+      if (!part.ok) return part;  // deterministic evaluation error
+    }
+    uint64_t min_version = parts.front().version;
+    uint64_t max_version = parts.front().version;
+    for (const QueryResult& part : parts) {
+      min_version = std::min(min_version, part.version);
+      max_version = std::max(max_version, part.version);
+    }
+    if (min_version != max_version) {
+      // A scope answered behind the freshest replica — that shard connected
+      // before the router learned the true head (fresh router, partial
+      // restart). Self-heal: record the higher head, drop every behind
+      // connection so its next use goes through catch-up (replay or sync),
+      // and retry the scatter once. A second mismatch is real divergence.
+      {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        if (max_version > head_version_) head_version_ = max_version;
+      }
+      for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        if (shard->client && shard->version < max_version) {
+          disconnect(*shard);
+        }
+      }
+      if (!retried) {
+        retried = true;
+        continue;
+      }
       QueryResult diverged;
       diverged.ok = false;
       diverged.body = "scatter answered at versions " +
-                      std::to_string(parts.front().version) + " and " +
-                      std::to_string(part.version);
+                      std::to_string(min_version) + " and " +
+                      std::to_string(max_version);
       return diverged;
     }
+    // The verdicts AND together; bodies are rendered identically to the
+    // unscoped evaluation, so any failing partition's response *is* the
+    // monolithic answer, and an all-clear is any partition's response.
+    for (const QueryResult& part : parts) {
+      if (starts_with(part.body, "holds false")) return part;
+    }
+    return parts.front();
   }
-  // The verdicts AND together; bodies are rendered identically to the
-  // unscoped evaluation, so any failing partition's response *is* the
-  // monolithic answer, and an all-clear is any partition's response.
-  for (const QueryResult& part : parts) {
-    if (starts_with(part.body, "holds false")) return part;
-  }
-  return parts.front();
 }
 
 QueryResult ShardRouter::handle_shutdown() {
-  // Best-effort broadcast: a shard that is down has nothing to stop.
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    try {
-      request_on(i, "shutdown", /*retry_once=*/false);
-    } catch (const std::exception&) {
+  // Idempotent: the first shutdown broadcasts, repeats just acknowledge —
+  // a client retrying the verb must never hang on (or re-kill) a tier that
+  // is already stopping.
+  bool already = false;
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    already = shutdown_requested_;
+    shutdown_requested_ = true;
+  }
+  if (!already) {
+    // Best-effort, but *logged*: a shard that is down has nothing to stop,
+    // yet silently ignoring it would mask a shard that wedged instead of
+    // exiting. No retry and no breaker churn — teardown must not hang.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      try {
+        Shard& shard = *shards_[i];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        request_locked(shard, i, "shutdown");
+      } catch (const std::exception& e) {
+        DNA_WARN("shutdown broadcast: shard " << i << " unreachable ("
+                                              << e.what() << ")");
+      }
     }
   }
   QueryResult result;
   {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
-    shutdown_requested_ = true;
     result.version = head_version_;
   }
-  result.body = "shutting down";
+  result.body = already ? "already shutting down" : "shutting down";
   return result;
 }
 
@@ -500,39 +745,43 @@ QueryResult ShardRouter::handle_line(const std::string& trimmed,
     }
 
     // Classify for routing; malformed lines fail here with the same parser
-    // (and message) a monolithic service would use.
+    // (and message) a monolithic service would use. Every routed request
+    // carries its replica preference list — primary first, failover order
+    // after — so a dead shard never fails a query that any replica can
+    // answer.
     const Query query = parse_query(trimmed);
-    size_t target = 0;
+    std::vector<size_t> candidates;
     switch (query.kind) {
       case QueryKind::kReach:
       case QueryKind::kPaths:
-        target = partition_.owner_of(query.src);
+        candidates = node_candidates(query.src);
         break;
       case QueryKind::kCheck:
         if (query.invariant.kind == core::Invariant::Kind::kLoopFree) {
           if (query.scope_count > 1) {
             // Already scoped by the caller: any replica can evaluate it;
             // spread by the scope index.
-            target = query.scope_index % shards_.size();
+            candidates = scope_candidates(query.scope_index % shards_.size());
           } else if (shards_.size() > 1) {
             return handle_scatter(trimmed, ctx);
+          } else {
+            candidates = scope_candidates(0);
           }
         } else {
-          target = partition_.owner_of(query.invariant.src);
+          candidates = node_candidates(query.invariant.src);
         }
         break;
       case QueryKind::kWhatIf:
         // No source node to own a what-if; spread deterministically by the
         // request text (any replica previews the same answer).
-        target = shard_of(trimmed, static_cast<uint32_t>(shards_.size()));
+        candidates = node_candidates(trimmed);
         break;
       case QueryKind::kVersion:
       case QueryKind::kHash:
-        target = 0;
+        candidates = scope_candidates(0);
         break;
     }
-    QueryResult result =
-        request_observed(target, trimmed, /*retry_once=*/true, ctx);
+    QueryResult result = request_failover(candidates, trimmed, ctx);
     ctr_queries_routed_.add();
     return result;
   } catch (const std::exception& e) {
@@ -560,16 +809,30 @@ Health ShardRouter::health() const {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
     head = head_version_;
   }
-  verdict.ok = connected == shards_.size();
+  // Replica-aware: every candidate set spans `replicas` distinct shards,
+  // so as long as at most R-1 shards are down every partition still has a
+  // live replica — degraded, not dead. (The all-shards-down edge keeps at
+  // least one connected shard as the bar.)
+  const size_t tolerable =
+      options_.replicas > 0 ? options_.replicas - 1 : 0;
+  const bool covered = down.size() <= tolerable && connected > 0;
+  verdict.ok = covered;
   std::ostringstream detail;
-  if (verdict.ok) {
+  if (down.empty()) {
     detail << "ok: " << connected << "/" << shards_.size()
-           << " shards connected, head v" << head;
+           << " shards connected (R=" << options_.replicas
+           << " quorum=" << options_.quorum << "), head v" << head;
+  } else if (covered) {
+    detail << "degraded: shard";
+    for (const size_t index : down) detail << " " << index;
+    detail << " down, replicas covering (" << connected << "/"
+           << shards_.size() << " connected, R=" << options_.replicas
+           << " quorum=" << options_.quorum << "), head v" << head;
   } else {
     detail << "unhealthy: shard";
     for (const size_t index : down) detail << " " << index;
     detail << " down (" << connected << "/" << shards_.size()
-           << " connected), head v" << head;
+           << " connected, R=" << options_.replicas << "), head v" << head;
   }
   verdict.detail = detail.str();
   return verdict;
@@ -649,19 +912,28 @@ RouterMetrics ShardRouter::metrics() const {
   copy.queries_routed = ctr_queries_routed_.value();
   copy.scatters = ctr_scatters_.value();
   copy.commits = ctr_commits_.value();
+  copy.degraded_commits = ctr_degraded_commits_.value();
   copy.shard_errors = ctr_shard_errors_.value();
+  copy.failovers = ctr_failovers_.value();
   copy.reconnects = ctr_reconnects_.value();
   copy.replayed_commits = ctr_replayed_commits_.value();
+  copy.syncs = ctr_syncs_.value();
+  copy.breaker_opens = ctr_breaker_opens_.value();
+  copy.replicas = options_.replicas;
+  copy.quorum = options_.quorum;
   {
     std::lock_guard<std::mutex> history_lock(history_mutex_);
     copy.head_version = head_version_;
   }
   copy.shard_connected.reserve(shards_.size());
   copy.shard_versions.reserve(shards_.size());
+  copy.shard_breaker_open.reserve(shards_.size());
+  const uint64_t now = obs::now_ns();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mutex);
     copy.shard_connected.push_back(shard->client != nullptr);
     copy.shard_versions.push_back(shard->version);
+    copy.shard_breaker_open.push_back(shard->breaker_open_until_ns > now);
   }
   return copy;
 }
@@ -672,17 +944,21 @@ std::string RouterMetrics::str() const {
   for (const bool up : shard_connected) connected += up ? 1 : 0;
   out << "router metrics:\n";
   out << "  shards: " << shard_connected.size() << " (" << connected
-      << " connected), head version " << head_version << "\n";
+      << " connected), R=" << replicas << " quorum=" << quorum
+      << ", head version " << head_version << "\n";
   for (size_t i = 0; i < shard_connected.size(); ++i) {
     out << "  shard " << i << ": "
         << (shard_connected[i] ? "connected" : "down") << ", version "
-        << shard_versions[i] << "\n";
+        << shard_versions[i]
+        << (shard_breaker_open[i] ? ", breaker open" : "") << "\n";
   }
   out << "  queries: " << queries_routed << " routed, " << scatters
-      << " scattered, " << shard_errors << " shard error(s)\n";
-  out << "  commits: " << commits << " broadcast, " << replayed_commits
-      << " replayed\n";
-  out << "  reconnects: " << reconnects << "\n";
+      << " scattered, " << shard_errors << " shard error(s), " << failovers
+      << " failover(s)\n";
+  out << "  commits: " << commits << " committed (" << degraded_commits
+      << " degraded), " << replayed_commits << " replayed\n";
+  out << "  healing: " << reconnects << " reconnect(s), " << syncs
+      << " sync(s), " << breaker_opens << " breaker open(s)\n";
   return out.str();
 }
 
@@ -692,19 +968,28 @@ void RouterMetrics::append_json(util::JsonWriter& json) const {
       queries_routed));
   json.key("scatters").value(static_cast<unsigned long long>(scatters));
   json.key("commits").value(static_cast<unsigned long long>(commits));
+  json.key("degraded_commits").value(static_cast<unsigned long long>(
+      degraded_commits));
   json.key("shard_errors").value(static_cast<unsigned long long>(
       shard_errors));
+  json.key("failovers").value(static_cast<unsigned long long>(failovers));
   json.key("reconnects").value(static_cast<unsigned long long>(reconnects));
   json.key("replayed_commits").value(static_cast<unsigned long long>(
       replayed_commits));
+  json.key("syncs").value(static_cast<unsigned long long>(syncs));
+  json.key("breaker_opens").value(static_cast<unsigned long long>(
+      breaker_opens));
   json.key("head_version").value(static_cast<unsigned long long>(
       head_version));
+  json.key("replicas").value(static_cast<unsigned long long>(replicas));
+  json.key("quorum").value(static_cast<unsigned long long>(quorum));
   json.key("shards").begin_array();
   for (size_t i = 0; i < shard_connected.size(); ++i) {
     json.begin_object();
     json.key("connected").value(static_cast<bool>(shard_connected[i]));
     json.key("version").value(static_cast<unsigned long long>(
         shard_versions[i]));
+    json.key("breaker_open").value(static_cast<bool>(shard_breaker_open[i]));
     json.end_object();
   }
   json.end_array();

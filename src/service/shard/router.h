@@ -1,32 +1,44 @@
-// ShardRouter: the front-end of a sharded DNA deployment.
+// ShardRouter: the front-end of a replicated, self-healing DNA deployment.
 //
 // A deployment is N shard processes — each a full DnaService behind
 // `dna_cli shard-serve`, with its own journal directory — plus one router
-// owning the topology-hash partition map (partition.h). Clients speak the
-// ordinary framed protocol to the router; the router:
+// owning the consistent-hash partition map (partition.h, R replicas per
+// partition). Clients speak the ordinary framed protocol to the router;
+// the router:
 //
 //  * routes single-source queries (reach/paths, src-ful checks, whatif) to
-//    the one shard owning the source region,
+//    the source region's replica set — primary first, failing over in
+//    deterministic preference order to any healthy replica (the zebra
+//    FIB/ECMP model: many candidate next-hops, deterministic selection,
+//    failover on withdrawal),
 //  * scatters network-global checks (loopfree) as per-partition scopes
-//    ("part i/n <query>") and gathers the verdicts — ANDed, with bodies
-//    rendered identically to one monolithic evaluation,
-//  * fans every commit out to all shards (each applies it differentially;
-//    all must ack the same version id) and appends it to an in-memory
-//    commit history, and
-//  * tracks shard health: a dead connection fails the in-flight request
-//    with a clean typed error ("shard i unavailable: ..."), and the next
-//    request re-dials and *replays* the commits the shard missed while it
-//    was down — a restarted shard first recovers its own journal, then the
-//    router's catch-up brings it to the deployment head.
+//    ("part i/n <query>") — scope i preferring shard i, failing over to
+//    (i+1)%n, ... — and gathers the verdicts, ANDed, with bodies rendered
+//    identically to one monolithic evaluation,
+//  * fans every commit out to all shards and succeeds once a configurable
+//    *quorum* acks the same version id; lagging/dead shards are marked
+//    stale (disconnected) and caught up exactly-once by version id from
+//    the in-memory commit history before they regain query eligibility,
+//  * guards each shard with a circuit breaker: failures open it under
+//    bounded exponential backoff with deterministic jitter, so a dead
+//    shard costs one failed dial per backoff window, not one per request
+//    (a last-resort attempt still fires when no other candidate answered,
+//    so backoff can never block recovery), and
+//  * warms up a restarted or brand-new shard by journal-seeded cloning:
+//    when the shard is behind the commit history's reach, the router
+//    streams a peer's compacted snapshot into it (`sync` on the donor,
+//    `seed` on the joiner — journal payload format over the framed
+//    protocol), then replays the history tail. Scale-out therefore
+//    re-maps only ~1/N of the ring and new capacity self-provisions.
 //
 // Consistency model: shards are full replicas kept in lock-step by the
-// commit fan-out, so any shard answers any query correctly; the partition
-// map decides *responsibility* (where queries go, how global checks
-// decompose), which is what spreads query load over processes. Boundary
-// correctness is by construction — a path crossing from shard i's region
-// into shard j's is evaluated on the owner of its source, which holds the
-// whole model. Re-partitioning on shard count changes is just a different
-// hash mod; rebalancing live state is future work (ROADMAP).
+// commit fan-out; the partition map decides *responsibility* (where
+// queries go, how global checks decompose), which is what spreads query
+// load over processes. Boundary correctness is by construction — a path
+// crossing from shard i's region into shard j's is evaluated on a replica
+// of its source, which holds the whole model. A commit that reached a
+// quorum but not every shard is *degraded*: the stragglers are stale until
+// catch-up, and health() says so.
 #pragma once
 
 #include <atomic>
@@ -45,6 +57,7 @@
 #include "service/session.h"
 #include "service/shard/partition.h"
 #include "service/transport.h"
+#include "util/rng.h"
 
 namespace dna::obs {
 class FlightRecorder;  // recorder.h; the router only holds a pointer
@@ -56,18 +69,44 @@ namespace dna::service::shard {
 /// tests dial in-memory loopback channels and production dials TCP.
 using Dialer = std::function<std::unique_ptr<Transport>()>;
 
+/// Replication and fault-tolerance knobs (`dna_cli route --replicas/--quorum`).
+struct RouterOptions {
+  /// Replicas per partition (clamped to the shard count). Queries fail
+  /// over along the first `replicas` candidates; 1 restores single-owner
+  /// routing.
+  uint32_t replicas = 2;
+  /// Commit acks required for success (clamped to [1, shard count]). A
+  /// commit acked by at least `quorum` shards succeeds; stragglers are
+  /// marked stale and caught up exactly-once from the commit history.
+  uint32_t quorum = 1;
+  /// Circuit breaker: the first failure opens the shard's breaker for
+  /// `backoff_initial_ms` (plus jitter in [0, 50%]), doubling per
+  /// consecutive failure up to `backoff_max_ms`.
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t jitter_seed = 0x5eed;
+};
+
 /// Counters accumulated over the router's lifetime (the `metrics` command).
 /// Assembled on read from the router's obs::Registry plus per-shard state.
 struct RouterMetrics {
   size_t queries_routed = 0;    // single-shard requests forwarded
   size_t scatters = 0;          // scatter/gather evaluations
-  size_t commits = 0;           // commits broadcast and recorded
-  size_t shard_errors = 0;      // requests failed on an unreachable shard
+  size_t commits = 0;           // commits recorded (>= quorum acks)
+  size_t degraded_commits = 0;  // commits that left some shard stale
+  size_t shard_errors = 0;      // failed attempts on an unreachable shard
+  size_t failovers = 0;         // requests answered by a non-primary replica
   size_t reconnects = 0;        // successful re-dials after a failure
   size_t replayed_commits = 0;  // catch-up commits replayed into shards
+  size_t syncs = 0;             // journal-seeded warm-ups (sync+seed)
+  size_t breaker_opens = 0;     // closed->open breaker transitions
   uint64_t head_version = 0;    // deployment head the router believes in
+  uint32_t replicas = 0;        // configured R (clamped)
+  uint32_t quorum = 0;          // configured quorum (clamped)
   std::vector<bool> shard_connected;     // by shard index
   std::vector<uint64_t> shard_versions;  // last acked version, by index
+  std::vector<bool> shard_breaker_open;  // breaker currently open, by index
 
   std::string str() const;
   /// The same view as one JSON "metrics" object (the `metrics json` verb).
@@ -78,7 +117,7 @@ class ShardRouter {
  public:
   /// One dialer per shard, in partition order (shard i of n). Connections
   /// are opened lazily per request; use connect_all() to fail fast.
-  explicit ShardRouter(std::vector<Dialer> dialers);
+  explicit ShardRouter(std::vector<Dialer> dialers, RouterOptions options = {});
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
@@ -86,9 +125,13 @@ class ShardRouter {
 
   size_t num_shards() const { return shards_.size(); }
   const PartitionMap& partition() const { return partition_; }
+  const RouterOptions& options() const { return options_; }
 
-  /// Dials every shard now; returns the number reachable. Reachable shards
-  /// must agree on the head version (throws dna::Error on divergence).
+  /// Dials every shard now; returns the number reachable. A shard behind
+  /// the deployment head is healed on the spot (history replay, or a
+  /// journal-seeded sync from a head-version peer); irreparable divergence
+  /// — conflicting acked versions — throws dna::Error rather than serving
+  /// a split-brain tier.
   size_t connect_all();
 
   /// Handles one request line — the full query language plus the session
@@ -118,14 +161,16 @@ class ShardRouter {
 
   // ---- observability plane -------------------------------------------------
 
-  /// Liveness: ok while every shard holds a live connection. A shard that
-  /// failed a request drops its connection, flipping this to unhealthy
-  /// until the next successful use re-dials it. What /healthz serves.
+  /// Replica-aware liveness. ok while every partition still has a live
+  /// candidate — i.e. at most R-1 shards are down. All shards connected is
+  /// "ok"; some down but covered is "degraded" (still ok=true, so /healthz
+  /// stays 200 through a single-shard kill with R=2); more down than the
+  /// replica sets tolerate is unhealthy.
   Health health() const;
 
   /// Attaches a flight recorder (caller-owned); the router marks
-  /// "shard_death" events into it when a request fails on an unreachable
-  /// shard.
+  /// "shard_death" events into it when an attempt fails on an unreachable
+  /// shard and "failover" events when a replica covers for one.
   void set_flight_recorder(obs::FlightRecorder* recorder) {
     recorder_.store(recorder, std::memory_order_release);
   }
@@ -148,6 +193,11 @@ class ShardRouter {
     std::unique_ptr<ServiceClient> client;
     uint64_t version = 0;  // last version id this shard acked
     bool ever_connected = false;
+    // Circuit breaker (guarded by mutex): consecutive failures and the
+    // deadline before which dial attempts are skipped.
+    uint32_t breaker_failures = 0;
+    uint64_t breaker_open_until_ns = 0;
+    Rng jitter;  // deterministic backoff jitter, seeded per shard
   };
 
   /// A router-level trace under construction: the stitched trace, the
@@ -161,11 +211,12 @@ class ShardRouter {
     uint64_t cursor_ns = 0;
   };
 
-  /// Routed request with connection management. With `retry_once`, a
-  /// failure on an existing (possibly stale) connection re-dials and
-  /// retries a single time — how a query lands after a shard restart.
-  /// Throws dna::Error ("shard <i> unavailable: ...") when the shard
-  /// cannot be reached.
+  /// One attempt against one shard, with connection management: dial (or
+  /// reuse), catch up, send. With `retry_once`, a failure on an existing
+  /// (possibly stale) connection re-dials and retries a single time — how
+  /// a query lands on a shard that restarted between requests. Updates the
+  /// breaker on both outcomes. Throws dna::Error ("shard <i> unavailable:
+  /// ...") when the shard cannot be reached.
   QueryResult request_on(size_t index, const std::string& line,
                          bool retry_once);
   /// request_on plus telemetry: the shard's RTT lands in its histogram,
@@ -174,12 +225,32 @@ class ShardRouter {
   /// "s<i>.<leg>" children re-based at the RTT start.
   QueryResult request_observed(size_t index, const std::string& line,
                                bool retry_once, TraceCtx* ctx);
+  /// Failover: tries `candidates` in preference order, skipping shards
+  /// whose breaker is open, then — if nothing answered — retries the
+  /// skipped ones as a last resort (backoff must never block the only
+  /// remaining replica). Throws dna::Error when every candidate fails.
+  QueryResult request_failover(const std::vector<size_t>& candidates,
+                               const std::string& line, TraceCtx* ctx);
   QueryResult request_locked(Shard& shard, size_t index,
                              const std::string& line);
-  /// Dials (if needed) and brings the shard to the deployment head by
-  /// replaying missed commits from history_. Caller holds shard.mutex.
+  /// Dials (if needed) and brings the shard to the deployment head:
+  /// replaying missed commits from history_ when it covers the gap, else
+  /// journal-seeded cloning from a head-version peer (sync_from_peer).
+  /// Caller holds shard.mutex.
   void ensure_connected(Shard& shard, size_t index);
+  /// Fetches a `sync` snapshot payload from any *other* connected shard at
+  /// head version `head` (try-lock only — never blocks while the caller
+  /// holds a shard mutex). Empty when no donor is available.
+  std::string fetch_sync_payload(size_t lagging_index, uint64_t head);
   void disconnect(Shard& shard);
+  /// Breaker bookkeeping, caller holds shard.mutex.
+  bool breaker_open(const Shard& shard) const;
+  void breaker_success(Shard& shard);
+  void breaker_failure(Shard& shard);
+  /// Scope i's candidate evaluators: (i, i+1, ..., i+R-1) mod n.
+  std::vector<size_t> scope_candidates(size_t primary) const;
+  /// replicas_of() as size_t indices.
+  std::vector<size_t> node_candidates(std::string_view name) const;
 
   /// handle() minus the whole-request timing: trace-tag stripping and the
   /// stitched-trace lifecycle.
@@ -188,9 +259,11 @@ class ShardRouter {
   /// the telemetry hooks. `ctx` is non-null for a traced request.
   QueryResult handle_line(const std::string& line, TraceCtx* ctx);
   QueryResult handle_commit(const std::string& line, TraceCtx* ctx);
-  QueryResult handle_scatter(const std::string& line, TraceCtx* ctx);
+  QueryResult handle_scatter(const std::string& line, TraceCtx* ctx,
+                             bool retried = false);
   QueryResult handle_shutdown();
 
+  RouterOptions options_;
   PartitionMap partition_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -217,9 +290,13 @@ class ShardRouter {
   obs::Counter& ctr_queries_routed_;
   obs::Counter& ctr_scatters_;
   obs::Counter& ctr_commits_;
+  obs::Counter& ctr_degraded_commits_;
   obs::Counter& ctr_shard_errors_;
+  obs::Counter& ctr_failovers_;
   obs::Counter& ctr_reconnects_;
   obs::Counter& ctr_replayed_commits_;
+  obs::Counter& ctr_syncs_;
+  obs::Counter& ctr_breaker_opens_;
   obs::Histogram& hist_request_;  // whole-request wall time (handle())
   std::vector<obs::Histogram*> hist_shard_rtt_;  // by shard index
   obs::TraceLog trace_log_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/error.h"
+
 namespace dna::service {
 
 SnapshotStore::SnapshotStore(topo::Snapshot base, uint64_t base_id)
@@ -51,8 +53,24 @@ VersionHandle SnapshotStore::publish(topo::Snapshot next,
   // regress). Everything inside is cheap — the snapshot is moved, not
   // copied — so readers copying head() are barely delayed.
   std::lock_guard<std::mutex> lock(mutex_);
-  VersionHandle version =
-      make_version(next_id_++, std::move(next), provenance);
+  return publish_locked(next_id_++, std::move(next), provenance);
+}
+
+VersionHandle SnapshotStore::publish_at(uint64_t id, topo::Snapshot next,
+                                        const Version& provenance) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < next_id_) {
+    throw Error("publish_at(" + std::to_string(id) +
+                ") would regress the head (next id is " +
+                std::to_string(next_id_) + ")");
+  }
+  next_id_ = id + 1;
+  return publish_locked(id, std::move(next), provenance);
+}
+
+VersionHandle SnapshotStore::publish_locked(uint64_t id, topo::Snapshot next,
+                                            const Version& provenance) {
+  VersionHandle version = make_version(id, std::move(next), provenance);
   head_ = version;
   live_[version->id] = version;
   // Sweep registry entries whose versions retired — keeps live_ bounded by

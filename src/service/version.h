@@ -78,6 +78,15 @@ class SnapshotStore {
   /// snapshot members are ignored).
   VersionHandle publish(topo::Snapshot next, const Version& provenance);
 
+  /// publish() at an explicit id, jumping the id sequence forward — how a
+  /// journal-seeded warm-up installs a snapshot cloned from a peer at the
+  /// peer's version id (the ids must line up deployment-wide for catch-up
+  /// by version to stay exactly-once). `id` must be greater than every id
+  /// published so far; throws dna::Error otherwise (the head never
+  /// regresses).
+  VersionHandle publish_at(uint64_t id, topo::Snapshot next,
+                           const Version& provenance);
+
   // ---- retirement accounting (for service metrics) ------------------------
   size_t versions_published() const { return published_.load(); }
   size_t versions_retired() const { return retired_->load(); }
@@ -90,6 +99,10 @@ class SnapshotStore {
  private:
   VersionHandle make_version(uint64_t id, topo::Snapshot snapshot,
                              const Version& provenance);
+  /// The shared publish tail (head swap, registry sweep, history ring).
+  /// Caller holds mutex_ and has already advanced next_id_ past `id`.
+  VersionHandle publish_locked(uint64_t id, topo::Snapshot next,
+                               const Version& provenance);
 
   mutable std::mutex mutex_;
   VersionHandle head_;

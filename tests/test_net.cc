@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/flaky.h"
 #include "service/net/server.h"
 #include "service/net/tcp.h"
 #include "service/protocol.h"
@@ -260,6 +261,79 @@ TEST(SessionServer, StopEvictsAnIdleClient) {
 
   server.stop();  // must not hang on the idle session
   EXPECT_FALSE(server.shutdown_requested());
+}
+
+// ---------------------------------------------------------------------------
+// FlakyTransport: seeded fault injection over a real TCP link
+// ---------------------------------------------------------------------------
+
+TEST(FlakyTransport, FailAfterBytesTearsTheLinkMidStream) {
+  TcpListener listener(0);
+  std::string received;
+  std::thread server([&listener, &received] {
+    auto transport = listener.accept();
+    ASSERT_NE(transport, nullptr);
+    char buffer[64];
+    try {
+      for (;;) {
+        const size_t n = transport->recv(buffer, sizeof(buffer));
+        if (n == 0) break;
+        received.append(buffer, n);
+      }
+    } catch (const Error&) {
+      // A reset instead of a clean FIN is acceptable; the byte count below
+      // is the real assertion.
+    }
+  });
+
+  auto flaky = make_flaky(connect_tcp("127.0.0.1", listener.port()),
+                          {.fail_after_bytes = 10});
+  auto* probe = static_cast<FlakyTransport*>(flaky.get());
+  flaky->send("abcdef");  // 6 bytes, under the threshold
+  EXPECT_FALSE(probe->fault_fired());
+  // The 7th..14th bytes cross the threshold: exactly 4 more are delivered,
+  // then the link dies mid-write.
+  EXPECT_THROW(flaky->send("ghijklmn"), Error);
+  EXPECT_TRUE(probe->fault_fired());
+  EXPECT_EQ(probe->bytes_sent(), 10u);
+
+  server.join();
+  EXPECT_EQ(received, "abcdefghij") << "the peer must see exactly the prefix";
+
+  // The link stays dead: sends throw, recv reads as end-of-stream.
+  EXPECT_THROW(flaky->send("x"), Error);
+  char buffer[8];
+  EXPECT_EQ(flaky->recv(buffer, sizeof(buffer)), 0u);
+}
+
+TEST(FlakyTransport, SeededScheduleIsReplayable) {
+  // Two flaky links with the same seed die on exactly the same send index
+  // — whatever failure a test run finds, the seed reproduces it.
+  const auto sends_until_death = [](uint64_t seed) {
+    TcpListener listener(0);
+    std::thread server([&listener] {
+      auto transport = listener.accept();
+      char buffer[64];
+      try {
+        while (transport->recv(buffer, sizeof(buffer)) != 0) {
+        }
+      } catch (const Error&) {
+      }
+    });
+    auto flaky = make_flaky(connect_tcp("127.0.0.1", listener.port()),
+                            {.seed = seed, .send_drop_chance = 0.2});
+    size_t sends = 0;
+    try {
+      for (; sends < 1000; ++sends) flaky->send("x");
+    } catch (const Error&) {
+    }
+    server.join();
+    return sends;
+  };
+  const size_t first = sends_until_death(42);
+  EXPECT_LT(first, 1000u) << "a 20% drop chance must fire within 1000 sends";
+  EXPECT_EQ(first, sends_until_death(42));
+  EXPECT_NE(first, sends_until_death(43)) << "different seed, different run";
 }
 
 }  // namespace

@@ -65,12 +65,20 @@
 //       replays whatever it missed.
 //
 //   dna_cli route --tcp=[HOST:]PORT --shards=HOST:PORT[,HOST:PORT...]
+//                 [--replicas=R] [--quorum=Q]
 //                 [--http=PORT] [--flight-ms=N] [--flight-cap=S]
-//       Run the shard router (src/service/shard/): owns the topology-hash
-//       partition map over the listed shards, routes single-source queries
-//       to the owning shard, scatter/gathers global checks, broadcasts
-//       commits, and replays missed commits into restarted shards. Clients
-//       talk to it exactly like a monolithic server.
+//       Run the shard router (src/service/shard/): owns the consistent-
+//       hash partition map over the listed shards (R replicas per
+//       partition, default 2), routes single-source queries to the
+//       replica set with deterministic failover, scatter/gathers global
+//       checks, broadcasts commits (succeeding at >= Q identical-version
+//       acks, default 1), catches restarted shards up by replay, and
+//       warms wiped/new shards by journal-seeded sync. Clients talk to it
+//       exactly like a monolithic server.
+//
+//   All three serving roles (serve, shard-serve, route) drain gracefully
+//   on SIGTERM/SIGINT: stop accepting, give in-flight requests a grace
+//   period, close the journal, exit 0.
 //
 //   dna_cli query (--socket=PATH | --tcp=HOST:PORT) [--version=N] [--trace]
 //                 <request> [<request> ...]
@@ -116,6 +124,7 @@
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -470,6 +479,29 @@ ObsPlane start_obs_plane(const ObsPlaneOptions& options,
   return plane;
 }
 
+/// The listener SIGTERM/SIGINT close to begin a graceful drain. Closing a
+/// listener is ::shutdown(2) on the listening socket — async-signal-safe —
+/// which unblocks the accept loop; SessionServer then drains in-flight
+/// sessions under its grace period and the serving command unwinds
+/// normally (journal closed by the service destructor, exit 0).
+std::atomic<service::Listener*> g_drain_listener{nullptr};
+
+void drain_signal_handler(int) {
+  if (service::Listener* listener = g_drain_listener.load()) {
+    listener->close();
+  }
+}
+
+/// Points SIGTERM/SIGINT at `listener` (nullptr restores default disposition).
+void install_drain_handlers(service::Listener* listener) {
+  g_drain_listener.store(listener);
+  std::signal(SIGTERM, listener != nullptr ? drain_signal_handler : SIG_DFL);
+  std::signal(SIGINT, listener != nullptr ? drain_signal_handler : SIG_DFL);
+}
+
+/// How long a draining server waits for in-flight requests before evicting.
+constexpr uint64_t kDrainGraceMs = 2000;
+
 /// serve and shard-serve share everything but the banner and the required
 /// listener kind: a shard is a full DnaService that must speak TCP so a
 /// router (and its peers' operators) can reach it.
@@ -581,7 +613,13 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
                                   session.run();
                                   return session.shutdown_requested();
                                 });
+  // SIGTERM/SIGINT begin a graceful drain: stop accepting, let in-flight
+  // requests finish, then unwind (the service destructor closes the
+  // journal) and exit 0.
+  server.set_drain_grace_ms(kDrainGraceMs);
+  install_drain_handlers(listener.get());
   server.run();
+  install_drain_handlers(nullptr);
   // The plane reads the service's registry; stop it (and detach the
   // recorder) before the service winds down.
   dna_service.set_flight_recorder(nullptr);
@@ -593,6 +631,7 @@ int cmd_serve(const std::vector<std::string>& args, bool shard_mode) {
 
 int cmd_route(const std::vector<std::string>& args) {
   std::string tcp_endpoint, shard_list;
+  service::shard::RouterOptions router_options;
   ObsPlaneOptions obs_options;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -602,6 +641,14 @@ int cmd_route(const std::vector<std::string>& args) {
       tcp_endpoint = arg.substr(6);
     } else if (starts_with(arg, "--shards=")) {
       shard_list = arg.substr(9);
+    } else if (starts_with(arg, "--replicas=")) {
+      const int value = as_int(arg.substr(11));
+      if (value < 1) throw Error("--replicas must be >= 1");
+      router_options.replicas = static_cast<uint32_t>(value);
+    } else if (starts_with(arg, "--quorum=")) {
+      const int value = as_int(arg.substr(9));
+      if (value < 1) throw Error("--quorum must be >= 1");
+      router_options.quorum = static_cast<uint32_t>(value);
     } else if (starts_with(arg, "--")) {
       throw Error("unknown route flag: " + arg);
     }
@@ -618,10 +665,13 @@ int cmd_route(const std::vector<std::string>& args) {
       return service::connect_tcp(endpoint.host, endpoint.port);
     });
   }
-  service::shard::ShardRouter router(std::move(dialers));
+  service::shard::ShardRouter router(std::move(dialers), router_options);
   const size_t reachable = router.connect_all();
   std::cout << "routing over " << router.num_shards() << " shard(s) ("
-            << reachable << " reachable), topology-hash partition\n";
+            << reachable << " reachable), consistent-hash ring ("
+            << service::shard::PartitionMap::kVirtualNodes
+            << " vnodes/shard), R=" << router.options().replicas
+            << " quorum=" << router.options().quorum << "\n";
 
   ObsPlane obs_plane = start_obs_plane(
       obs_options, router.registry(), router.trace_log(), [&router] {
@@ -643,7 +693,10 @@ int cmd_route(const std::vector<std::string>& args) {
         session.run();
         return session.shutdown_requested();
       });
+  server.set_drain_grace_ms(kDrainGraceMs);
+  install_drain_handlers(&listener);
   server.run();
+  install_drain_handlers(nullptr);
   router.set_flight_recorder(nullptr);
   obs_plane.shutdown();
   std::cout << router.metrics().str();
@@ -956,11 +1009,20 @@ int cmd_dash(const std::vector<std::string>& args) {
              << static_cast<long long>(num("router.scatters"))
              << rate(num("router.scatters"), last_scatters) << "\n"
              << "  commits  " << static_cast<long long>(num("router.commits"))
-             << rate(num("router.commits"), last_commits)
+             << rate(num("router.commits"), last_commits) << " (degraded "
+             << static_cast<long long>(num("router.degraded_commits")) << ")"
              << "   shard errors "
              << static_cast<long long>(num("router.shard_errors"))
              << "   reconnects "
-             << static_cast<long long>(num("router.reconnects")) << "\n\n";
+             << static_cast<long long>(num("router.reconnects")) << "\n"
+             << "  healing  failovers "
+             << static_cast<long long>(num("router.failovers"))
+             << "   syncs " << static_cast<long long>(num("router.syncs"))
+             << "   breaker opens "
+             << static_cast<long long>(num("router.breaker_opens"))
+             << "   replayed "
+             << static_cast<long long>(num("router.replayed_commits"))
+             << "\n\n";
       screen << "  latency (ms)            p50       p95       p99     count\n"
              << dash_latency_row(body, "router.request_seconds", "request");
       for (size_t shard = 0; shard < 64; ++shard) {
