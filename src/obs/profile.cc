@@ -101,6 +101,10 @@ std::string DiagnosisReport::str() const {
       << fixed(wall_seconds, 3) << "s measured wall time\n";
   out << "  commit-lock wait " << fixed(lock_wait_seconds, 4)
       << "s; max queue depth " << max_queue_depth << "\n";
+  if (batches > 0) {
+    out << "  fan-out: " << batches << " batch(es), mean "
+        << fixed(mean_batch, 1) << " queries/batch\n";
+  }
   out << "  verdict: " << verdict << "\n";
   return out.str();
 }
@@ -122,6 +126,8 @@ void DiagnosisReport::append_json(util::JsonWriter& json) const {
   json.key("coverage").value(coverage);
   json.key("lock_wait_seconds").value(lock_wait_seconds);
   json.key("max_queue_depth").value(static_cast<long long>(max_queue_depth));
+  json.key("batches").value(static_cast<unsigned long long>(batches));
+  json.key("mean_batch").value(mean_batch);
   json.key("legs").begin_array();
   for (const Leg& leg : legs) {
     json.begin_object();

@@ -104,6 +104,13 @@ struct DiagnosisReport {
   double lock_wait_seconds = 0;  // commit-lock wait during the load
   int64_t max_queue_depth = 0;   // dispatcher backlog peak during the load
 
+  /// Batch fan-out shape during the flood (service only; 0 = not
+  /// measured): how many version-coalesced batches the dispatcher formed
+  /// and how many queries the mean batch carried — the amortization the
+  /// sharded fan-out buys.
+  uint64_t batches = 0;
+  double mean_batch = 0;
+
   std::vector<Leg> legs;  // sorted by seconds descending after finalize
   std::string dominant;   // legs.front().name
   std::string verdict;    // one-paragraph human attribution

@@ -25,7 +25,9 @@ DnaService::DnaService(topo::Snapshot base,
       store_(journaled_base(journal_.get(), std::move(base)),
              journaled_base_id(journal_.get())),
       pool_(options_.num_threads),
-      workers_(pool_.num_workers()),
+      // One replica slot per pool worker plus one the dispatcher uses to
+      // serve single-chunk batches inline.
+      workers_(pool_.num_workers() + 1),
       ctr_queries_total_(registry_.counter("service.queries_total")),
       ctr_queries_failed_(registry_.counter("service.queries_failed")),
       ctr_queries_shed_(registry_.counter("service.queries_shed")),
@@ -38,6 +40,7 @@ DnaService::DnaService(topo::Snapshot base,
       gauge_max_queue_depth_(registry_.gauge("service.max_queue_depth")),
       gauge_queue_depth_(registry_.gauge("service.queue_depth")),
       hist_queue_wait_(registry_.histogram("service.query_queue_seconds")),
+      hist_fanout_(registry_.histogram("service.query_fanout_seconds")),
       hist_catchup_(registry_.histogram("service.replica_catchup_seconds")),
       hist_eval_(registry_.histogram("service.query_eval_seconds")),
       hist_query_total_(registry_.histogram("service.query_seconds")),
@@ -45,7 +48,8 @@ DnaService::DnaService(topo::Snapshot base,
                                            obs::Histogram::Unit::kCount)),
       hist_commit_(registry_.histogram("service.commit_seconds")),
       hist_journal_append_(
-          registry_.histogram("service.journal_append_seconds")) {
+          registry_.histogram("service.journal_append_seconds")),
+      credit_gate_(options_.max_queue_depth) {
   store_.keep_history(options_.keep_versions);
   if (journal_) {
     journal_->set_fsync_histogram(
@@ -161,52 +165,64 @@ std::future<QueryResult> DnaService::submit(const std::string& query_line) {
     promise.set_value(std::move(failed));
     return future;
   }
-  // Read the clock before taking the queue lock — the submit timestamp
-  // must not lengthen the critical section every submitter serializes on.
-  const uint64_t submit_ns = obs::now_ns();
-  {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    // Backpressure: at the configured bound, give the dispatcher one
-    // deadline's worth of time to drain, then shed rather than letting the
-    // queue (and every submitter's latency) grow without limit.
-    if (options_.max_queue_depth > 0 && !stopping_ &&
-        queue_.size() >= options_.max_queue_depth) {
-      space_cv_.wait_for(lock, options_.submit_deadline, [this] {
-        return stopping_ || queue_.size() < options_.max_queue_depth;
-      });
-    }
-    if (stopping_) {
-      QueryResult failed;
-      failed.ok = false;
-      failed.body = "service is shutting down";
-      promise.set_value(std::move(failed));
-      return future;
-    }
-    if (options_.max_queue_depth > 0 &&
-        queue_.size() >= options_.max_queue_depth) {
-      QueryResult shed;
-      shed.ok = false;
-      shed.version = version->id;
-      shed.body = "queue saturated: shed after " +
-                  std::to_string(options_.submit_deadline.count()) +
-                  " ms at depth " + std::to_string(queue_.size());
-      ctr_queries_total_.add();
-      ctr_queries_shed_.add();
-      promise.set_value(std::move(shed));
-      return future;
-    }
-    queue_.push_back(Pending{std::move(query), std::move(version),
-                             std::move(promise), submit_ns});
-    gauge_max_queue_depth_.set_max(static_cast<int64_t>(queue_.size()));
-    gauge_queue_depth_.set(static_cast<int64_t>(queue_.size()));
+  // Fast-fail a submit that can already see the stop — the in-flight
+  // handshake below catches the race, this just answers promptly.
+  if (stopping_.load(std::memory_order_acquire)) {
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = "service is shutting down";
+    promise.set_value(std::move(failed));
+    return future;
   }
-  queue_cv_.notify_one();
+
+  // Backpressure: one credit per pending query. The fast path is a CAS;
+  // at the bound the submitter parks for at most one deadline, waiting
+  // for the dispatcher to release a batch of credits, then sheds. A shed
+  // query never enters the queue, so it can never also land in the
+  // queue-wait histogram — shed-vs-served accounting is exact.
+  if (!credit_gate_.acquire_for(options_.submit_deadline)) {
+    QueryResult shed;
+    shed.ok = false;
+    shed.version = version->id;
+    shed.body = "queue saturated: shed after " +
+                std::to_string(options_.submit_deadline.count()) +
+                " ms at depth " +
+                std::to_string(pending_count_.load(std::memory_order_relaxed));
+    ctr_queries_total_.add();
+    ctr_queries_shed_.add();
+    promise.set_value(std::move(shed));
+    return future;
+  }
+
+  // Shutdown handshake (Dekker, both sides seq_cst): stand up as an
+  // in-flight submitter *before* re-checking the stop flag. Either the
+  // dispatcher's final drain sees our count and waits for the push, or we
+  // see `stopping_` here and resolve with a typed error instead of
+  // pushing into a queue nobody will ever drain.
+  submits_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    submits_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    credit_gate_.release(1);
+    QueryResult failed;
+    failed.ok = false;
+    failed.body = "service is shutting down";
+    promise.set_value(std::move(failed));
+    return future;
+  }
+
+  const uint64_t submit_ns = obs::now_ns();
+  injector_.push(Pending{std::move(query), std::move(version),
+                         std::move(promise), submit_ns});
+  const int64_t depth = static_cast<int64_t>(
+      pending_count_.fetch_add(1, std::memory_order_relaxed) + 1);
+  gauge_max_queue_depth_.set_max(depth);
+  gauge_queue_depth_.set(depth);
+  submits_inflight_.fetch_sub(1, std::memory_order_seq_cst);
   return future;
 }
 
 size_t DnaService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  return queue_.size();
+  return pending_count_.load(std::memory_order_relaxed);
 }
 
 QueryResult DnaService::query(const std::string& query_line) {
@@ -380,45 +396,103 @@ core::DnaEngine& DnaService::engine_at(size_t worker, const Version& version,
 }
 
 void DnaService::dispatcher_loop() {
+  // Consumer-private backlog: the injector is drained into it without a
+  // lock, and version-coalesced batches are carved out of it. Entries the
+  // current batch leaves behind (newer versions) wait here, still counted
+  // by `pending_count_` and still holding their credits.
+  std::deque<Pending> backlog;
   for (;;) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
-      // Coalesce every pending query that targets the lowest version id
-      // still queued, so each batch needs at most one engine advance per
-      // worker and replicas move (almost always) forward. Submitters
-      // capture the head outside the queue lock, so entries are not
-      // strictly ordered by version — taking the minimum, not the front,
-      // keeps a freshly-enqueued newer version from forcing a backward
-      // advance ahead of older pending work.
-      uint64_t version_id = queue_.front().version->id;
-      for (const Pending& pending : queue_) {
-        version_id = std::min(version_id, pending.version->id);
-      }
-      for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->version->id == version_id) {
-          batch.push_back(std::move(*it));
-          it = queue_.erase(it);
+    Pending incoming;
+    while (injector_.try_pop(incoming)) backlog.push_back(std::move(incoming));
+    if (backlog.empty()) {
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        // Late submitters may be past their stop check (they stood up in
+        // submits_inflight_ first): wait them out and take their pushes;
+        // exit only when nothing can arrive anymore. Every future that
+        // made it into the queue resolves with a real answer.
+        if (submits_inflight_.load(std::memory_order_seq_cst) == 0 &&
+            injector_.size() == 0) {
+          if (!injector_.try_pop(incoming)) return;
+          backlog.push_back(std::move(incoming));
         } else {
-          ++it;
+          std::this_thread::yield();
+          continue;
         }
+      } else {
+        // Batched wake-ups: park; only the push that lands on a parked
+        // dispatcher pays a notify. A flood costs one wake total.
+        injector_.wait_nonempty();
+        continue;
       }
-      gauge_queue_depth_.set(static_cast<int64_t>(queue_.size()));
     }
-    // The batch freed queue slots; wake submitters parked at the bound.
-    space_cv_.notify_all();
+    // Coalesce every pending query that targets the lowest version id
+    // still queued, so each batch needs at most one engine advance per
+    // worker and replicas move (almost always) forward. Submitters
+    // capture the head before pushing, so entries are not strictly
+    // ordered by version — taking the minimum, not the front, keeps a
+    // freshly-enqueued newer version from forcing a backward advance
+    // ahead of older pending work.
+    uint64_t version_id = backlog.front().version->id;
+    for (const Pending& pending : backlog) {
+      version_id = std::min(version_id, pending.version->id);
+    }
+    std::vector<Pending> batch;
+    batch.reserve(backlog.size());
+    for (auto it = backlog.begin(); it != backlog.end();) {
+      if (it->version->id == version_id) {
+        batch.push_back(std::move(*it));
+        it = backlog.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // The batch left the pending set: return its credits in one release
+    // (one wake for all parked submitters, not one per query) and drop
+    // the depth gauge before the slow part — fan-out — begins.
+    pending_count_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    gauge_queue_depth_.set(
+        static_cast<int64_t>(pending_count_.load(std::memory_order_relaxed)));
+    credit_gate_.release(batch.size());
+    serve_batch(std::move(batch));
+  }
+}
 
-    const VersionHandle version = batch.front().version;
-    const bool trace_all = trace_all_.load(std::memory_order_relaxed);
-    std::vector<QueryResult> results(batch.size());
-    pool_.parallel_for(batch.size(), [&](size_t worker, size_t index) {
+void DnaService::serve_batch(std::vector<Pending> batch) {
+  const VersionHandle version = batch.front().version;
+  const bool trace_all = trace_all_.load(std::memory_order_relaxed);
+  const uint64_t batch_ns = obs::now_ns();  // fan-out epoch for the legs
+  std::vector<QueryResult> results(batch.size());
+
+  // Sharded fan-out: hand each worker a contiguous *run* of same-version
+  // queries, not one query per pool task. A chunk pays one pool hand-off
+  // and (at most) one replica catch-up for its whole run; two chunks per
+  // worker keep the tail balanced through work stealing without
+  // shrinking runs toward one. Two caps keep the hand-offs worth their
+  // cost: workers past the hardware's concurrency can only interleave,
+  // never overlap, so chunking past it buys no parallelism and pays a
+  // wake each (an oversubscribed pool behaves like a right-sized one);
+  // and a chunk must carry enough eval work to be worth one hand-off
+  // (and, for a cold worker, one replica build).
+  constexpr size_t kMinChunk = 8;
+  static const size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const size_t overlap = std::min(pool_.num_workers(), hardware);
+  const size_t max_chunks = std::min(batch.size(), overlap * 2);
+  const size_t chunk_len = std::max(
+      kMinChunk, (batch.size() + max_chunks - 1) / max_chunks);
+  const size_t num_chunks = (batch.size() + chunk_len - 1) / chunk_len;
+  const auto run_chunk = [&](size_t worker, size_t chunk) {
+    const size_t begin = chunk * chunk_len;
+    const size_t end = std::min(begin + chunk_len, batch.size());
+    for (size_t index = begin; index < end; ++index) {
       Pending& pending = batch[index];
       QueryResult& result = results[index];
       const uint64_t start_ns = obs::now_ns();
       uint64_t catchup_ns = 0;
       try {
+        // Only the chunk's first query (or the one after a failure reset)
+        // actually advances the replica; the rest hit the version match
+        // and pay one branch.
         core::DnaEngine& engine = engine_at(worker, *version, &catchup_ns);
         result = eval_query(pending.query, *version, engine);
       } catch (const std::exception& e) {
@@ -436,13 +510,18 @@ void DnaService::dispatcher_loop() {
         result.body = "query evaluation failed";
       }
       const uint64_t done_ns = obs::now_ns();
-      // Per-leg accounting: queue covers submit -> this worker picking the
-      // query up (coalescing wait plus pool scheduling); catch-up and eval
-      // partition the rest. Sharded relaxed adds — no lock on this path.
-      const uint64_t queue_ns = obs::elapsed_ns(pending.submit_ns, start_ns);
+      // Per-leg accounting: queue covers submit -> the dispatcher carving
+      // this query's batch (injection + coalescing wait); fanout covers
+      // batch -> this worker reaching the query (pool hand-off plus its
+      // position in the chunk); catch-up and eval partition the rest.
+      // The four legs tile submit -> done exactly. Sharded relaxed adds —
+      // no lock on this path.
+      const uint64_t queue_ns = obs::elapsed_ns(pending.submit_ns, batch_ns);
+      const uint64_t fanout_ns = obs::elapsed_ns(batch_ns, start_ns);
       const uint64_t eval_ns = done_ns - start_ns - catchup_ns;
       const uint64_t total_ns = obs::elapsed_ns(pending.submit_ns, done_ns);
       hist_queue_wait_.observe(queue_ns);
+      hist_fanout_.observe(fanout_ns);
       hist_eval_.observe(eval_ns);
       hist_query_total_.observe(total_ns);
       // Profiler accounting: the worker's own slot, relaxed adds only.
@@ -460,8 +539,11 @@ void DnaService::dispatcher_loop() {
         obs::Trace trace(pending.query.trace_id != 0 ? pending.query.trace_id
                                                      : obs::next_trace_id());
         trace.add("queue", 0, queue_ns);
-        if (catchup_ns != 0) trace.add("catchup", queue_ns, catchup_ns);
-        trace.add("eval", queue_ns + catchup_ns, eval_ns);
+        if (fanout_ns != 0) trace.add("fanout", queue_ns, fanout_ns);
+        if (catchup_ns != 0) {
+          trace.add("catchup", queue_ns + fanout_ns, catchup_ns);
+        }
+        trace.add("eval", queue_ns + fanout_ns + catchup_ns, eval_ns);
         if (pending.query.traced) result.trace = trace.encode();
         if (slow) {
           ctr_slow_queries_.add();
@@ -476,24 +558,34 @@ void DnaService::dispatcher_loop() {
         }
         trace_log_.record(std::move(trace));
       }
-    });
+    }
+  };
+  if (num_chunks == 1) {
+    // A single chunk cannot overlap with anything: serve it on the
+    // dispatcher thread itself. Skipping the pool spares two context
+    // switches per batch — for the small batches a synchronous load
+    // produces, that hand-off would cost more than the evaluation. The
+    // dispatcher owns the extra replica slot past the pool workers'.
+    run_chunk(workers_.size() - 1, 0);
+  } else {
+    pool_.parallel_for(num_chunks, run_chunk);
+  }
 
-    // Account the batch before resolving its futures, so a caller that
-    // waits on a query and then reads metrics() always sees it counted.
-    ctr_batches_.add();
-    ctr_queries_total_.add(batch.size());
-    gauge_max_batch_.set_max(static_cast<int64_t>(batch.size()));
-    hist_batch_size_.observe(batch.size());
-    for (const QueryResult& result : results) {
-      if (!result.ok) ctr_queries_failed_.add();
-    }
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      queries_per_version_[version->id] += batch.size();
-    }
-    for (size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(results[i]));
-    }
+  // Account the batch before resolving its futures, so a caller that
+  // waits on a query and then reads metrics() always sees it counted.
+  ctr_batches_.add();
+  ctr_queries_total_.add(batch.size());
+  gauge_max_batch_.set_max(static_cast<int64_t>(batch.size()));
+  hist_batch_size_.observe(batch.size());
+  for (const QueryResult& result : results) {
+    if (!result.ok) ctr_queries_failed_.add();
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    queries_per_version_[version->id] += batch.size();
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
   }
 }
 
@@ -524,13 +616,8 @@ ServiceMetrics DnaService::metrics() const {
 
 Health DnaService::health() const {
   Health health;
-  bool accepting;
-  size_t depth;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    accepting = !stopping_;
-    depth = queue_.size();
-  }
+  const bool accepting = !stopping_.load(std::memory_order_acquire);
+  const size_t depth = queue_depth();
   const bool journal_ok = !journal_failed_.load(std::memory_order_relaxed);
   health.ok = accepting && journal_ok;
   std::ostringstream detail;
@@ -599,10 +686,13 @@ obs::DiagnosisReport DnaService::diagnose(size_t queries_per_phase) {
   // Leg baselines: deltas across the flood phase attribute only what the
   // flood did, even on a service that has been serving for hours.
   const double queue0 = hist_sum_seconds(hist_queue_wait_);
+  const double fanout0 = hist_sum_seconds(hist_fanout_);
   const double catchup0 = hist_sum_seconds(hist_catchup_);
   const double eval0 = hist_sum_seconds(hist_eval_);
   const double total0 = hist_sum_seconds(hist_query_total_);
   const uint64_t lock_wait0 = commit_mutex_.wait_ns();
+  const uint64_t batches0 = ctr_batches_.value();
+  const uint64_t flood_queries0 = ctr_queries_total_.value();
 
   // Phase 2 — flooded: `threads` submitters drive the same number of
   // queries concurrently, the worst case the t8 bench row measures.
@@ -625,12 +715,14 @@ obs::DiagnosisReport DnaService::diagnose(size_t queries_per_phase) {
       static_cast<double>(obs::elapsed_ns(flood_start_ns, obs::now_ns())) *
       1e-9;
 
-  // Attribution: queue + catchup + eval partition each query's
-  // submit→done time exactly (dispatcher_loop's accounting), so the legs
+  // Attribution: queue + fanout + catchup + eval partition each query's
+  // submit→done time exactly (serve_batch's accounting), so the legs
   // cover the measured wall time by construction.
   report.wall_seconds = hist_sum_seconds(hist_query_total_) - total0;
   report.legs.push_back(
       {"queue (dispatch wait)", hist_sum_seconds(hist_queue_wait_) - queue0, 0});
+  report.legs.push_back(
+      {"fanout (batch hand-off)", hist_sum_seconds(hist_fanout_) - fanout0, 0});
   report.legs.push_back(
       {"catchup (replica advance)", hist_sum_seconds(hist_catchup_) - catchup0,
        0});
@@ -639,18 +731,27 @@ obs::DiagnosisReport DnaService::diagnose(size_t queries_per_phase) {
   report.lock_wait_seconds =
       static_cast<double>(commit_mutex_.wait_ns() - lock_wait0) * 1e-9;
   report.max_queue_depth = gauge_max_queue_depth_.value();
+  report.batches = ctr_batches_.value() - batches0;
+  const uint64_t flood_served = ctr_queries_total_.value() - flood_queries0;
+  report.mean_batch =
+      report.batches > 0
+          ? static_cast<double>(flood_served) / static_cast<double>(report.batches)
+          : 0;
   obs::finalize_diagnosis(report);
   return report;
 }
 
 void DnaService::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  space_cv_.notify_all();
+  // The old path published `stopping_` and then fired two notifies before
+  // joining — a submitter that had already passed its stop check could
+  // enqueue into a queue nobody would ever drain again, leaving its future
+  // hung. Now: `stopping_` (seq_cst) pairs with the submit-side
+  // `submits_inflight_` handshake, and the dispatcher drains until no
+  // submitter can still be mid-push, so every future that entered the
+  // queue resolves and every later submit gets the typed error.
   std::lock_guard<std::mutex> join_lock(shutdown_mutex_);
+  stopping_.store(true, std::memory_order_seq_cst);
+  injector_.close();  // unparks the dispatcher for its final drain
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 

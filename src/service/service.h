@@ -11,13 +11,26 @@
 //    publishes an immutable Version through the SnapshotStore. Publication
 //    never blocks readers: in-flight queries keep their version handle.
 //
-//  * Readers never block writers. submit() captures the head version and
-//    enqueues; a dispatcher coalesces every pending query that targets the
-//    same version into one batch and fans it out over the shared
-//    util::ThreadPool. Each worker owns a DnaEngine replica that it
-//    advances differentially from whatever version it last served — the
-//    base verification is paid once per worker, then replicas ride the
-//    same delta stream the writer does.
+//  * Readers never block writers — or each other. submit() captures the
+//    head version and pushes onto a lock-free MPSC injection queue
+//    (util::MpscQueue: one atomic exchange per submission, no mutex, and a
+//    condvar wake only when the dispatcher is actually parked). The
+//    dispatcher drains the injector without a lock round-trip per query,
+//    coalesces every pending query that targets the same version into one
+//    batch, and fans the batch out over the shared util::ThreadPool in
+//    contiguous same-version *runs* — a worker is handed a slice of the
+//    batch, not one query, so each chunk pays at most one replica
+//    catch-up and one pool hand-off. Each worker owns a DnaEngine replica
+//    that it advances differentially from whatever version it last
+//    served — the base verification is paid once per worker, then
+//    replicas ride the same delta stream the writer does.
+//
+//  * Backpressure is a credit scheme (util::CreditGate): a submitter
+//    acquires one credit per query (a CAS, not a mutex), parks at the
+//    bound for at most the submit deadline, and sheds — before ever
+//    entering the queue — when no credit frees up. The dispatcher
+//    releases a whole batch of credits at once, so a drain wakes parked
+//    submitters once, not once per query.
 //
 //  * Durability is optional and differential too (journal.h): when a
 //    journal directory is configured, every commit's textual change plan is
@@ -33,7 +46,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -53,6 +65,7 @@
 #include "service/journal.h"
 #include "service/query.h"
 #include "service/version.h"
+#include "util/mpsc_queue.h"
 #include "util/threadpool.h"
 
 namespace dna::obs {
@@ -77,9 +90,11 @@ struct ServiceOptions {
   /// is acknowledged (see journal.h). Ignored without a journal.
   FsyncPolicy journal_fsync = FsyncPolicy::kAlways;
   /// Backpressure: maximum pending (submitted, not yet dispatched) queries;
-  /// 0 = unbounded. At the bound, submit() waits up to `submit_deadline`
-  /// for the dispatcher to drain, then sheds the query (the future resolves
-  /// ok=false) instead of growing the queue or blocking forever.
+  /// 0 = unbounded. Enforced by a credit gate: at the bound, submit() waits
+  /// up to `submit_deadline` for the dispatcher to release a batch of
+  /// credits, then sheds the query (the future resolves ok=false, counted
+  /// in queries_shed and *never* in the queue-wait histogram) instead of
+  /// growing the queue or blocking forever.
   size_t max_queue_depth = 0;
   std::chrono::milliseconds submit_deadline{100};
   /// Recent versions the store pins beyond the head (SnapshotStore::
@@ -230,6 +245,9 @@ class DnaService {
   /// Per-worker profiler accounting since construction. Busy is the
   /// worker's total task wall time; catch-up and eval partition it. Idle
   /// is uptime minus busy, computed by the caller against uptime_seconds().
+  /// Rows 0..num_workers()-1 are the pool workers; the final row is the
+  /// dispatcher's own slot, used when it serves a single-chunk batch
+  /// inline instead of paying a pool hand-off.
   struct WorkerStats {
     uint64_t tasks = 0;
     double busy_seconds = 0;
@@ -284,6 +302,9 @@ class DnaService {
   };
 
   void dispatcher_loop();
+  /// Serves one version-coalesced batch: chunked fan-out over the pool,
+  /// per-query leg accounting, metrics, and promise resolution.
+  void serve_batch(std::vector<Pending> batch);
   /// The shared commit tail: `effective` is the plan that both applies and
   /// (when journaling) gets logged — callers guarantee its description is
   /// the canonical text when a journal is configured. `trace`, if non-null,
@@ -314,7 +335,9 @@ class DnaService {
   std::unique_ptr<Journal> journal_;  // before store_: recovery seeds it
   SnapshotStore store_;
   util::ThreadPool pool_;
-  std::vector<WorkerState> workers_;  // indexed by pool worker id
+  // Indexed by pool worker id; the extra final slot is the dispatcher's,
+  // for batches it serves inline.
+  std::vector<WorkerState> workers_;
   size_t recovered_commits_ = 0;
 
   // ---- telemetry (obs/). Handles resolved once at construction; the hot
@@ -332,6 +355,7 @@ class DnaService {
   obs::Gauge& gauge_max_queue_depth_;
   obs::Gauge& gauge_queue_depth_;
   obs::Histogram& hist_queue_wait_;
+  obs::Histogram& hist_fanout_;
   obs::Histogram& hist_catchup_;
   obs::Histogram& hist_eval_;
   obs::Histogram& hist_query_total_;
@@ -350,11 +374,20 @@ class DnaService {
   obs::TimedMutex commit_mutex_;
   std::unique_ptr<core::DnaEngine> writer_;  // resident engine at head
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;   // signals the dispatcher: work queued
-  std::condition_variable space_cv_;   // signals submitters: queue drained
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
+  // ---- submission path: lock-free MPSC injection + credit backpressure.
+  // Producers push with one atomic exchange; the dispatcher drains into a
+  // consumer-private backlog and selects version-coalesced batches from
+  // it. Credits bound (injector + backlog); the dispatcher releases a
+  // batch's worth at once. `submits_inflight_` closes the
+  // submit-during-shutdown window: a producer stands up here *before*
+  // re-checking `stopping_` (seq_cst on both sides), so the dispatcher's
+  // final drain either waits for its push or the producer sees the stop
+  // and resolves the future with a typed error — never a hung future.
+  util::MpscQueue<Pending> injector_;
+  util::CreditGate credit_gate_;
+  std::atomic<size_t> pending_count_{0};  // submitted, not yet batched
+  std::atomic<uint64_t> submits_inflight_{0};
+  std::atomic<bool> stopping_{false};
 
   // Only the per-version dispatch map still needs a lock; it is touched
   // once per *batch* (dispatcher thread only writes, metrics() reads), so

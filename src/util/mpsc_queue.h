@@ -1,0 +1,236 @@
+// Lock-free multi-producer/single-consumer submission machinery.
+//
+// Two pieces, built for the service's dispatcher hand-off (ROADMAP item 1:
+// the mutex+condvar submission path serialized every producer and collapsed
+// query scaling):
+//
+//   * MpscQueue<T> — an unbounded intrusive-node MPSC queue in the style of
+//     Vyukov's non-blocking queue. push() is lock-free: one atomic exchange
+//     on the tail plus one release store to link the node — producers never
+//     take a mutex and never wait on each other beyond that exchange. The
+//     single consumer pops in arrival order (FIFO per producer is
+//     guaranteed; producers' streams interleave at exchange order).
+//
+//     Wake-ups are *batched*: the consumer parks only after declaring
+//     itself parked and re-checking emptiness (a Dekker-style seq_cst
+//     handshake on `size_`/`parked_`), so producers pay a condvar notify
+//     only for the push that actually lands on a parked consumer — a flood
+//     of submissions costs one wake, not one notify per item.
+//
+//   * CreditGate — a counting semaphore over the queue's bounded-depth
+//     contract. Producers acquire one credit per item (try_acquire on the
+//     fast path is one CAS, no mutex); the consumer releases a batch of
+//     credits at once when it drains. acquire_for() parks a producer at
+//     the bound for at most the caller's deadline — the shed path — and
+//     release() takes the wake mutex only when someone is actually parked.
+//
+// Memory ordering notes live next to each fence; the seq_cst pairs are the
+// two sleep/notify handshakes (consumer park vs producer push, producer
+// park vs consumer release). Everything else is acquire/release on the
+// queue links.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace dna::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  ~MpscQueue() {
+    // Consumer-side teardown: drain whatever is linked, then free the stub.
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_acquire);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Multi-producer, lock-free. Wakes the consumer iff it is parked.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    // The exchange makes this node the new tail; linking prev->next hands
+    // it to the consumer. Between the two, the chain is momentarily broken
+    // at prev — pop() treats that as "not ready yet", and `size_` (bumped
+    // only after the link) keeps the consumer from sleeping through it.
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_seq_cst)) {
+      // The consumer declared itself parked before our size_ bump landed;
+      // claim the wake under the park mutex so racing producers don't
+      // stampede notify_one.
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      if (parked_.load(std::memory_order_relaxed)) {
+        parked_.store(false, std::memory_order_relaxed);
+        park_cv_.notify_one();
+      }
+    }
+  }
+
+  /// Single consumer. False when the queue is empty *or* a producer is
+  /// mid-push (tail exchanged, node not linked yet) — callers loop on
+  /// size() if they must distinguish.
+  bool try_pop(T& out) {
+    Node* head = head_;
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    head_ = next;  // `next` becomes the new stub; its value was moved out
+    delete head;
+    size_.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Items fully pushed and not yet popped. Exact for quiescent producers;
+  /// momentarily under-counts an in-flight push (never over-counts).
+  size_t size() const { return size_.load(std::memory_order_seq_cst); }
+
+  /// Single consumer: parks until a push lands or close() is called.
+  /// Returns immediately when items are already visible. Spurious returns
+  /// are allowed (callers re-poll) — the guarantee is "never sleeps
+  /// through a completed push".
+  void wait_nonempty() {
+    // Adaptive spin before the park: under an active load the next push
+    // lands within microseconds, and a yield round trip costs a fraction
+    // of the futex sleep/wake pair (it also keeps `parked_` false, so
+    // producers skip their notify branch entirely). An idle consumer
+    // burns the bounded spin once, then parks for real.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (size_.load(std::memory_order_seq_cst) > 0 ||
+          closed_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    parked_.store(true, std::memory_order_seq_cst);
+    // Dekker handshake: our parked_ store is ordered before this size_
+    // load; a producer orders its size_ bump before its parked_ load. In
+    // the seq_cst total order one of the two must observe the other, so
+    // either we see the item here or the producer sees us parked and
+    // notifies under the mutex we hold.
+    if (size_.load(std::memory_order_seq_cst) > 0 ||
+        closed_.load(std::memory_order_relaxed)) {
+      parked_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    park_cv_.wait(lock, [this] {
+      return !parked_.load(std::memory_order_relaxed) ||
+             closed_.load(std::memory_order_relaxed);
+    });
+    parked_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Unblocks the consumer permanently (shutdown). Push is still legal
+  /// after close — the consumer drains before exiting.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      closed_.store(true, std::memory_order_relaxed);
+      parked_.store(false, std::memory_order_relaxed);
+    }
+    park_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> tail_;  // producers exchange here
+  Node* head_;               // consumer-owned stub
+  std::atomic<size_t> size_{0};
+
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> closed_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+/// A counting semaphore for bounded-depth backpressure. `credits` of 0
+/// means unlimited (every acquire succeeds without touching the counter).
+class CreditGate {
+ public:
+  explicit CreditGate(size_t credits)
+      : unlimited_(credits == 0),
+        credits_(static_cast<long long>(credits)) {}
+
+  /// One CAS on the fast path; never blocks.
+  bool try_acquire() {
+    if (unlimited_) return true;
+    long long have = credits_.load(std::memory_order_relaxed);
+    while (have > 0) {
+      if (credits_.compare_exchange_weak(have, have - 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// try_acquire, then park up to `timeout` for a release. False = shed.
+  template <typename Rep, typename Period>
+  bool acquire_for(std::chrono::duration<Rep, Period> timeout) {
+    if (try_acquire()) return true;
+    if (timeout <= timeout.zero()) return false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Same Dekker shape as the queue park: a releaser orders its credit
+    // add before its waiters_ load, we order our waiters_ bump before the
+    // predicate's credit read — one side always sees the other.
+    const bool ok =
+        cv_.wait_for(lock, timeout, [this] { return try_acquire(); });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  /// Returns `n` credits; wakes parked producers only when there are any.
+  void release(size_t n) {
+    if (unlimited_ || n == 0) return;
+    credits_.fetch_add(static_cast<long long>(n), std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) > 0) {
+      // Serialize with the waiter's predicate registration, then wake all:
+      // n credits may satisfy up to n producers.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      cv_.notify_all();
+    }
+  }
+
+  bool unlimited() const { return unlimited_; }
+  /// Credits currently available (unbounded gates report 0).
+  long long available() const {
+    return unlimited_ ? 0 : credits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const bool unlimited_;
+  std::atomic<long long> credits_;
+  std::atomic<size_t> waiters_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dna::util

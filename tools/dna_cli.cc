@@ -1051,6 +1051,8 @@ int cmd_dash(const std::vector<std::string>& args) {
       screen << "  latency (ms)            p50       p95       p99     count\n"
              << dash_latency_row(body, "service.query_queue_seconds",
                                  "queue wait")
+             << dash_latency_row(body, "service.query_fanout_seconds",
+                                 "batch fan-out")
              << dash_latency_row(body, "service.replica_catchup_seconds",
                                  "replica catch-up")
              << dash_latency_row(body, "service.query_eval_seconds", "eval")
