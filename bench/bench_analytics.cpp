@@ -1,0 +1,158 @@
+// Risk-analytics serving cost: a cold keystone sweep versus a memoized
+// re-read of the same query against a live DnaService (ROADMAP item 5's
+// serving half).
+//
+// The cold path pays one differential preview per swept link; the re-read
+// must be a RiskStore map hit returning the byte-identical body. The bench
+// asserts the memo is actually hit (cache-hit counter moves), that the
+// bodies are byte-identical, and that the re-read is >= 10x faster than the
+// cold sweep — the acceptance bar for serving risk as a dashboard query.
+//
+// Output: human-readable table plus machine-readable BENCH_analytics.json
+// in the same shape as the other bench reports. Flags:
+//   --quick                fat-tree k=4 only (CI)
+//   --json=PATH            write the JSON report (default BENCH_analytics.json)
+//   --check=BASELINE.json  fail (exit 1) if a gated entry regresses >2x
+//                          versus the baseline, calibrated by the
+//                          monolithic anchor (fixed engine code measured in
+//                          this very process)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/service.h"
+#include "topo/generators.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace dna;
+
+namespace {
+
+bench::BenchReport g_report;
+double g_speedup_k4 = 0;
+
+void bench_fattree(int k) {
+  service::ServiceOptions options;
+  options.num_threads = 2;
+  options.keep_versions = 4;
+  service::DnaService service(topo::make_fattree(k),
+                              {{core::Invariant::Kind::kLoopFree, "", "", "",
+                                Ipv4Prefix()}},
+                              options);
+  const std::string tag = "_k" + std::to_string(k);
+
+  Stopwatch cold_watch;
+  const service::QueryResult cold = service.query("risk links");
+  const double cold_ms = cold_watch.elapsed_ms();
+  if (!cold.ok) {
+    std::fprintf(stderr, "FAIL: cold risk query failed: %s\n",
+                 cold.body.c_str());
+    std::exit(1);
+  }
+  const size_t scenarios = service.head()->snapshot->topology.num_links();
+  g_report.record("risk_cold" + tag, scenarios, cold_ms / 1e3,
+                  /*gated=*/true);
+
+  // Memoized re-reads: every one must hit the RiskStore and return the
+  // byte-identical body.
+  const uint64_t hits_before =
+      service.registry().counter("service.risk_cache_hits").value();
+  constexpr size_t kReads = 64;
+  Stopwatch memo_watch;
+  for (size_t i = 0; i < kReads; ++i) {
+    const service::QueryResult read = service.query("risk links");
+    if (!read.ok || read.body != cold.body) {
+      std::fprintf(stderr, "FAIL: memoized read diverged from cold body\n");
+      std::exit(1);
+    }
+  }
+  const double memo_ms = memo_watch.elapsed_ms();
+  const uint64_t hits =
+      service.registry().counter("service.risk_cache_hits").value() -
+      hits_before;
+  g_report.record("risk_memo" + tag, kReads, memo_ms / 1e3, /*gated=*/true);
+
+  const double per_read_ms = memo_ms / kReads;
+  const double speedup = per_read_ms > 0 ? cold_ms / per_read_ms : 0;
+  if (k == 4) g_speedup_k4 = speedup;
+  std::printf(
+      "fat-tree k=%d: %zu scenarios | cold %8.1f ms | memoized read %8.3f ms "
+      "| %8.1fx | cache hits %llu\n",
+      k, scenarios, cold_ms, per_read_ms, speedup,
+      static_cast<unsigned long long>(hits));
+
+  if (hits == 0) {
+    std::printf("FAIL: memoized reads never hit the cache\n");
+    std::exit(1);
+  }
+  if (speedup < 10) {
+    std::printf("FAIL: memoized read is only %.1fx faster than the cold "
+                "sweep (acceptance bar: 10x)\n",
+                speedup);
+    std::exit(1);
+  }
+}
+
+/// The calibration anchor: one monolithic advance of a single link failure
+/// on the smallest swept fat-tree — fixed engine code measured in this very
+/// process, so current/baseline over it isolates machine speed.
+void bench_anchor() {
+  const topo::Snapshot base = topo::make_fattree(4);
+  const topo::Snapshot target = topo::with_link_state(base, 0, /*up=*/false);
+  const double ms =
+      bench::advance_ms(base, target, core::Mode::kMonolithic, /*reps=*/3);
+  g_report.record("anchor_monolithic", 1, ms / 1e3, /*gated=*/false);
+}
+
+void write_json(const std::string& path, bool quick) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("analytics");
+  json.key("quick").value(quick);
+  g_report.append_json(json);
+  json.key("speedups").begin_object();
+  json.key("memo_over_cold_k4").value(g_speedup_k4);
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_analytics.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      baseline_path = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench_anchor();
+  bench_fattree(4);
+  if (!quick) bench_fattree(6);
+  write_json(json_path, quick);
+
+  if (!baseline_path.empty() &&
+      g_report.check_against_baseline(baseline_path, "anchor_monolithic") !=
+          0) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,407 @@
+#include "analytics/risk.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dna::analytics {
+
+namespace {
+
+/// Strict non-negative integer parse for sweep parameters; rejects values
+/// that do not fit an int (a truncated cost would sweep a different change
+/// than the one requested).
+int parse_param(const std::string& text) {
+  const long long value = parse_int(text);
+  if (value < 0 || value > std::numeric_limits<int>::max()) {
+    throw Error("bad sweep parameter: " + text);
+  }
+  return static_cast<int>(value);
+}
+
+std::string link_label(const topo::Topology& topology, uint32_t index) {
+  const topo::Link& link = topology.link(index);
+  return "link " + std::to_string(index) + " (" + topology.node_name(link.a) +
+         " <-> " + topology.node_name(link.b) + ")";
+}
+
+}  // namespace
+
+std::string SweepSpec::str() const {
+  switch (kind) {
+    case Kind::kLinks:
+      return "links";
+    case Kind::kCosts:
+      return "costs:" + std::to_string(cost);
+    case Kind::kNode:
+      return "node:" + node;
+    case Kind::kRandom:
+      return "random:" + std::to_string(count) + ":" + std::to_string(seed);
+  }
+  return "links";
+}
+
+uint64_t SweepSpec::hash() const {
+  // FNV-1a over the canonical token, like service::snapshot_digest: stable
+  // across platforms and standard-library implementations.
+  uint64_t digest = 1469598103934665603ULL;
+  for (const char c : str()) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ULL;
+  }
+  return digest;
+}
+
+SweepSpec parse_sweep(const std::string& text) {
+  const std::string token(trim(text));
+  SweepSpec sweep;
+  const size_t colon = token.find(':');
+  const std::string head = token.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? "" : token.substr(colon + 1);
+  if (head == "links") {
+    if (!rest.empty()) throw Error("sweep 'links' takes no parameter");
+    sweep.kind = SweepSpec::Kind::kLinks;
+  } else if (head == "costs") {
+    if (rest.empty()) throw Error("sweep 'costs' needs :<cost>");
+    sweep.kind = SweepSpec::Kind::kCosts;
+    sweep.cost = parse_param(rest);
+  } else if (head == "node") {
+    if (rest.empty()) throw Error("sweep 'node' needs :<name>");
+    sweep.kind = SweepSpec::Kind::kNode;
+    sweep.node = rest;
+  } else if (head == "random") {
+    sweep.kind = SweepSpec::Kind::kRandom;
+    const size_t second = rest.find(':');
+    const std::string count_text = rest.substr(0, second);
+    if (count_text.empty()) throw Error("sweep 'random' needs :<count>");
+    sweep.count = parse_param(count_text);
+    if (sweep.count < 1) throw Error("sweep 'random' needs a count >= 1");
+    if (second != std::string::npos) {
+      sweep.seed =
+          static_cast<uint64_t>(parse_param(rest.substr(second + 1)));
+    }
+  } else {
+    throw Error("unknown sweep (want links|costs:<c>|node:<name>|"
+                "random:<n>[:<seed>]): " +
+                token);
+  }
+  return sweep;
+}
+
+SweepPlan plan_sweep(const SweepSpec& sweep, const topo::Snapshot& base) {
+  SweepPlan plan;
+  const topo::Topology& topology = base.topology;
+  switch (sweep.kind) {
+    case SweepSpec::Kind::kLinks:
+    case SweepSpec::Kind::kCosts: {
+      plan.specs = sweep.kind == SweepSpec::Kind::kLinks
+                       ? scenario::link_failure_sweep(base)
+                       : scenario::link_cost_sweep(base, sweep.cost);
+      // Both generators emit one scenario per *up* link in index order;
+      // attribution walks the same order so elements[i] names the link
+      // specs[i] perturbs.
+      for (uint32_t i = 0; i < topology.num_links(); ++i) {
+        const topo::Link& link = topology.link(i);
+        if (!link.up) continue;
+        ElementRef element;
+        element.link = link_label(topology, i);
+        element.routers = {topology.node_name(link.a),
+                           topology.node_name(link.b)};
+        plan.elements.push_back(std::move(element));
+      }
+      break;
+    }
+    case SweepSpec::Kind::kNode: {
+      plan.specs = scenario::interface_shutdown_sweep(base, sweep.node);
+      // Same iteration (and skip rule) as the generator: one scenario per
+      // enabled non-loopback interface. Shutting an interface kills its
+      // link, so the link and both endpoints take the charge.
+      const topo::NodeId id = topology.node_id(sweep.node);
+      for (const config::InterfaceConfig& iface :
+           base.configs[id].interfaces) {
+        if (!iface.enabled || iface.name == "lo") continue;
+        ElementRef element;
+        element.routers = {sweep.node};
+        const int link = topology.link_at(id, iface.name);
+        if (link >= 0) {
+          element.link = link_label(topology, static_cast<uint32_t>(link));
+          const topo::NodeId peer =
+              topology.link(static_cast<uint32_t>(link)).peer_of(id);
+          if (peer != id) element.routers.push_back(topology.node_name(peer));
+        }
+        plan.elements.push_back(std::move(element));
+      }
+      break;
+    }
+    case SweepSpec::Kind::kRandom: {
+      plan.specs = scenario::random_change_sweep(base, sweep.count, sweep.seed);
+      for (const scenario::ScenarioSpec& spec : plan.specs) {
+        ElementRef element;
+        element.change = spec.name;
+        plan.elements.push_back(std::move(element));
+      }
+      break;
+    }
+  }
+  DNA_CHECK(plan.specs.size() == plan.elements.size());
+  return plan;
+}
+
+void BlastHistogram::add(uint64_t reach_lost) {
+  if (reach_lost == 0) {
+    ++zero;
+    return;
+  }
+  size_t bucket = 0;
+  while ((reach_lost >> (bucket + 1)) != 0) ++bucket;
+  if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+  ++buckets[bucket];
+}
+
+RiskReport analyze(const SweepPlan& plan,
+                   const std::vector<scenario::ScenarioResult>& results,
+                   const std::vector<std::string>& invariant_descriptions) {
+  DNA_CHECK(plan.specs.size() == results.size());
+  RiskReport report;
+  report.scenarios = results.size();
+
+  // Keyed accumulation: every sum lands on a (kind, element) key, never an
+  // index, so any permutation of the scenario order produces the identical
+  // report — the permutation-invariance the property test pins down.
+  std::map<std::pair<std::string, std::string>, ElementRisk> by_element;
+  std::map<std::string, uint64_t> invariant_breaks;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const scenario::ScenarioResult& result = results[i];
+    if (!result.ok) {
+      ++report.failures;
+      continue;
+    }
+    const ElementRef& ref = plan.elements[i];
+    const uint64_t mass = result.reach_lost + result.reach_gained +
+                          result.loops_gained + result.blackholes_gained +
+                          result.fib_changes;
+    report.total_mass += mass;
+    report.blast.add(result.reach_lost);
+    for (const std::string& description : result.broken_invariants) {
+      ++invariant_breaks[description];
+    }
+
+    const auto charge = [&](const std::string& kind,
+                            const std::string& element) {
+      ElementRisk& risk = by_element[{kind, element}];
+      if (risk.element.empty()) {
+        risk.element = element;
+        risk.kind = kind;
+      }
+      ++risk.scenarios;
+      risk.reach_lost += result.reach_lost;
+      risk.reach_gained += result.reach_gained;
+      risk.loops_gained += result.loops_gained;
+      risk.blackholes_gained += result.blackholes_gained;
+      risk.invariants_broken += result.invariants_broken;
+      risk.fib_changes += result.fib_changes;
+    };
+    if (!ref.link.empty()) charge("link", ref.link);
+    for (const std::string& router : ref.routers) charge("router", router);
+    if (!ref.change.empty()) charge("change", ref.change);
+  }
+
+  report.elements.reserve(by_element.size());
+  for (auto& [key, risk] : by_element) report.elements.push_back(risk);
+  std::sort(report.elements.begin(), report.elements.end(),
+            [](const ElementRisk& a, const ElementRisk& b) {
+              if (a.mass() != b.mass()) return a.mass() > b.mass();
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.element < b.element;
+            });
+
+  // Fragile vs robust over the *registered* set (deduplicated): a broken
+  // description always comes from a registered invariant, so the split is
+  // exhaustive.
+  const std::set<std::string> registered(invariant_descriptions.begin(),
+                                         invariant_descriptions.end());
+  for (const std::string& description : registered) {
+    const auto it = invariant_breaks.find(description);
+    if (it == invariant_breaks.end() || it->second == 0) {
+      ++report.robust_invariants;
+    } else {
+      report.fragile.push_back({description, it->second});
+    }
+  }
+  std::sort(report.fragile.begin(), report.fragile.end(),
+            [](const InvariantFragility& a, const InvariantFragility& b) {
+              if (a.breaks != b.breaks) return a.breaks > b.breaks;
+              return a.invariant < b.invariant;
+            });
+  return report;
+}
+
+uint64_t RiskReport::keystone_micro(const ElementRisk& element) const {
+  if (total_mass == 0) return 0;
+  return (element.mass() * 1000000ULL + total_mass / 2) / total_mass;
+}
+
+std::string format_micro(uint64_t micro) {
+  char out[32];
+  std::snprintf(out, sizeof(out), "%llu.%06llu",
+                static_cast<unsigned long long>(micro / 1000000ULL),
+                static_cast<unsigned long long>(micro % 1000000ULL));
+  return out;
+}
+
+std::string RiskReport::str(size_t top_k) const {
+  std::ostringstream out;
+  out << "risk sweep=" << sweep << " v" << version << ": " << scenarios
+      << " scenarios, " << failures << " failed, total mass " << total_mass
+      << "\n";
+  out << "rank  keystone  mass      lost  broken  kind    element\n";
+  const size_t rows =
+      top_k == 0 ? elements.size() : std::min(top_k, elements.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const ElementRisk& element = elements[i];
+    char line[160];
+    std::snprintf(line, sizeof(line), "%4zu  %8s  %-8llu  %-4llu  %-6llu  %-6s  %s\n",
+                  i + 1, format_micro(keystone_micro(element)).c_str(),
+                  static_cast<unsigned long long>(element.mass()),
+                  static_cast<unsigned long long>(element.reach_lost),
+                  static_cast<unsigned long long>(element.invariants_broken),
+                  element.kind.c_str(), element.element.c_str());
+    out << line;
+  }
+  if (rows < elements.size()) {
+    out << "  ... " << elements.size() - rows << " more elements\n";
+  }
+  out << "blast radius (reach facts lost per scenario): zero=" << blast.zero;
+  for (size_t k = 0; k < blast.buckets.size(); ++k) {
+    out << " [" << (1ULL << k) << "," << ((1ULL << (k + 1)) - 1)
+        << "]=" << blast.buckets[k];
+  }
+  out << "\n";
+  out << "invariants: " << robust_invariants << " robust, " << fragile.size()
+      << " fragile\n";
+  const size_t fragile_rows =
+      top_k == 0 ? fragile.size() : std::min(top_k, fragile.size());
+  for (size_t i = 0; i < fragile_rows; ++i) {
+    out << "  " << fragile[i].breaks << " breaks | " << fragile[i].invariant
+        << "\n";
+  }
+  if (fragile_rows < fragile.size()) {
+    out << "  ... " << fragile.size() - fragile_rows << " more fragile\n";
+  }
+  return out.str();
+}
+
+void RiskReport::append_json(util::JsonWriter& json, size_t top_k) const {
+  json.begin_object();
+  json.key("sweep").value(sweep);
+  json.key("version").value(static_cast<unsigned long long>(version));
+  json.key("scenarios").value(static_cast<unsigned long long>(scenarios));
+  json.key("failures").value(static_cast<unsigned long long>(failures));
+  json.key("total_mass").value(static_cast<unsigned long long>(total_mass));
+  json.key("elements_total")
+      .value(static_cast<unsigned long long>(elements.size()));
+  json.key("elements").begin_array();
+  const size_t rows =
+      top_k == 0 ? elements.size() : std::min(top_k, elements.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const ElementRisk& element = elements[i];
+    json.begin_object();
+    json.key("element").value(element.element);
+    json.key("kind").value(element.kind);
+    json.key("scenarios")
+        .value(static_cast<unsigned long long>(element.scenarios));
+    // Micro-units -> double is exact and identical on every platform, so
+    // the shortest-round-trip rendering is deterministic.
+    json.key("keystone")
+        .value(static_cast<double>(keystone_micro(element)) * 1e-6);
+    json.key("mass").value(static_cast<unsigned long long>(element.mass()));
+    json.key("reach_lost")
+        .value(static_cast<unsigned long long>(element.reach_lost));
+    json.key("reach_gained")
+        .value(static_cast<unsigned long long>(element.reach_gained));
+    json.key("loops_gained")
+        .value(static_cast<unsigned long long>(element.loops_gained));
+    json.key("blackholes_gained")
+        .value(static_cast<unsigned long long>(element.blackholes_gained));
+    json.key("invariants_broken")
+        .value(static_cast<unsigned long long>(element.invariants_broken));
+    json.key("fib_changes")
+        .value(static_cast<unsigned long long>(element.fib_changes));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("blast").begin_object();
+  json.key("zero").value(static_cast<unsigned long long>(blast.zero));
+  json.key("buckets").begin_array();
+  for (const uint64_t count : blast.buckets) {
+    json.value(static_cast<unsigned long long>(count));
+  }
+  json.end_array();
+  json.end_object();
+  json.key("invariants").begin_object();
+  json.key("robust").value(static_cast<unsigned long long>(robust_invariants));
+  json.key("fragile_total")
+      .value(static_cast<unsigned long long>(fragile.size()));
+  json.key("fragile").begin_array();
+  const size_t fragile_rows =
+      top_k == 0 ? fragile.size() : std::min(top_k, fragile.size());
+  for (size_t i = 0; i < fragile_rows; ++i) {
+    json.begin_object();
+    json.key("invariant").value(fragile[i].invariant);
+    json.key("breaks").value(static_cast<unsigned long long>(fragile[i].breaks));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+}
+
+std::string RiskReport::to_json(size_t top_k) const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("risk");
+  append_json(json, top_k);
+  json.end_object();
+  return json.str();
+}
+
+std::string RiskReport::to_rank_json(size_t top_k) const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("rank").begin_object();
+  json.key("sweep").value(sweep);
+  json.key("version").value(static_cast<unsigned long long>(version));
+  json.key("scenarios").value(static_cast<unsigned long long>(scenarios));
+  json.key("total_mass").value(static_cast<unsigned long long>(total_mass));
+  json.key("elements_total")
+      .value(static_cast<unsigned long long>(elements.size()));
+  json.key("elements").begin_array();
+  const size_t rows =
+      top_k == 0 ? elements.size() : std::min(top_k, elements.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const ElementRisk& element = elements[i];
+    json.begin_object();
+    json.key("element").value(element.element);
+    json.key("kind").value(element.kind);
+    json.key("scenarios")
+        .value(static_cast<unsigned long long>(element.scenarios));
+    json.key("keystone")
+        .value(static_cast<double>(keystone_micro(element)) * 1e-6);
+    json.key("mass").value(static_cast<unsigned long long>(element.mass()));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace dna::analytics

@@ -1,0 +1,174 @@
+// Risk analytics over what-if sweeps — the differential-network-analysis
+// aggregate layer (ROADMAP item 5).
+//
+// A single what-if answers "what breaks if X happens?". This module answers
+// the operator's next question: *which elements matter most?* It consumes a
+// fleet of scenario verdicts (one sweep = one family of single-element
+// perturbations) and distills them into a risk surface:
+//
+//   * keystone scores — per link and per router, the fraction of the sweep's
+//     total reachability-and-forwarding mass that moves when that element
+//     fails, normalized over the sweep. The elements whose loss reshapes the
+//     network most are its keystones.
+//   * blast-radius histogram — how reachability loss is distributed across
+//     the sweep (log2 buckets), separating "most failures are benign" from
+//     "every failure is a partition".
+//   * invariant fragility — which registered invariants break somewhere in
+//     the sweep (and how often) vs hold everywhere.
+//
+// Determinism contract (mirrors scenario/report.h): every field here is a
+// pure function of (base snapshot, sweep spec, invariants). Aggregation is
+// keyed by element name and accumulates exact integer mass, so a report is
+// byte-identical for any thread count and any permutation of the scenario
+// order; scheduling diagnostics never enter. Scores are only rendered from
+// integer ratios (micro-units), so even the printed decimals are exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/report.h"
+#include "scenario/spec.h"
+#include "topo/snapshot.h"
+#include "util/json.h"
+
+namespace dna::analytics {
+
+// ---- Sweep specs -----------------------------------------------------------
+
+/// The scenario family a risk query sweeps, as one canonical token of the
+/// query mini-language:
+///
+///   links             every up link failed, one at a time (the default)
+///   costs:<C>         every up link's cost set to C
+///   node:<NAME>       every enabled non-loopback interface of NAME shut
+///   random:<N>[:<S>]  N reproducible random changes (seed S, default 1)
+struct SweepSpec {
+  enum class Kind { kLinks, kCosts, kNode, kRandom };
+  Kind kind = Kind::kLinks;
+  int cost = 0;       // kCosts
+  std::string node;   // kNode
+  int count = 0;      // kRandom
+  uint64_t seed = 1;  // kRandom
+
+  /// The canonical token form (what hash() digests and queries carry).
+  std::string str() const;
+  /// FNV-1a over str(): the spec-hash half of the (spec-hash, version) memo
+  /// key. Stable across platforms, like service::snapshot_digest.
+  uint64_t hash() const;
+};
+
+/// Parses the token form above. Throws dna::Error on malformed input; an
+/// unknown node name surfaces later, at plan_sweep() time, because parsing
+/// has no snapshot to check against.
+SweepSpec parse_sweep(const std::string& text);
+
+/// The network element one scenario perturbs — keystone attribution. A
+/// link-centric scenario charges the link and both endpoint routers; a
+/// node-centric one charges only routers; a random change charges a
+/// synthetic "change" element (its own scenario name).
+struct ElementRef {
+  std::string link;                  // "" when no single link is at fault
+  std::vector<std::string> routers;  // endpoint / drained router names
+  std::string change;                // "" unless kind == random
+};
+
+/// A sweep lowered against a concrete base: specs[i] perturbs elements[i].
+/// The specs are exactly the scenario:: generators' output, so risk sweeps
+/// and `whatif --sweep` evaluate the same scenarios.
+struct SweepPlan {
+  std::vector<scenario::ScenarioSpec> specs;
+  std::vector<ElementRef> elements;
+};
+
+/// Expands `sweep` against `base`. Throws dna::Error for unknown nodes.
+SweepPlan plan_sweep(const SweepSpec& sweep, const topo::Snapshot& base);
+
+// ---- The risk report -------------------------------------------------------
+
+struct ElementRisk {
+  std::string element;
+  std::string kind;  // "link" | "router" | "change"
+  /// Sweep scenarios attributed to this element.
+  uint64_t scenarios = 0;
+  // Exact integer mass components, summed over attributed scenarios.
+  uint64_t reach_lost = 0;
+  uint64_t reach_gained = 0;
+  uint64_t loops_gained = 0;
+  uint64_t blackholes_gained = 0;
+  uint64_t invariants_broken = 0;
+  uint64_t fib_changes = 0;
+
+  /// Reachability-and-forwarding mass moved when this element fails: lost +
+  /// gained reach facts, new loops and blackholes, and FIB churn. The
+  /// keystone numerator.
+  uint64_t mass() const {
+    return reach_lost + reach_gained + loops_gained + blackholes_gained +
+           fib_changes;
+  }
+};
+
+/// Log2-bucketed distribution of per-scenario reachability loss.
+struct BlastHistogram {
+  uint64_t zero = 0;  // scenarios losing no reach facts at all
+  /// buckets[k] counts scenarios with reach_lost in [2^k, 2^{k+1}).
+  std::vector<uint64_t> buckets;
+
+  void add(uint64_t reach_lost);
+  bool operator==(const BlastHistogram&) const = default;
+};
+
+struct InvariantFragility {
+  std::string invariant;  // description, as broken_invariants reports it
+  uint64_t breaks = 0;    // scenarios that broke it
+};
+
+struct RiskReport {
+  std::string sweep;     // canonical sweep token
+  uint64_t version = 0;  // service version analyzed (0 = unversioned)
+  uint64_t scenarios = 0;
+  uint64_t failures = 0;    // scenarios that failed to evaluate
+  uint64_t total_mass = 0;  // keystone denominator: sum of scenario mass
+  /// All attributed elements (links, routers, random changes), ranked by
+  /// mass descending; ties break by (kind, element) so the order is total
+  /// and deterministic.
+  std::vector<ElementRisk> elements;
+  BlastHistogram blast;
+  /// Registered invariants broken somewhere in the sweep, by breaks
+  /// descending then description; invariants that held everywhere are only
+  /// counted (robust_invariants) — a host-invariant set is quadratic.
+  std::vector<InvariantFragility> fragile;
+  uint64_t robust_invariants = 0;
+
+  /// keystone(e) = e.mass() / total_mass in micro-units (0 when the sweep
+  /// moved nothing). Integer arithmetic, so rendering is exact.
+  uint64_t keystone_micro(const ElementRisk& element) const;
+
+  /// Deterministic ranked table; `top_k` caps element rows (0 = all).
+  std::string str(size_t top_k = 0) const;
+  /// The same report as one JSON object (compact, deterministic).
+  /// `top_k` caps the elements and fragile arrays (0 = all).
+  void append_json(util::JsonWriter& json, size_t top_k = 0) const;
+  std::string to_json(size_t top_k = 0) const;
+  /// The `rank` projection: just the ranked keystone table, no histogram or
+  /// invariant classification — the cheap dashboard poll.
+  std::string to_rank_json(size_t top_k = 0) const;
+};
+
+/// Aggregates a sweep's verdicts into the risk surface. `results` must align
+/// with plan.specs by index (scenario::ScenarioRunner and the service's
+/// sweep loop both preserve input order). `invariant_descriptions` is the
+/// registered invariant set, for the fragile-vs-robust split. Aggregation
+/// is keyed by element and sums exact integers, so the output is invariant
+/// to any permutation of (specs, elements, results) triples.
+RiskReport analyze(const SweepPlan& plan,
+                   const std::vector<scenario::ScenarioResult>& results,
+                   const std::vector<std::string>& invariant_descriptions);
+
+/// Renders a keystone score in micro-units as a fixed 6-decimal string
+/// ("0.041667"); shared by str() and the JSON writers so the two surfaces
+/// cannot drift.
+std::string format_micro(uint64_t micro);
+
+}  // namespace dna::analytics

@@ -1,5 +1,6 @@
 #include "scenario/runner.h"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 
@@ -51,48 +52,68 @@ ScenarioReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
   std::vector<WorkerTiming> timings(pool.num_workers());
   for (size_t w = 0; w < timings.size(); ++w) timings[w].worker = w;
 
-  pool.parallel_for(specs.size(), [&](size_t worker, size_t index) {
+  // Work items are multi-scenario *chunks*, not single scenarios. With one
+  // pool task per scenario, a modest sweep on a wide pool touches every
+  // worker for a scenario or two each — and every touched worker pays a
+  // full engine clone (a base verification), which then dominates the
+  // batch and flattens scaling (the ~1.0x rows in the scenario baseline).
+  // Sizing chunks so each one carries enough evaluations to amortize its
+  // worker's clone caps how many clones a sweep can possibly pay, while
+  // two chunks per worker still leave slack for stealing to balance the
+  // tail — the same chunk math the service's batch fan-out uses.
+  constexpr size_t kMinChunkScenarios = 4;
+  const size_t max_chunks =
+      std::max<size_t>(1, std::min(specs.size(), pool.num_workers() * 2));
+  const size_t chunk_len = std::max(
+      kMinChunkScenarios, (specs.size() + max_chunks - 1) / max_chunks);
+  const size_t num_chunks = (specs.size() + chunk_len - 1) / chunk_len;
+
+  pool.parallel_for(num_chunks, [&](size_t worker, size_t chunk) {
     std::unique_ptr<core::DnaEngine>& engine = engines[worker];
     WorkerTiming& timing = timings[worker];
-    try {
-      if (!engine) {
-        const uint64_t clone_start = obs::now_ns();
-        engine = std::make_unique<core::DnaEngine>(base_);
-        for (const core::Invariant& invariant : invariants_) {
-          engine->add_invariant(invariant);
+    const size_t begin = chunk * chunk_len;
+    const size_t end = std::min(specs.size(), begin + chunk_len);
+    for (size_t index = begin; index < end; ++index) {
+      try {
+        if (!engine) {
+          const uint64_t clone_start = obs::now_ns();
+          engine = std::make_unique<core::DnaEngine>(base_);
+          for (const core::Invariant& invariant : invariants_) {
+            engine->add_invariant(invariant);
+          }
+          timing.clone_seconds +=
+              static_cast<double>(obs::now_ns() - clone_start) * 1e-9;
         }
-        timing.clone_seconds +=
-            static_cast<double>(obs::now_ns() - clone_start) * 1e-9;
+        const uint64_t eval_start = obs::now_ns();
+        report.results[index] =
+            evaluate(*engine, base_, specs[index], options, index);
+        timing.eval_seconds +=
+            static_cast<double>(obs::now_ns() - eval_start) * 1e-9;
+        ++timing.scenarios;
+      } catch (const std::exception& e) {
+        // The engine may be mid-advance; drop it so the worker rebuilds a
+        // clean clone for its next scenario.
+        engine.reset();
+        ScenarioResult& failed = report.results[index];
+        failed = ScenarioResult{};
+        failed.index = index;
+        failed.name = specs[index].name;
+        failed.ok = false;
+        failed.error = e.what();
+      } catch (...) {
+        // A non-std exception from a user-supplied plan functor must also
+        // fail only its own scenario — letting it escape would reach the
+        // pool and abort the whole batch from wait_idle().
+        engine.reset();
+        ScenarioResult& failed = report.results[index];
+        failed = ScenarioResult{};
+        failed.index = index;
+        failed.name = specs[index].name;
+        failed.ok = false;
+        failed.error = "scenario evaluation failed";
       }
-      const uint64_t eval_start = obs::now_ns();
-      report.results[index] =
-          evaluate(*engine, base_, specs[index], options, index);
-      timing.eval_seconds +=
-          static_cast<double>(obs::now_ns() - eval_start) * 1e-9;
-      ++timing.scenarios;
-    } catch (const std::exception& e) {
-      // The engine may be mid-advance; drop it so the worker rebuilds a
-      // clean clone for its next scenario.
-      engine.reset();
-      ScenarioResult& failed = report.results[index];
-      failed = ScenarioResult{};
-      failed.index = index;
-      failed.name = specs[index].name;
-      failed.ok = false;
-      failed.error = e.what();
-    } catch (...) {
-      // A non-std exception from a user-supplied plan functor must also
-      // fail only its own scenario — letting it escape would reach the
-      // pool and abort the whole batch from wait_idle().
-      engine.reset();
-      ScenarioResult& failed = report.results[index];
-      failed = ScenarioResult{};
-      failed.index = index;
-      failed.name = specs[index].name;
-      failed.ok = false;
-      failed.error = "scenario evaluation failed";
+      report.results[index].worker = worker;
     }
-    report.results[index].worker = worker;
   });
 
   rank(report);

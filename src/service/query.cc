@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "analytics/risk.h"
 #include "core/paths.h"
 #include "dataplane/properties.h"
 #include "scenario/report.h"
@@ -282,6 +283,33 @@ Query parse_query(const std::string& raw_line) {
     query.kind = QueryKind::kWhatIf;
     const size_t at = line.find("whatif");
     query.plan = parse_change_plan(line.substr(at + 6));
+  } else if (verb == "rank" && (arity == 1 || arity == 2)) {
+    query.kind = QueryKind::kRank;
+    query.sweep =
+        analytics::parse_sweep(arity == 2 ? tokens[pos + 1] : "links").str();
+  } else if (verb == "risk") {
+    if (arity >= 2 && tokens[pos + 1] == "diff") {
+      if (arity != 4 && arity != 5) {
+        throw Error("risk diff needs <before> <after> [sweep]");
+      }
+      query.kind = QueryKind::kRiskDiff;
+      const long long before = parse_int(tokens[pos + 2]);
+      const long long after = parse_int(tokens[pos + 3]);
+      if (before <= 0 || after <= 0) {
+        throw Error("bad risk diff versions: " + tokens[pos + 2] + " " +
+                    tokens[pos + 3]);
+      }
+      query.diff_before = static_cast<uint64_t>(before);
+      query.diff_after = static_cast<uint64_t>(after);
+      query.sweep =
+          analytics::parse_sweep(arity == 5 ? tokens[pos + 4] : "links").str();
+    } else if (arity == 1 || arity == 2) {
+      query.kind = QueryKind::kRisk;
+      query.sweep =
+          analytics::parse_sweep(arity == 2 ? tokens[pos + 1] : "links").str();
+    } else {
+      throw Error("risk takes [sweep] or diff <before> <after> [sweep]");
+    }
   } else {
     throw Error("bad query: " + query.text);
   }
@@ -378,6 +406,18 @@ QueryResult eval_query(const Query& query, const Version& version,
         body << "holds " << (holds ? "true" : "false") << " | "
              << query.invariant.describe();
         break;
+      }
+      case QueryKind::kRank:
+      case QueryKind::kRisk:
+      case QueryKind::kRiskDiff: {
+        // Risk analytics run sweeps and memoize per (spec-hash, version) —
+        // state only DnaService holds (RiskStore, the version store for
+        // diff's second snapshot). serve_batch intercepts these kinds
+        // before eval_query; reaching this arm means a caller evaluated a
+        // risk query against a bare engine.
+        result.ok = false;
+        result.body = "risk analytics are served by DnaService (RiskStore)";
+        return result;
       }
       case QueryKind::kWhatIf: {
         topo::Snapshot target = query.plan.apply(engine.snapshot());

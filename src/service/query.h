@@ -15,6 +15,21 @@
 //       check waypoint r0 r5 fw0 0.0.0.0/0
 //   whatif <change...>                   blast radius of a candidate change
 //                                        (evaluated, never committed)
+//   rank [sweep]                         ranked keystone table over a risk
+//                                        sweep (analytics/risk.h) — which
+//                                        elements move the most reachability
+//   risk [sweep]                         the full risk report: keystones,
+//                                        blast-radius histogram, fragile vs
+//                                        robust invariants
+//   risk diff <v1> <v2> [sweep]          differential risk between two live
+//                                        versions: log2 fold-change per
+//                                        element, enriched/depleted/stable
+//
+// The optional [sweep] is one token (default `links`):
+//   links | costs:<c> | node:<name> | random:<n>[:<seed>]
+// Risk answers are JSON bodies, memoized per (verb, sweep-hash, version) by
+// the service's RiskStore; like every query they are pure functions of
+// (query, version), so shards and monoliths answer byte-identically.
 //
 // A query line may be prefixed by modifiers:
 //
@@ -59,7 +74,17 @@
 
 namespace dna::service {
 
-enum class QueryKind { kVersion, kHash, kReach, kPaths, kCheck, kWhatIf };
+enum class QueryKind {
+  kVersion,
+  kHash,
+  kReach,
+  kPaths,
+  kCheck,
+  kWhatIf,
+  kRank,
+  kRisk,
+  kRiskDiff
+};
 
 struct Query {
   QueryKind kind = QueryKind::kVersion;
@@ -69,6 +94,12 @@ struct Query {
   Ipv4Addr dst;               // reach / paths
   core::Invariant invariant;  // check
   core::ChangePlan plan{""};  // whatif
+  /// rank / risk: the canonical sweep token (analytics::parse_sweep's
+  /// str()), so equivalent spellings share one memo entry.
+  std::string sweep;
+  /// risk diff: the two versions compared.
+  uint64_t diff_before = 0;
+  uint64_t diff_after = 0;
 
   /// Version pin (`@<id>` modifier); 0 = the head at submission time.
   uint64_t pinned_version = 0;

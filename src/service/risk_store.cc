@@ -1,0 +1,49 @@
+#include "service/risk_store.h"
+
+namespace dna::service {
+
+RiskStore::RiskStore(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const analytics::RiskReport> RiskStore::report(
+    uint64_t spec_hash, uint64_t version) {
+  const Key key{0, spec_hash, version, 0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto* found = reports_.find(key);
+  return found != nullptr ? *found : nullptr;
+}
+
+void RiskStore::put_report(uint64_t spec_hash, uint64_t version,
+                           std::shared_ptr<const analytics::RiskReport> report) {
+  const Key key{0, spec_hash, version, 0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  reports_.put(key, std::move(report), capacity_);
+}
+
+std::optional<std::string> RiskStore::answer(char verb, uint64_t spec_hash,
+                                             uint64_t version,
+                                             uint64_t version2) {
+  const Key key{static_cast<uint64_t>(verb), spec_hash, version, version2};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto* found = answers_.find(key);
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+void RiskStore::put_answer(char verb, uint64_t spec_hash, uint64_t version,
+                           uint64_t version2, std::string body) {
+  const Key key{static_cast<uint64_t>(verb), spec_hash, version, version2};
+  std::lock_guard<std::mutex> lock(mutex_);
+  answers_.put(key, std::move(body), capacity_);
+}
+
+size_t RiskStore::reports_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reports_.order.size();
+}
+
+size_t RiskStore::answers_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return answers_.order.size();
+}
+
+}  // namespace dna::service

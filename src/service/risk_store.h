@@ -1,0 +1,93 @@
+// RiskStore: the service-side memo for risk analytics.
+//
+// Risk queries are pure functions of (verb, sweep spec, version(s)) — the
+// same referential transparency every query enjoys — but a cold sweep costs
+// one preview per scenario, thousands of times a point query. The store
+// memoizes at two levels, both bounded LRUs:
+//
+//   * reports:  (spec-hash, version) -> the aggregated RiskReport. The
+//     expensive half; `risk diff` reuses per-version reports across any
+//     pair of versions, so diffing v1..vN costs N sweeps, not N^2.
+//   * answers:  (verb, spec-hash, version, version) -> the rendered JSON
+//     body. Repeated dashboard polls are a map lookup (ROADMAP item 3's
+//     first slice).
+//
+// Memoizing rendered bytes is sound for the same reason queries shard: the
+// body is deterministic in the key, so a cache hit is byte-identical to a
+// recomputation. Thread safety: one mutex; entries are immutable once
+// inserted (reports via shared_ptr-to-const), so hits copy a handle or a
+// string and never block on sweep computation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "analytics/risk.h"
+
+namespace dna::service {
+
+class RiskStore {
+ public:
+  /// `capacity` bounds each level independently (entries, not bytes);
+  /// 0 disables memoization entirely.
+  explicit RiskStore(size_t capacity = 32);
+
+  std::shared_ptr<const analytics::RiskReport> report(uint64_t spec_hash,
+                                                      uint64_t version);
+  void put_report(uint64_t spec_hash, uint64_t version,
+                  std::shared_ptr<const analytics::RiskReport> report);
+
+  std::optional<std::string> answer(char verb, uint64_t spec_hash,
+                                    uint64_t version, uint64_t version2);
+  void put_answer(char verb, uint64_t spec_hash, uint64_t version,
+                  uint64_t version2, std::string body);
+
+  size_t reports_cached() const;
+  size_t answers_cached() const;
+
+ private:
+  using Key = std::array<uint64_t, 4>;
+
+  /// A small LRU: lookups move the entry to the front, inserts evict the
+  /// back past `capacity`. All under the store's mutex — the per-entry
+  /// work is a splice, never a sweep.
+  template <typename Value>
+  struct Lru {
+    std::list<std::pair<Key, Value>> order;  // front = most recent
+    std::map<Key, typename std::list<std::pair<Key, Value>>::iterator> index;
+
+    Value* find(const Key& key) {
+      const auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      order.splice(order.begin(), order, it->second);
+      return &it->second->second;
+    }
+    void put(const Key& key, Value value, size_t capacity) {
+      if (capacity == 0) return;
+      if (Value* existing = find(key)) {
+        *existing = std::move(value);
+        return;
+      }
+      order.emplace_front(key, std::move(value));
+      index[key] = order.begin();
+      while (order.size() > capacity) {
+        index.erase(order.back().first);
+        order.pop_back();
+      }
+    }
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  Lru<std::shared_ptr<const analytics::RiskReport>> reports_;
+  Lru<std::string> answers_;
+};
+
+}  // namespace dna::service

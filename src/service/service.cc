@@ -28,6 +28,7 @@ DnaService::DnaService(topo::Snapshot base,
       // One replica slot per pool worker plus one the dispatcher uses to
       // serve single-chunk batches inline.
       workers_(pool_.num_workers() + 1),
+      risk_store_(options_.risk_cache_entries),
       ctr_queries_total_(registry_.counter("service.queries_total")),
       ctr_queries_failed_(registry_.counter("service.queries_failed")),
       ctr_queries_shed_(registry_.counter("service.queries_shed")),
@@ -49,6 +50,9 @@ DnaService::DnaService(topo::Snapshot base,
       hist_commit_(registry_.histogram("service.commit_seconds")),
       hist_journal_append_(
           registry_.histogram("service.journal_append_seconds")),
+      ctr_risk_sweeps_(registry_.counter("service.risk_sweeps_total")),
+      ctr_risk_cache_hits_(registry_.counter("service.risk_cache_hits")),
+      hist_risk_sweep_(registry_.histogram("service.risk_sweep_seconds")),
       credit_gate_(options_.max_queue_depth) {
   store_.keep_history(options_.keep_versions);
   if (journal_) {
@@ -494,7 +498,11 @@ void DnaService::serve_batch(std::vector<Pending> batch) {
         // actually advances the replica; the rest hit the version match
         // and pay one branch.
         core::DnaEngine& engine = engine_at(worker, *version, &catchup_ns);
-        result = eval_query(pending.query, *version, engine);
+        const QueryKind kind = pending.query.kind;
+        result = (kind == QueryKind::kRank || kind == QueryKind::kRisk ||
+                  kind == QueryKind::kRiskDiff)
+                     ? eval_risk(pending.query, version, engine)
+                     : eval_query(pending.query, *version, engine);
       } catch (const std::exception& e) {
         // The replica may be mid-advance (engine_at or a what-if preview
         // threw): drop it so the worker rebuilds a clean one, and fail

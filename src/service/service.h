@@ -61,9 +61,12 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "analytics/differential.h"
+#include "analytics/risk.h"
 #include "service/health.h"
 #include "service/journal.h"
 #include "service/query.h"
+#include "service/risk_store.h"
 #include "service/version.h"
 #include "util/mpsc_queue.h"
 #include "util/threadpool.h"
@@ -107,6 +110,10 @@ struct ServiceOptions {
   /// breakdown lands in the trace log even when nobody asked to trace it.
   /// 0 disables the slow-query log.
   uint64_t slow_query_ns = 0;
+  /// Bounded memo for risk analytics (RiskStore): entries per level
+  /// (aggregated reports, rendered answers). 0 disables memoization — every
+  /// rank/risk query re-runs its sweep.
+  size_t risk_cache_entries = 32;
 };
 
 /// What a commit did: the published version and its blast radius.
@@ -305,6 +312,21 @@ class DnaService {
   /// Serves one version-coalesced batch: chunked fan-out over the pool,
   /// per-query leg accounting, metrics, and promise resolution.
   void serve_batch(std::vector<Pending> batch);
+  /// Evaluates one rank/risk/risk-diff query (service_risk.cc). `engine` is
+  /// the worker's replica, already advanced to `version` — the idle-replica
+  /// sweeps run right there and memoize into risk_store_; a diff's other
+  /// snapshot gets a scratch engine. Mirrors eval_query's dirty protocol:
+  /// an exception escaping this call means the replica is mid-advance and
+  /// the dispatcher must reset it.
+  QueryResult eval_risk(const Query& query, const VersionHandle& version,
+                        core::DnaEngine& engine);
+  /// The memoized per-(spec-hash, version) aggregation behind eval_risk.
+  /// `resident` is a replica already at version->id (or nullptr);
+  /// `resident_dirty` is flipped around previews on it.
+  std::shared_ptr<const analytics::RiskReport> risk_report_at(
+      const analytics::SweepSpec& sweep, uint64_t spec_hash,
+      const VersionHandle& version, core::DnaEngine* resident,
+      bool* resident_dirty);
   /// The shared commit tail: `effective` is the plan that both applies and
   /// (when journaling) gets logged — callers guarantee its description is
   /// the canonical text when a journal is configured. `trace`, if non-null,
@@ -339,6 +361,8 @@ class DnaService {
   // for batches it serves inline.
   std::vector<WorkerState> workers_;
   size_t recovered_commits_ = 0;
+  /// Risk analytics memo: (spec-hash, version) reports + rendered answers.
+  RiskStore risk_store_;
 
   // ---- telemetry (obs/). Handles resolved once at construction; the hot
   // path writes through them — relaxed sharded atomics, no mutex.
@@ -362,6 +386,9 @@ class DnaService {
   obs::Histogram& hist_batch_size_;
   obs::Histogram& hist_commit_;
   obs::Histogram& hist_journal_append_;
+  obs::Counter& ctr_risk_sweeps_;
+  obs::Counter& ctr_risk_cache_hits_;
+  obs::Histogram& hist_risk_sweep_;
   obs::TraceLog trace_log_;
   std::atomic<bool> trace_all_{false};
   std::atomic<obs::FlightRecorder*> recorder_{nullptr};

@@ -776,6 +776,17 @@ QueryResult ShardRouter::handle_line(const std::string& trimmed,
         // request text (any replica previews the same answer).
         candidates = node_candidates(trimmed);
         break;
+      case QueryKind::kRank:
+      case QueryKind::kRisk:
+      case QueryKind::kRiskDiff:
+        // Risk analytics are pure functions of (sweep, version(s)) — the
+        // same byte-identical-to-monolith contract as every query — so one
+        // replica computes the whole answer; spread by text like what-ifs.
+        // Each shard memoizes in its own RiskStore, so the deterministic
+        // text spread also pins repeat polls to the replica already
+        // holding the warm entry.
+        candidates = node_candidates(trimmed);
+        break;
       case QueryKind::kVersion:
       case QueryKind::kHash:
         candidates = scope_candidates(0);

@@ -1,0 +1,366 @@
+// Tests for the risk-analytics tier (analytics/risk.h, differential.h) and
+// its service surface (rank/risk/risk diff verbs, RiskStore memoization).
+//
+// The load-bearing properties: reports are pure functions of (base, sweep,
+// invariants) — byte-identical across thread counts and any permutation of
+// the scenario order — and the service memo returns byte-identical bodies
+// while counting its hits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "analytics/differential.h"
+#include "analytics/risk.h"
+#include "core/change.h"
+#include "scenario/runner.h"
+#include "service/risk_store.h"
+#include "service/service.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace dna {
+namespace {
+
+using analytics::RiskReport;
+using analytics::SweepPlan;
+using analytics::SweepSpec;
+
+std::vector<core::Invariant> ring_invariants() {
+  return {{core::Invariant::Kind::kLoopFree, "", "", "", Ipv4Prefix()},
+          {core::Invariant::Kind::kReachable, "r0", "r3", "",
+           Ipv4Prefix(Ipv4Addr(172, 31, 1, 0), 24)}};
+}
+
+/// Runs `sweep` against `base` exactly as the service does: plan, evaluate
+/// every scenario, aggregate.
+RiskReport sweep_report(const std::string& sweep, const topo::Snapshot& base,
+                        size_t num_threads = 1) {
+  const SweepPlan plan = analytics::plan_sweep(analytics::parse_sweep(sweep),
+                                               base);
+  scenario::ScenarioRunner runner(base, ring_invariants());
+  scenario::RunnerOptions options;
+  options.num_threads = num_threads;
+  const scenario::ScenarioReport report = runner.run(plan.specs, options);
+  std::vector<std::string> descriptions;
+  for (const core::Invariant& invariant : ring_invariants()) {
+    descriptions.push_back(invariant.describe());
+  }
+  return analytics::analyze(plan, report.results, descriptions);
+}
+
+TEST(SweepSpec, ParsesAndCanonicalizes) {
+  EXPECT_EQ(analytics::parse_sweep("links").str(), "links");
+  EXPECT_EQ(analytics::parse_sweep("costs:7").str(), "costs:7");
+  EXPECT_EQ(analytics::parse_sweep("node:r0").str(), "node:r0");
+  // The canonical random token always carries its seed (default 1), so
+  // equivalent spellings share a spec-hash.
+  EXPECT_EQ(analytics::parse_sweep("random:5").str(), "random:5:1");
+  EXPECT_EQ(analytics::parse_sweep("random:5:9").str(), "random:5:9");
+  EXPECT_EQ(analytics::parse_sweep("random:5").hash(),
+            analytics::parse_sweep("random:5:1").hash());
+  EXPECT_NE(analytics::parse_sweep("links").hash(),
+            analytics::parse_sweep("costs:7").hash());
+
+  EXPECT_THROW(analytics::parse_sweep(""), Error);
+  EXPECT_THROW(analytics::parse_sweep("costs"), Error);
+  EXPECT_THROW(analytics::parse_sweep("costs:x"), Error);
+  EXPECT_THROW(analytics::parse_sweep("node:"), Error);
+  EXPECT_THROW(analytics::parse_sweep("random:0"), Error);
+  EXPECT_THROW(analytics::parse_sweep("bogus"), Error);
+}
+
+TEST(SweepPlan, AlignsElementsWithSpecs) {
+  const topo::Snapshot base = topo::make_ring(6);
+  const SweepPlan links =
+      analytics::plan_sweep(analytics::parse_sweep("links"), base);
+  ASSERT_EQ(links.specs.size(), links.elements.size());
+  EXPECT_EQ(links.specs.size(), 6u);  // a 6-ring has 6 links, all up
+  for (const analytics::ElementRef& element : links.elements) {
+    EXPECT_FALSE(element.link.empty());
+    EXPECT_EQ(element.routers.size(), 2u);
+  }
+
+  const SweepPlan node =
+      analytics::plan_sweep(analytics::parse_sweep("node:r0"), base);
+  ASSERT_EQ(node.specs.size(), node.elements.size());
+  EXPECT_GE(node.specs.size(), 1u);
+  for (const analytics::ElementRef& element : node.elements) {
+    EXPECT_TRUE(element.link.empty() || !element.routers.empty());
+  }
+
+  EXPECT_THROW(
+      analytics::plan_sweep(analytics::parse_sweep("node:nowhere"), base),
+      Error);
+}
+
+// Keystone scores are normalized mass fractions, rendered from integer
+// micro-units: they sum to ~1.0 and the top element really moves the most.
+TEST(RiskReport, KeystoneScoresAreNormalizedAndRanked) {
+  const RiskReport report = sweep_report("links", topo::make_ring(6));
+  EXPECT_EQ(report.scenarios, 6u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.total_mass, 0u);
+  ASSERT_FALSE(report.elements.empty());
+
+  uint64_t link_micro_sum = 0;
+  uint64_t previous_mass = UINT64_MAX;
+  for (const analytics::ElementRisk& element : report.elements) {
+    EXPECT_LE(element.mass(), previous_mass);  // ranked by mass descending
+    previous_mass = element.mass();
+    if (element.kind == "link") link_micro_sum += report.keystone_micro(element);
+  }
+  // The 6 link elements partition the sweep's mass exactly, so their
+  // keystone micro-scores sum to 1.0 within integer-rounding slack.
+  EXPECT_NEAR(static_cast<double>(link_micro_sum), 1e6, 6.0);
+
+  // Blast histogram covers every scenario.
+  uint64_t blast_total = report.blast.zero;
+  for (const uint64_t bucket : report.blast.buckets) blast_total += bucket;
+  EXPECT_EQ(blast_total, report.scenarios);
+
+  // Every registered invariant is classified exactly once.
+  EXPECT_EQ(report.fragile.size() + report.robust_invariants,
+            ring_invariants().size());
+}
+
+// The determinism contract: the analysis is invariant to the order scenarios
+// were evaluated in. Permute the (spec, element, result) triples with a
+// fixed shuffle and the rendered report must be byte-identical.
+TEST(RiskReport, PermutationInvariant) {
+  const topo::Snapshot base = topo::make_ring(6);
+  const SweepPlan plan =
+      analytics::plan_sweep(analytics::parse_sweep("links"), base);
+  scenario::ScenarioRunner runner(base, ring_invariants());
+  scenario::RunnerOptions options;
+  options.num_threads = 1;
+  const scenario::ScenarioReport run = runner.run(plan.specs, options);
+  std::vector<std::string> descriptions;
+  for (const core::Invariant& invariant : ring_invariants()) {
+    descriptions.push_back(invariant.describe());
+  }
+  const RiskReport baseline = analytics::analyze(plan, run.results,
+                                                 descriptions);
+
+  // A fixed permutation (reverse, then swap the front pair) applied to all
+  // three parallel vectors keeps them aligned while scrambling the order.
+  std::vector<size_t> order(plan.specs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::reverse(order.begin(), order.end());
+  std::swap(order.front(), order.back());
+
+  SweepPlan permuted;
+  std::vector<scenario::ScenarioResult> results;
+  for (const size_t i : order) {
+    permuted.specs.push_back(plan.specs[i]);
+    permuted.elements.push_back(plan.elements[i]);
+    results.push_back(run.results[i]);
+  }
+  const RiskReport shuffled = analytics::analyze(permuted, results,
+                                                 descriptions);
+
+  EXPECT_EQ(baseline.str(), shuffled.str());
+  EXPECT_EQ(baseline.to_json(), shuffled.to_json());
+  EXPECT_EQ(baseline.to_rank_json(), shuffled.to_rank_json());
+}
+
+TEST(RiskReport, ByteIdenticalAcrossThreadCounts) {
+  const topo::Snapshot base = topo::make_ring(6);
+  const RiskReport one = sweep_report("links", base, 1);
+  const RiskReport four = sweep_report("links", base, 4);
+  EXPECT_EQ(one.to_json(), four.to_json());
+  EXPECT_EQ(one.str(), four.str());
+}
+
+// diff_risk classification: an element whose keystone score more than
+// doubles is enriched, more than halves is depleted, in between is stable.
+TEST(RiskDiff, ClassifiesFoldChanges) {
+  RiskReport before, after;
+  before.total_mass = 1000;
+  after.total_mass = 1000;
+  const auto element = [](const std::string& name, uint64_t mass) {
+    analytics::ElementRisk e;
+    e.element = name;
+    e.kind = "link";
+    e.scenarios = 1;
+    e.fib_changes = mass;  // mass() includes fib churn
+    return e;
+  };
+  before.elements = {element("steady", 500), element("rising", 100),
+                     element("falling", 400)};
+  after.elements = {element("steady", 510), element("rising", 450),
+                    element("falling", 40)};
+
+  const analytics::RiskDiff diff = analytics::diff_risk(before, after);
+  EXPECT_EQ(diff.enriched, 1u);
+  EXPECT_EQ(diff.depleted, 1u);
+  EXPECT_EQ(diff.stable, 1u);
+  ASSERT_EQ(diff.elements.size(), 3u);
+  // Order: enriched first, then depleted, then stable.
+  EXPECT_EQ(diff.elements[0].element, "rising");
+  EXPECT_EQ(std::string(diff.elements[0].status_name()), "enriched");
+  EXPECT_GT(diff.elements[0].log2_fc_e4, 10000);
+  EXPECT_EQ(diff.elements[1].element, "falling");
+  EXPECT_EQ(std::string(diff.elements[1].status_name()), "depleted");
+  EXPECT_LT(diff.elements[1].log2_fc_e4, -10000);
+  EXPECT_EQ(diff.elements[2].element, "steady");
+  EXPECT_EQ(std::string(diff.elements[2].status_name()), "stable");
+
+  const std::string json = diff.to_json();
+  EXPECT_NE(json.find("\"enriched\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"depleted\":1"), std::string::npos);
+}
+
+// The outer join: an element present on only one side still classifies.
+TEST(RiskDiff, OuterJoinsOneSidedElements) {
+  RiskReport before, after;
+  before.total_mass = 100;
+  after.total_mass = 100;
+  analytics::ElementRisk gone;
+  gone.element = "link 9";
+  gone.kind = "link";
+  gone.fib_changes = 50;
+  before.elements = {gone};
+  analytics::ElementRisk born;
+  born.element = "link 10";
+  born.kind = "link";
+  born.fib_changes = 50;
+  after.elements = {born};
+
+  const analytics::RiskDiff diff = analytics::diff_risk(before, after);
+  ASSERT_EQ(diff.elements.size(), 2u);
+  EXPECT_EQ(diff.enriched, 1u);
+  EXPECT_EQ(diff.depleted, 1u);
+}
+
+TEST(RiskStore, BoundedLruEvictsOldest) {
+  service::RiskStore store(2);
+  const auto report = std::make_shared<RiskReport>();
+  store.put_report(1, 1, report);
+  store.put_report(2, 1, report);
+  store.put_report(3, 1, report);  // evicts (1, 1)
+  EXPECT_EQ(store.reports_cached(), 2u);
+  EXPECT_EQ(store.report(1, 1), nullptr);
+  EXPECT_NE(store.report(2, 1), nullptr);
+
+  // A hit refreshes recency: touch (2,1), insert a fourth, and (3,1) — now
+  // the least recent — is the one evicted.
+  store.put_report(4, 1, report);
+  EXPECT_EQ(store.report(3, 1), nullptr);
+  EXPECT_NE(store.report(2, 1), nullptr);
+
+  store.put_answer('r', 1, 1, 0, "body");
+  store.put_answer('k', 1, 1, 0, "other");
+  store.put_answer('d', 1, 1, 2, "diff");
+  EXPECT_EQ(store.answers_cached(), 2u);
+  EXPECT_FALSE(store.answer('r', 1, 1, 0).has_value());
+  ASSERT_TRUE(store.answer('d', 1, 1, 2).has_value());
+  EXPECT_EQ(*store.answer('d', 1, 1, 2), "diff");
+
+  service::RiskStore disabled(0);
+  disabled.put_answer('r', 1, 1, 0, "body");
+  EXPECT_EQ(disabled.answers_cached(), 0u);
+}
+
+// ---- The service surface ---------------------------------------------------
+
+TEST(ServiceRisk, RankAndRiskAreServedAndMemoized) {
+  service::DnaService service(topo::make_ring(6), ring_invariants(),
+                              {.num_threads = 2});
+
+  const service::QueryResult rank = service.query("rank");
+  ASSERT_TRUE(rank.ok) << rank.body;
+  EXPECT_NE(rank.body.find("\"rank\":"), std::string::npos);
+  EXPECT_NE(rank.body.find("\"sweep\":\"links\""), std::string::npos);
+
+  const service::QueryResult risk = service.query("risk links");
+  ASSERT_TRUE(risk.ok) << risk.body;
+  EXPECT_NE(risk.body.find("\"risk\":"), std::string::npos);
+  EXPECT_NE(risk.body.find("\"blast\":"), std::string::npos);
+  EXPECT_NE(risk.body.find("\"invariants\":"), std::string::npos);
+
+  // Identical re-asks are memo hits — byte-identical body, counter moves.
+  const uint64_t hits_before =
+      service.registry().counter("service.risk_cache_hits").value();
+  const service::QueryResult rank_again = service.query("rank links");
+  ASSERT_TRUE(rank_again.ok);
+  EXPECT_EQ(rank_again.body, rank.body);
+  const service::QueryResult risk_again = service.query("risk");
+  ASSERT_TRUE(risk_again.ok);
+  EXPECT_EQ(risk_again.body, risk.body);
+  EXPECT_GT(service.registry().counter("service.risk_cache_hits").value(),
+            hits_before);
+  EXPECT_GE(service.registry().counter("service.risk_sweeps_total").value(),
+            1u);
+}
+
+TEST(ServiceRisk, BodiesAreDeterministicAcrossServiceThreadCounts) {
+  const auto body = [](size_t threads, const std::string& line) {
+    service::DnaService service(topo::make_ring(6), ring_invariants(),
+                                {.num_threads = threads});
+    const service::QueryResult result = service.query(line);
+    EXPECT_TRUE(result.ok) << result.body;
+    return result.body;
+  };
+  EXPECT_EQ(body(1, "risk links"), body(4, "risk links"));
+  EXPECT_EQ(body(1, "rank node:r0"), body(4, "rank node:r0"));
+}
+
+// The acceptance scenario: commit a link-cost change, diff the risk surface
+// across the two versions, and at least one element must classify enriched.
+// The operator story: link 0 is drained (cost 100, traffic avoids it), then
+// a commit restores its cost — the diff flags the link as enriched because
+// it went from carrying no failure impact to being load-bearing again.
+TEST(ServiceRisk, DiffAcrossACommittedChangeFindsEnrichment) {
+  service::ServiceOptions options;
+  options.num_threads = 2;
+  options.keep_versions = 8;  // diff needs both versions live
+  service::DnaService service(topo::make_ring(6), ring_invariants(), options);
+
+  const uint64_t v1 =
+      service.commit(core::ChangePlan::link_cost(0, 100)).version;
+  const uint64_t v2 = service.commit(core::ChangePlan::link_cost(0, 1)).version;
+  ASSERT_NE(v1, v2);
+
+  const service::QueryResult diff = service.query(
+      "risk diff " + std::to_string(v1) + " " + std::to_string(v2));
+  ASSERT_TRUE(diff.ok) << diff.body;
+  EXPECT_NE(diff.body.find("\"risk_diff\":"), std::string::npos);
+  // The counters always cover everything, so assert on them, not the
+  // (possibly capped) elements array.
+  EXPECT_EQ(diff.body.find("\"enriched\":0,"), std::string::npos)
+      << diff.body;
+
+  // Re-asking the same diff is an answer-memo hit: byte-identical.
+  EXPECT_EQ(service.query("risk diff " + std::to_string(v1) + " " +
+                          std::to_string(v2))
+                .body,
+            diff.body);
+
+  // A retired / never-published version is a typed failure, not a crash.
+  const service::QueryResult dead = service.query("risk diff 999 1000");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_NE(dead.body.find("not live"), std::string::npos);
+}
+
+TEST(ServiceRisk, MalformedRiskQueriesAreTypedErrors) {
+  service::DnaService service(topo::make_ring(4), ring_invariants(),
+                              {.num_threads = 1});
+  EXPECT_THROW(service::parse_query("rank links extra"), Error);
+  EXPECT_THROW(service::parse_query("risk diff 1"), Error);
+  EXPECT_THROW(service::parse_query("risk diff one two"), Error);
+  EXPECT_THROW(service::parse_query("rank bogus:sweep"), Error);
+
+  // A sweep that parses but targets an unknown node fails at plan time,
+  // as a per-query error — and the service keeps serving afterwards.
+  const service::QueryResult unknown = service.query("risk node:nowhere");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_TRUE(service.query("version").ok);
+  EXPECT_TRUE(service.query("rank").ok);
+}
+
+}  // namespace
+}  // namespace dna

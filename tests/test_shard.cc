@@ -83,7 +83,7 @@ Answer to_answer(const QueryResult& result) {
 std::vector<Answer> monolithic_answers(const std::vector<std::string>& script,
                                        size_t num_threads = 2) {
   DnaService service(topo::make_ring(6), ring_invariants(),
-                     {.num_threads = num_threads});
+                     {.num_threads = num_threads, .keep_versions = 6});
   LoopbackChannel channel;
   ServerSession session(service, channel.server());
   std::thread server([&session] { session.run(); });
@@ -136,6 +136,17 @@ std::vector<std::string> equivalence_script(const topo::Snapshot& base) {
           "; static_route r2 203.0.113.0/24 " + addr_r1,
       "check loopfree",
       "whatif recover_link 1",
+      // Risk analytics: pure read-only aggregates, so the router spreads
+      // them like any query and every deployment must render the same
+      // bytes — including the diff across two committed versions and the
+      // typed errors for a dead version and a malformed sweep.
+      "rank",
+      "risk links",
+      "@2 rank costs:20",
+      "risk node:r2",
+      "risk diff 2 3",
+      "risk diff 1 99",
+      "risk bogus:sweep",
   };
   for (topo::NodeId node = 0; node < topology.num_nodes(); ++node) {
     script.push_back("reach " + topology.node_name(node) + " 172.31.1.1");
@@ -282,8 +293,10 @@ TEST(Router, TwoLoopbackShardsAnswerLikeAMonolith) {
       equivalence_script(topo::make_ring(6));
   const std::vector<Answer> expected = monolithic_answers(script);
 
-  DnaService shard0(topo::make_ring(6), ring_invariants(), {.num_threads = 1});
-  DnaService shard1(topo::make_ring(6), ring_invariants(), {.num_threads = 1});
+  DnaService shard0(topo::make_ring(6), ring_invariants(),
+                    {.num_threads = 1, .keep_versions = 6});
+  DnaService shard1(topo::make_ring(6), ring_invariants(),
+                    {.num_threads = 1, .keep_versions = 6});
   ShardRouter router({loopback_dial(shard0), loopback_dial(shard1)});
   EXPECT_EQ(router.connect_all(), 2u);
 
@@ -316,6 +329,7 @@ TEST(Router, TwoTcpShardsAnswerLikeAMonolith) {
   for (int i = 0; i < 2; ++i) {
     ShardHostOptions options;
     options.service.num_threads = 1;
+    options.service.keep_versions = 6;
     hosts.push_back(std::make_unique<ShardHost>(topo::make_ring(6),
                                                 ring_invariants(), options));
     dialers.push_back(hosts.back()->dialer());
@@ -521,6 +535,7 @@ TEST(Router, FailoverCoversAKilledShardByteIdentically) {
   for (int i = 0; i < 2; ++i) {
     ShardHostOptions options;
     options.service.num_threads = 1;
+    options.service.keep_versions = 6;
     hosts.push_back(std::make_unique<ShardHost>(topo::make_ring(6),
                                                 ring_invariants(), options));
     dialers.push_back(hosts.back()->dialer());

@@ -121,6 +121,16 @@
 //       measured speedup, the inferred serial fraction, and a verdict
 //       naming the leg that dominates the scaling collapse (ROADMAP #1).
 //
+//   dna_cli risk (--socket=PATH | --tcp=HOST:PORT) [--sweep=TOKEN] [--top=N]
+//                 [--at=V] [--rank] [--json] [--diff V1 V2]
+//       Risk analytics over a live service: the ranked keystone table for a
+//       sweep (`links` by default; `costs:<c>`, `node:<name>`,
+//       `random:<n>[:<seed>]`), with blast-radius and invariant-fragility
+//       summaries. --rank asks for the slim ranking body, --at pins a live
+//       version, --diff renders the enriched/depleted/stable classification
+//       between two committed versions, --json prints the raw body the
+//       server memoized (byte-identical on every re-read).
+//
 // File formats: topo/textio.h (topology) and config/parser.h (configs).
 #include <atomic>
 #include <chrono>
@@ -1057,7 +1067,14 @@ int cmd_dash(const std::vector<std::string>& args) {
                                  "replica catch-up")
              << dash_latency_row(body, "service.query_eval_seconds", "eval")
              << dash_latency_row(body, "service.query_seconds", "total")
-             << dash_latency_row(body, "service.commit_seconds", "commit");
+             << dash_latency_row(body, "service.commit_seconds", "commit")
+             << dash_latency_row(body, "service.risk_sweep_seconds",
+                                 "risk sweep");
+      screen << "\n  risk     sweeps "
+             << static_cast<long long>(num("service.risk_sweeps_total"))
+             << "   cache hits "
+             << static_cast<long long>(num("service.risk_cache_hits"))
+             << "\n";
     }
     // Home + clear-to-end keeps the redraw flicker-free; --no-clear (and
     // single-shot mode) just appends, which is what scripts and CI want.
@@ -1107,6 +1124,172 @@ int cmd_diagnose(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- risk: ranked keystone analytics over a live service ------------------
+
+/// The string value following `"key":"`, or "" if absent. Element names and
+/// sweep tokens never contain escaped quotes, so a plain quote scan is safe
+/// against our own JsonWriter output.
+std::string scan_json_string(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  return json.substr(start, end - start);
+}
+
+/// Splits the `[{...},{...}]` array following `"key":[` into its element
+/// objects (same no-parser scanning as scan_json_object).
+std::vector<std::string> scan_json_array_objects(const std::string& json,
+                                                 const std::string& key) {
+  std::vector<std::string> items;
+  const std::string needle = "\"" + key + "\":[";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return items;
+  size_t depth = 0;
+  size_t start = 0;
+  for (size_t i = at + needle.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) items.push_back(json.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return items;
+}
+
+int cmd_risk(const std::vector<std::string>& args) {
+  std::string socket_path, tcp_endpoint, sweep = "links";
+  size_t top = 20;
+  bool json = false, rank_only = false;
+  uint64_t at = 0, diff_before = 0, diff_after = 0;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (starts_with(arg, "--socket=")) {
+      socket_path = arg.substr(9);
+    } else if (starts_with(arg, "--tcp=")) {
+      tcp_endpoint = arg.substr(6);
+    } else if (starts_with(arg, "--sweep=")) {
+      sweep = arg.substr(8);
+    } else if (starts_with(arg, "--top=")) {
+      const int value = as_int(arg.substr(6));
+      if (value <= 0) throw Error("--top must be > 0");
+      top = static_cast<size_t>(value);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--rank") {
+      rank_only = true;
+    } else if (starts_with(arg, "--at=")) {
+      const int value = as_int(arg.substr(5));
+      if (value <= 0) throw Error("--at must be >= 1");
+      at = static_cast<uint64_t>(value);
+    } else if (arg == "--diff") {
+      if (i + 2 >= args.size()) {
+        throw Error("--diff needs two versions: --diff <before> <after>");
+      }
+      const int before = as_int(args[i + 1]);
+      const int after = as_int(args[i + 2]);
+      if (before <= 0 || after <= 0) throw Error("--diff versions are >= 1");
+      diff_before = static_cast<uint64_t>(before);
+      diff_after = static_cast<uint64_t>(after);
+      i += 2;
+    } else if (starts_with(arg, "--")) {
+      throw Error("unknown risk flag: " + arg);
+    } else {
+      throw Error("risk takes no positional arguments (see --diff, --sweep)");
+    }
+  }
+
+  const bool diff = diff_before > 0;
+  std::string request;
+  if (diff) {
+    request = "risk diff " + std::to_string(diff_before) + " " +
+              std::to_string(diff_after) + " " + sweep;
+  } else {
+    request = (rank_only ? "rank " : "risk ") + sweep;
+  }
+  if (at > 0) request = "@" + std::to_string(at) + " " + request;
+
+  std::unique_ptr<service::Transport> transport =
+      dial_server(socket_path, tcp_endpoint, "risk");
+  service::ServiceClient client(*transport);
+  const service::QueryResult result = client.request(request);
+  client.close();
+  if (!result.ok) {
+    std::cerr << "error: " << result.body << "\n";
+    return 1;
+  }
+  if (json) {
+    std::cout << result.body << "\n";
+    return 0;
+  }
+
+  const std::string& body = result.body;
+  const std::vector<std::string> elements =
+      scan_json_array_objects(body, "elements");
+  if (diff) {
+    std::cout << "risk diff — sweep " << scan_json_string(body, "sweep")
+              << " · v" << diff_before << " -> v" << diff_after << " · "
+              << (long long)scan_json_number(body, "enriched", 0)
+              << " enriched, "
+              << (long long)scan_json_number(body, "depleted", 0)
+              << " depleted, " << (long long)scan_json_number(body, "stable", 0)
+              << " stable\n";
+    std::printf("  %-9s %9s  %9s -> %-9s  %-6s %s\n", "status", "log2fc",
+                "before", "after", "kind", "element");
+    for (size_t i = 0; i < elements.size() && i < top; ++i) {
+      const std::string& e = elements[i];
+      std::printf("  %-9s %+9.4f  %9.6f -> %-9.6f  %-6s %s\n",
+                  scan_json_string(e, "status").c_str(),
+                  scan_json_number(e, "log2_fc", 0),
+                  scan_json_number(e, "keystone_before", 0),
+                  scan_json_number(e, "keystone_after", 0),
+                  scan_json_string(e, "kind").c_str(),
+                  scan_json_string(e, "element").c_str());
+    }
+    return 0;
+  }
+
+  std::cout << (rank_only ? "rank" : "risk") << " — sweep "
+            << scan_json_string(body, "sweep") << " · v" << result.version
+            << " · " << (long long)scan_json_number(body, "scenarios", 0)
+            << " scenarios · total mass "
+            << (long long)scan_json_number(body, "total_mass", 0) << "\n";
+  std::printf("  %3s  %-9s %8s  %5s  %-6s %s\n", "#", "keystone", "mass",
+              "scen", "kind", "element");
+  for (size_t i = 0; i < elements.size() && i < top; ++i) {
+    const std::string& e = elements[i];
+    std::printf("  %3zu  %.6f %8lld  %5lld  %-6s %s\n", i + 1,
+                scan_json_number(e, "keystone", 0),
+                (long long)scan_json_number(e, "mass", 0),
+                (long long)scan_json_number(e, "scenarios", 0),
+                scan_json_string(e, "kind").c_str(),
+                scan_json_string(e, "element").c_str());
+  }
+  if (!rank_only) {
+    const std::string blast = scan_json_object(body, "blast");
+    const std::string invariants = scan_json_object(body, "invariants");
+    if (!blast.empty()) {
+      std::cout << "blast radius: "
+                << (long long)scan_json_number(blast, "zero", 0)
+                << " of " << (long long)scan_json_number(body, "scenarios", 0)
+                << " scenarios lost no reach facts\n";
+    }
+    if (!invariants.empty()) {
+      std::cout << "invariants: "
+                << (long long)scan_json_number(invariants, "robust", 0)
+                << " robust, "
+                << (long long)scan_json_number(invariants, "fragile_total", 0)
+                << " fragile\n";
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -1136,7 +1319,10 @@ int usage() {
       << "  dna_cli dash  (--socket=PATH | --tcp=HOST:PORT)"
          " [--interval=SECS] [--count=N] [--no-clear]\n"
       << "  dna_cli diagnose (--socket=PATH | --tcp=HOST:PORT)"
-         " [--queries=N] [--json]\n";
+         " [--queries=N] [--json]\n"
+      << "  dna_cli risk  (--socket=PATH | --tcp=HOST:PORT)"
+         " [--sweep=TOKEN] [--top=N] [--at=V] [--rank] [--json]"
+         " [--diff V1 V2]\n";
   return 2;
 }
 
@@ -1181,6 +1367,9 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "diagnose") {
       return cmd_diagnose(args);
+    }
+    if (!args.empty() && args[0] == "risk") {
+      return cmd_risk(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
